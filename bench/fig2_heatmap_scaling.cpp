@@ -1,0 +1,89 @@
+// Fig 2: the three adaptive heatmap scaling methods and their use cases.
+//
+// The paper shows the same observations colored under mean-centered,
+// histogram, and median-centered scaling:
+//   * mean     — outliers get visually distinct colors (bottleneck
+//                detection),
+//   * histogram— every distinct observation gets its own color
+//                (distribution display),
+//   * median   — similar magnitudes group into similar colors while
+//                outliers still read as hot.
+// This harness regenerates the figure as tables of value -> normalized
+// position -> color, over distributions engineered like the figure's.
+
+#include <cstdio>
+#include <vector>
+
+#include "dmv/viz/render.hpp"
+
+namespace {
+
+using dmv::viz::ColorScheme;
+using dmv::viz::HeatmapScale;
+using dmv::viz::ScalingPolicy;
+
+void show(const char* title, const std::vector<double>& values) {
+  std::printf("\n%s\n", title);
+  dmv::viz::TextTable table(
+      {"value", "mean-centered", "histogram", "median-centered"});
+  HeatmapScale mean = HeatmapScale::fit(values, ScalingPolicy::MeanCentered);
+  HeatmapScale histogram =
+      HeatmapScale::fit(values, ScalingPolicy::Histogram);
+  HeatmapScale median =
+      HeatmapScale::fit(values, ScalingPolicy::MedianCentered);
+  char buffer[96];
+  for (double v : values) {
+    std::string row[4];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+    row[0] = buffer;
+    auto cell = [&](const HeatmapScale& scale) {
+      const double t = scale.normalize(v);
+      return std::string(
+          dmv::viz::sample_color(t, ColorScheme::GreenYellowRed).hex()) +
+             " (t=" + std::to_string(t).substr(0, 4) + ")";
+    };
+    table.add_row({row[0], cell(mean), cell(histogram), cell(median)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("  (mean center c=%.1f, %zu histogram buckets, median c=%.1f)\n",
+              mean.center(), histogram.bucket_count(), median.center());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig 2 reproduction: heatmap scaling methods.\n");
+
+  // Fig 2 left use case: a distribution with one dominant outlier.
+  // Mean-centered gives the outlier a saturated red while the bulk stays
+  // green; median keeps more separation in the bulk.
+  show("Outlier distribution (bottleneck detection):",
+       {12, 15, 11, 14, 13, 16, 900});
+
+  // Fig 2 middle use case: few distinct values with huge gaps. Histogram
+  // scaling assigns evenly spaced colors regardless of the gaps.
+  show("Sparse magnitudes (distribution display):", {1, 2, 4, 1000, 100000});
+
+  // Fig 2 right use case: two clusters of similar magnitudes. Median
+  // centering groups each cluster into similar colors.
+  show("Two clusters (magnitude grouping):", {9, 10, 11, 480, 500, 520});
+
+  // Ablation: the Cube-style interpolation baselines on the same data,
+  // showing why the paper added the three methods above.
+  std::printf("\nCube-baseline ablation on the outlier distribution:\n");
+  std::vector<double> values{12, 15, 11, 14, 13, 16, 900};
+  dmv::viz::TextTable table({"value", "linear", "exponential"});
+  HeatmapScale linear = HeatmapScale::fit(values, ScalingPolicy::Linear);
+  HeatmapScale exponential =
+      HeatmapScale::fit(values, ScalingPolicy::Exponential);
+  for (double v : values) {
+    table.add_row({std::to_string(static_cast<int>(v)),
+                   std::to_string(linear.normalize(v)).substr(0, 5),
+                   std::to_string(exponential.normalize(v)).substr(0, 5)});
+  }
+  std::printf(
+      "%s  Linear collapses the bulk to ~0 (outlier dominates the range); "
+      "the paper's centered scales avoid this.\n",
+      table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Fig 8: the three individual hdiff tuning steps, each diagnosed with a
+// different overlay.
+//   8a — the 13-point neighborhood's memory spread before/after the
+//        [I+4,J+4,K] -> [K,I+4,J+4] reshape: accesses move much closer
+//        together (fewer distinct cache lines per iteration).
+//   8b — the innermost loop's address stride before/after moving k
+//        outermost: consecutive iterations become contiguous.
+//   8c — line wrap-around before/after row padding: rows stop sharing
+//        cache lines and same-iteration line utilization rises.
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "dmv/sim/sim.hpp"
+#include "dmv/viz/render.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace {
+
+namespace sim = dmv::sim;
+using dmv::workloads::HdiffVariant;
+
+// Byte span and distinct 64-byte lines of the first iteration's
+// in_field neighborhood.
+struct NeighborhoodStats {
+  std::int64_t span_bytes = 0;
+  std::int64_t distinct_lines = 0;
+};
+
+NeighborhoodStats neighborhood(const sim::AccessTrace& trace) {
+  const int in_field = trace.container_id("in_field");
+  const auto& layout = trace.layouts[in_field];
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+  std::set<std::int64_t> lines;
+  for (const sim::AccessEvent& event : trace.events) {
+    if (event.execution != 0 || event.container != in_field) continue;
+    const std::int64_t address =
+        layout.byte_address(layout.unflatten(event.flat));
+    lo = std::min(lo, address);
+    hi = std::max(hi, address);
+    lines.insert(address / 64);
+  }
+  return {hi - lo + 8, static_cast<std::int64_t>(lines.size())};
+}
+
+// Median absolute address delta of the CENTER point (i2j2 offset) between
+// consecutive innermost-loop iterations.
+std::int64_t innermost_stride(const sim::AccessTrace& trace) {
+  const int in_field = trace.container_id("in_field");
+  const auto& layout = trace.layouts[in_field];
+  // The center read is the one matching out's write index shifted by
+  // (+2, +2); simply track the LAST in_field read of each execution
+  // (deterministic order) across the first few executions.
+  std::vector<std::int64_t> addresses;
+  std::int64_t previous_execution = -1;
+  for (const sim::AccessEvent& event : trace.events) {
+    if (event.container != in_field) continue;
+    if (event.execution >= 8) break;
+    if (event.execution != previous_execution) {
+      previous_execution = event.execution;
+      addresses.push_back(
+          layout.byte_address(layout.unflatten(event.flat)));
+    }
+  }
+  std::vector<std::int64_t> deltas;
+  for (std::size_t i = 1; i < addresses.size(); ++i) {
+    deltas.push_back(std::llabs(addresses[i] - addresses[i - 1]));
+  }
+  std::sort(deltas.begin(), deltas.end());
+  return deltas.empty() ? 0 : deltas[deltas.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const dmv::symbolic::SymbolMap params = dmv::workloads::hdiff_local();
+  std::printf("Fig 8 reproduction: hdiff tuning step diagnostics.\n\n");
+
+  // ---- 8a: reshape.
+  {
+    sim::AccessTrace before = sim::simulate(
+        dmv::workloads::hdiff(HdiffVariant::Baseline), params);
+    sim::AccessTrace after = sim::simulate(
+        dmv::workloads::hdiff(HdiffVariant::Reshaped), params);
+    NeighborhoodStats b = neighborhood(before);
+    NeighborhoodStats a = neighborhood(after);
+    std::printf(
+        "Fig 8a (reshape): 13-point neighborhood spread, first "
+        "iteration\n");
+    dmv::viz::TextTable table(
+        {"layout", "byte span", "distinct 64B lines"});
+    table.add_row({"[I+4,J+4,K]", std::to_string(b.span_bytes),
+                   std::to_string(b.distinct_lines)});
+    table.add_row({"[K,I+4,J+4]", std::to_string(a.span_bytes),
+                   std::to_string(a.distinct_lines)});
+    std::printf("%s", table.str().c_str());
+    std::printf(
+        "Expected: the reshape shrinks the span and the line count (the "
+        "figure's 'accesses now much closer together').\n\n");
+  }
+
+  // ---- 8b: loop reorder.
+  {
+    sim::AccessTrace before = sim::simulate(
+        dmv::workloads::hdiff(HdiffVariant::Reshaped), params);
+    sim::AccessTrace after = sim::simulate(
+        dmv::workloads::hdiff(HdiffVariant::Reordered), params);
+    std::printf(
+        "Fig 8b (loop reorder): innermost-loop address stride of the "
+        "stencil center\n");
+    dmv::viz::TextTable table({"loop order", "median stride [bytes]"});
+    table.add_row(
+        {"(i, j, k) innermost k", std::to_string(innermost_stride(before))});
+    table.add_row(
+        {"(k, i, j) innermost j", std::to_string(innermost_stride(after))});
+    std::printf("%s", table.str().c_str());
+    std::printf(
+        "Expected: after the reorder the innermost loop walks the "
+        "contiguous dimension (stride = 8 bytes = one element).\n\n");
+  }
+
+  // ---- 8c: padding.
+  {
+    dmv::ir::Sdfg unpadded = dmv::workloads::hdiff(HdiffVariant::Reordered);
+    dmv::ir::Sdfg padded = dmv::workloads::hdiff(HdiffVariant::Padded);
+    auto unpadded_layout = dmv::layout::ConcreteLayout::from(
+        unpadded.array("in_field"), params);
+    auto padded_layout =
+        dmv::layout::ConcreteLayout::from(padded.array("in_field"), params);
+    const auto wrapped_before =
+        dmv::layout::rows_with_line_wraparound(unpadded_layout, 2, 64);
+    const auto wrapped_after =
+        dmv::layout::rows_with_line_wraparound(padded_layout, 2, 64);
+
+    sim::AccessTrace before = sim::simulate(unpadded, params);
+    sim::AccessTrace after = sim::simulate(padded, params);
+    sim::IterationLineStats stats_before = sim::iteration_line_stats(
+        before, before.container_id("in_field"), 64);
+    sim::IterationLineStats stats_after = sim::iteration_line_stats(
+        after, after.container_id("in_field"), 64);
+
+    std::printf("Fig 8c (row padding): cache-line alignment\n");
+    dmv::viz::TextTable table({"layout", "rows wrapping a line",
+                               "lines/iteration",
+                               "same-iteration line utilization"});
+    char b1[32], b2[32], a1[32], a2[32];
+    std::snprintf(b1, sizeof(b1), "%.2f", stats_before.mean_lines_per_execution);
+    std::snprintf(b2, sizeof(b2), "%.3f", stats_before.mean_line_utilization);
+    std::snprintf(a1, sizeof(a1), "%.2f", stats_after.mean_lines_per_execution);
+    std::snprintf(a2, sizeof(a2), "%.3f", stats_after.mean_line_utilization);
+    table.add_row({"unpadded rows (J+4=12 elems)",
+                   std::to_string(wrapped_before.size()), b1, b2});
+    table.add_row({"padded rows (16 elems)",
+                   std::to_string(wrapped_after.size()), a1, a2});
+    std::printf("%s", table.str().c_str());
+    std::printf(
+        "Expected: padding eliminates all wrap-around rows and raises "
+        "same-iteration utilization (the figure's green cache-line "
+        "highlight aligning with the rows).\n");
+  }
+  return 0;
+}

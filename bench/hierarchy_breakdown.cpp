@@ -1,0 +1,71 @@
+// Extension bench (paper §VIII-a): the multi-level cache hierarchy
+// backend. For each hdiff tuning stage, the exact L1/L2/L3 simulation
+// breaks the single "physical movement" number of Fig 7 into per-level
+// bandwidth, showing WHERE in the hierarchy each optimization step
+// saves its traffic.
+
+#include <cstdio>
+
+#include "dmv/sim/hierarchy.hpp"
+#include "dmv/viz/render.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace {
+
+namespace sim = dmv::sim;
+using dmv::workloads::HdiffVariant;
+
+const char* variant_name(HdiffVariant variant) {
+  switch (variant) {
+    case HdiffVariant::Baseline:
+      return "baseline";
+    case HdiffVariant::Reshaped:
+      return "reshaped";
+    case HdiffVariant::Reordered:
+      return "+reordered";
+    case HdiffVariant::Padded:
+      return "+padded";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const dmv::symbolic::SymbolMap params = dmv::workloads::hdiff_local();
+  // The 1/32-scale problem gets a 1/512-scale hierarchy, following the
+  // paper's guidance to scale the cache model with the parameterization.
+  const sim::HierarchyConfig config = sim::HierarchyConfig::typical(512);
+
+  std::printf(
+      "Cache-hierarchy breakdown of the hdiff tuning stages "
+      "(L1=%lld B, L2=%lld B, L3=%lld B, %d B lines).\n\n",
+      static_cast<long long>(config.levels[0].total_size),
+      static_cast<long long>(config.levels[1].total_size),
+      static_cast<long long>(config.levels[2].total_size),
+      config.line_size);
+
+  dmv::viz::TextTable table({"stage", "L1 hits", "L2 hits", "L3 hits",
+                             "memory", "bytes from L2", "bytes from mem"});
+  for (HdiffVariant variant :
+       {HdiffVariant::Baseline, HdiffVariant::Reshaped,
+        HdiffVariant::Reordered, HdiffVariant::Padded}) {
+    dmv::ir::Sdfg sdfg = dmv::workloads::hdiff(variant);
+    sim::AccessTrace trace = sim::simulate(sdfg, params);
+    sim::HierarchyResult result = sim::simulate_hierarchy(trace, config);
+    table.add_row({variant_name(variant),
+                   std::to_string(result.total_hits(0)),
+                   std::to_string(result.total_hits(1)),
+                   std::to_string(result.total_hits(2)),
+                   std::to_string(result.total_memory_accesses()),
+                   std::to_string(result.bytes_into_level(0)),
+                   std::to_string(result.bytes_into_level(2))});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nExpected shape: the tuning steps move satisfaction up the "
+      "hierarchy — L1 hits rise monotonically through the reorder while "
+      "traffic out of L2 falls; memory traffic is dominated by the "
+      "compulsory footprint at every stage.\n");
+  return 0;
+}

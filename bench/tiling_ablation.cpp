@@ -1,0 +1,69 @@
+// Ablation: loop tiling, the optimization the paper's related-access
+// view motivates (§V-C "helps analyze for potential replication or loop
+// tiling opportunities"). Sweeps tile sizes on matmul and reports the
+// predicted misses and physical movement the local view would show for
+// each choice — turning the tool's workflow into a tuning-knob study.
+
+#include <cstdio>
+
+#include "dmv/sim/sim.hpp"
+#include "dmv/transforms/transforms.hpp"
+#include "dmv/viz/render.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace {
+
+namespace sim = dmv::sim;
+
+dmv::ir::NodeId find_map(const dmv::ir::State& state) {
+  for (const dmv::ir::Node& node : state.nodes()) {
+    if (node.kind == dmv::ir::NodeKind::MapEntry) return node.id;
+  }
+  return dmv::ir::kNoNode;
+}
+
+}  // namespace
+
+int main() {
+  const dmv::symbolic::SymbolMap params{{"M", 24}, {"K", 24}, {"N", 24}};
+  const int line_size = 64;
+  const std::int64_t threshold = 16;
+
+  std::printf(
+      "Tiling ablation: matmul 24x24x24, %d B lines, %lld-line cache "
+      "model.\n\n",
+      line_size, static_cast<long long>(threshold));
+  dmv::viz::TextTable table({"variant", "misses", "est. bytes",
+                             "B-container misses"});
+  auto measure = [&](const char* name, std::int64_t tile) {
+    dmv::ir::Sdfg sdfg = dmv::workloads::matmul(/*b_column_major=*/false);
+    if (tile > 0) {
+      dmv::ir::State& state = sdfg.states()[0];
+      dmv::transforms::tile_map(state, find_map(state), "i", tile);
+      dmv::transforms::tile_map(state, find_map(state), "j", tile);
+      dmv::transforms::tile_map(state, find_map(state), "k", tile);
+    }
+    sim::AccessTrace trace = sim::simulate(sdfg, params);
+    sim::StackDistanceResult distances =
+        sim::stack_distances(trace, line_size);
+    sim::MissReport report =
+        sim::classify_misses(trace, distances, threshold);
+    sim::MovementEstimate movement =
+        sim::physical_movement(trace, report, line_size);
+    const int b = trace.container_id("B");
+    table.add_row({name, std::to_string(report.total.misses()),
+                   std::to_string(movement.total_bytes),
+                   std::to_string(report.per_container[b].misses())});
+  };
+  measure("untiled (i,j,k)", 0);
+  measure("tiled 4x4x4", 4);
+  measure("tiled 6x6x6", 6);
+  measure("tiled 8x8x8", 8);
+  measure("tiled 12x12x12", 12);
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nExpected shape: tiling cuts misses substantially vs the untiled "
+      "sweep; over-large tiles drift back toward untiled behaviour as "
+      "the tile working set outgrows the modeled cache.\n");
+  return 0;
+}

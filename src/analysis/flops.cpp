@@ -1,0 +1,38 @@
+#include "dmv/analysis/analysis.hpp"
+
+namespace dmv::analysis {
+
+using ir::Node;
+using ir::NodeKind;
+
+Expr tasklet_operations(const State& state, NodeId tasklet) {
+  const Node& node = state.node(tasklet);
+  const std::int64_t per_execution = node.code.count_operations().total();
+  return Expr(per_execution) * scope_iterations(state, node.scope_parent);
+}
+
+std::vector<NodeOps> tasklet_operation_counts(const Sdfg& sdfg) {
+  std::vector<NodeOps> result;
+  for (int s = 0; s < static_cast<int>(sdfg.states().size()); ++s) {
+    const State& state = sdfg.states()[s];
+    for (const Node& node : state.nodes()) {
+      if (node.kind != NodeKind::Tasklet) continue;
+      NodeOps ops;
+      ops.ref = NodeRef{s, node.id};
+      ops.label = node.label;
+      ops.operations = tasklet_operations(state, node.id);
+      result.push_back(std::move(ops));
+    }
+  }
+  return result;
+}
+
+Expr total_operations(const Sdfg& sdfg) {
+  Expr total = 0;
+  for (const NodeOps& ops : tasklet_operation_counts(sdfg)) {
+    total = total + ops.operations;
+  }
+  return total;
+}
+
+}  // namespace dmv::analysis

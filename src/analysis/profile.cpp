@@ -1,0 +1,71 @@
+#include <stdexcept>
+
+#include "dmv/analysis/profile.hpp"
+
+namespace dmv::analysis {
+
+std::vector<MapProfile> roofline_profile(const Sdfg& sdfg,
+                                         const SymbolMap& symbols,
+                                         const MachineModel& machine) {
+  if (machine.flops_per_second <= 0 || machine.bytes_per_second <= 0) {
+    throw std::invalid_argument("roofline_profile: bad machine model");
+  }
+  std::vector<MapProfile> profiles;
+  for (const MapIntensity& intensity : map_intensities(sdfg, symbols)) {
+    MapProfile profile;
+    profile.ref = intensity.ref;
+    profile.label = intensity.label;
+    profile.operations = intensity.operations;
+    profile.boundary_bytes = intensity.boundary_bytes;
+    profile.compute_seconds =
+        intensity.operations / machine.flops_per_second;
+    profile.memory_seconds =
+        intensity.boundary_bytes / machine.bytes_per_second;
+    profile.bound = profile.compute_seconds >= profile.memory_seconds
+                        ? Bound::Compute
+                        : Bound::Memory;
+    profile.seconds =
+        std::max(profile.compute_seconds, profile.memory_seconds);
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+double roofline_total_seconds(const Sdfg& sdfg, const SymbolMap& symbols,
+                              const MachineModel& machine) {
+  double total = 0;
+  for (const MapProfile& profile :
+       roofline_profile(sdfg, symbols, machine)) {
+    total += profile.seconds;
+  }
+  return total;
+}
+
+MetricOverlay::Heat MetricOverlay::to_heat(viz::ScalingPolicy policy) const {
+  std::vector<double> values;
+  values.reserve(node_values.size() + edge_values.size());
+  for (const auto& [node, value] : node_values) values.push_back(value);
+  for (const auto& [edge, value] : edge_values) values.push_back(value);
+  viz::HeatmapScale scale = viz::HeatmapScale::fit(values, policy);
+  Heat heat;
+  for (const auto& [node, value] : node_values) {
+    heat.node_heat[node] = scale.normalize(value);
+  }
+  for (const auto& [edge, value] : edge_values) {
+    heat.edge_heat[edge] = scale.normalize(value);
+  }
+  return heat;
+}
+
+MetricOverlay overlay_from_roofline(const std::vector<MapProfile>& profile,
+                                    int state_index) {
+  MetricOverlay overlay;
+  overlay.name = "roofline time [s]";
+  for (const MapProfile& map : profile) {
+    if (map.ref.state_index != state_index) continue;
+    overlay.node_values[map.ref.node] = map.seconds;
+  }
+  return overlay;
+}
+
+}  // namespace dmv::analysis

@@ -1,0 +1,48 @@
+#include "dmv/analysis/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dmv::analysis {
+
+std::vector<SymbolScaling> scaling_exponents(const Expr& metric,
+                                             const SymbolMap& base,
+                                             std::int64_t factor) {
+  if (factor <= 1) {
+    throw std::invalid_argument("scaling_exponents: factor must exceed 1");
+  }
+  // Check the binding covers the metric before any evaluation, so the
+  // caller gets one actionable error instead of an evaluation failure.
+  for (const std::string& symbol : metric.free_symbols()) {
+    if (!base.contains(symbol)) {
+      throw std::invalid_argument(
+          "scaling_exponents: base binding misses symbol '" + symbol + "'");
+    }
+  }
+  std::vector<SymbolScaling> result;
+  const double base_value =
+      static_cast<double>(metric.evaluate(base));
+  for (const std::string& symbol : metric.free_symbols()) {
+    SymbolMap scaled = base;
+    auto it = scaled.find(symbol);
+    it->second *= factor;
+    SymbolScaling entry;
+    entry.symbol = symbol;
+    entry.base_value = base_value;
+    entry.scaled_value = static_cast<double>(metric.evaluate(scaled));
+    if (base_value > 0 && entry.scaled_value > 0) {
+      entry.exponent = std::log(entry.scaled_value / base_value) /
+                       std::log(static_cast<double>(factor));
+    }
+    result.push_back(std::move(entry));
+  }
+  return result;
+}
+
+std::vector<SymbolScaling> movement_scaling(const Sdfg& sdfg,
+                                            const SymbolMap& base,
+                                            std::int64_t factor) {
+  return scaling_exponents(total_movement_bytes(sdfg), base, factor);
+}
+
+}  // namespace dmv::analysis

@@ -1,0 +1,63 @@
+#pragma once
+
+// Reference interpreter for parameterized SDFGs.
+//
+// Executes the dataflow graph directly (maps iterated sequentially,
+// tasklet ASTs evaluated on doubles) against buffers allocated per the
+// containers' concrete layouts — including stride padding, so a padded
+// and an unpadded program write the same logical values to different
+// physical offsets. Its role in the reproduction is semantic ground
+// truth: every transformation test checks that the optimized graph
+// computes bit-identical results to the original, which is the guarantee
+// the paper's workflow relies on when the engineer applies fusion or
+// layout changes suggested by the visualization.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dmv/ir/sdfg.hpp"
+#include "dmv/layout/layout.hpp"
+
+namespace dmv::exec {
+
+using ir::Sdfg;
+using layout::ConcreteLayout;
+using symbolic::SymbolMap;
+
+/// Named buffers, allocated to each container's concrete layout. Values
+/// are doubles regardless of the declared element size (the element size
+/// only matters to the cache analyses).
+class Buffers {
+ public:
+  /// Allocates zero-initialized storage for every container.
+  Buffers(const Sdfg& sdfg, const SymbolMap& symbols);
+
+  const ConcreteLayout& layout(const std::string& name) const;
+  /// Element access by logical indices (applies strides).
+  double& at(const std::string& name, std::span<const std::int64_t> indices);
+  double at(const std::string& name,
+            std::span<const std::int64_t> indices) const;
+
+  /// Raw buffer (allocated length, including padding holes).
+  std::vector<double>& raw(const std::string& name);
+  const std::vector<double>& raw(const std::string& name) const;
+
+  /// Logical contents in row-major order (reads through strides) — the
+  /// layout-independent value vector used to compare program variants.
+  std::vector<double> logical(const std::string& name) const;
+  /// Fills a container from row-major logical values.
+  void set_logical(const std::string& name,
+                   const std::vector<double>& values);
+
+ private:
+  std::map<std::string, ConcreteLayout> layouts_;
+  std::map<std::string, std::vector<double>> storage_;
+};
+
+/// Executes all states of the SDFG in order under the given binding.
+/// Throws on out-of-bounds accesses, unbound connectors, or unsupported
+/// constructs (non-single-element tasklet memlets).
+void run(const Sdfg& sdfg, const SymbolMap& symbols, Buffers& buffers);
+
+}  // namespace dmv::exec

@@ -1,0 +1,57 @@
+#pragma once
+
+// Data descriptors: the IR-level model of arrays and scalars.
+//
+// Shapes, strides, and offsets are symbolic expressions, which is what
+// makes the whole-program view parametric (paper §IV-D): the same
+// descriptor describes in_field[I+4, J+4, K] for every binding of I, J, K.
+// Strides are expressed in elements and default to row-major; the hdiff
+// case study's layout optimizations (dimension permutation, §VI-B, and
+// stride padding, Fig 8c) are pure stride rewrites on these descriptors.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dmv/symbolic/expr.hpp"
+
+namespace dmv::ir {
+
+using symbolic::Expr;
+using symbolic::SymbolMap;
+
+/// Describes one named data container (array or scalar).
+struct DataDescriptor {
+  std::string name;
+  std::vector<Expr> shape;    ///< Extent per dimension; empty = scalar.
+  std::vector<Expr> strides;  ///< Element stride per dimension.
+  int element_size = 8;       ///< Bytes per element.
+  Expr start_offset = 0;      ///< Element offset of [0,...,0] in the buffer.
+  bool transient = false;     ///< True for program-internal temporaries.
+
+  int rank() const { return static_cast<int>(shape.size()); }
+
+  /// Number of addressable elements (product of the shape).
+  Expr total_elements() const;
+  /// Logical size in bytes: total_elements * element_size.
+  Expr logical_bytes() const;
+  /// Allocated buffer length in elements, honoring strides and padding:
+  /// start_offset + 1 + sum((shape[d]-1) * strides[d]).
+  Expr allocated_elements() const;
+  Expr allocated_bytes() const;
+
+  /// Element offset (in elements, relative to buffer start) of `indices`.
+  Expr element_offset(const std::vector<Expr>& indices) const;
+
+  static std::vector<Expr> row_major_strides(const std::vector<Expr>& shape);
+  static std::vector<Expr> column_major_strides(
+      const std::vector<Expr>& shape);
+
+  /// Row-major array descriptor (the common case).
+  static DataDescriptor array(std::string name, std::vector<Expr> shape,
+                              int element_size = 8, bool transient = false);
+  static DataDescriptor scalar(std::string name, int element_size = 8,
+                               bool transient = true);
+};
+
+}  // namespace dmv::ir

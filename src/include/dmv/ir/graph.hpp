@@ -1,0 +1,118 @@
+#pragma once
+
+// Dataflow state graphs: nodes, edges, and scopes.
+//
+// A `State` is a directed multigraph following the SDFG structure the
+// paper visualizes: access nodes (ovals) reference data containers,
+// tasklets (rectangles) compute, and map entry/exit pairs (the trapezoid
+// header bars of Fig 3) delimit parallel regions with symbolic bounds.
+// Every edge carries a Memlet. Scope membership is explicit — each node
+// records the map entry that encloses it — which gives the renderer its
+// collapse/expand units (§IV-A) and the simulator its iteration bodies.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dmv/ir/memlet.hpp"
+#include "dmv/ir/tasklet_ast.hpp"
+
+namespace dmv::ir {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeKind { Access, Tasklet, MapEntry, MapExit };
+
+/// Parallel-region description shared by a MapEntry/MapExit pair.
+struct MapInfo {
+  std::string label;
+  std::vector<std::string> params;  ///< Iteration variables, outer first.
+  std::vector<Range> ranges;        ///< Inclusive bounds per parameter.
+  bool collapsed = false;           ///< Rendering hint (§IV-A folding).
+};
+
+struct Node {
+  NodeId id = kNoNode;
+  NodeKind kind = NodeKind::Access;
+  std::string label;
+
+  // Access payload.
+  std::string data;
+
+  // Tasklet payload.
+  TaskletAst code;
+
+  // Map payload (entry carries MapInfo; exit mirrors via `paired`).
+  MapInfo map;
+  NodeId paired = kNoNode;  ///< Entry <-> exit partner.
+
+  /// Enclosing MapEntry node, or kNoNode at state top level.
+  NodeId scope_parent = kNoNode;
+};
+
+struct Edge {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::string src_conn;  ///< Source connector name ("" if unnamed).
+  std::string dst_conn;
+  Memlet memlet;
+};
+
+/// One dataflow state: a scoped multigraph of nodes and memlet edges.
+class State {
+ public:
+  explicit State(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  NodeId add_access(std::string data, NodeId scope = kNoNode);
+  NodeId add_tasklet(std::string label, TaskletAst code,
+                     NodeId scope = kNoNode);
+  NodeId add_tasklet(std::string label, std::string_view code,
+                     NodeId scope = kNoNode);
+  /// Adds a map entry/exit pair; returns {entry, exit}.
+  std::pair<NodeId, NodeId> add_map(MapInfo info, NodeId scope = kNoNode);
+
+  /// Appends a fully-formed node (deserialization path). `node.id` must
+  /// equal the next id; cross-references (paired, scope_parent) may point
+  /// at nodes added later.
+  NodeId add_raw(Node node);
+
+  void add_edge(NodeId src, NodeId dst, Memlet memlet,
+                std::string src_conn = "", std::string dst_conn = "");
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  std::vector<const Edge*> in_edges(NodeId id) const;
+  std::vector<const Edge*> out_edges(NodeId id) const;
+  std::vector<Edge>& mutable_edges() { return edges_; }
+  std::vector<Node>& mutable_nodes() { return nodes_; }
+
+  /// Direct children of a scope (kNoNode = top level).
+  std::vector<NodeId> scope_children(NodeId scope) const;
+  /// Chain of enclosing map entries, innermost first.
+  std::vector<NodeId> scope_chain(NodeId id) const;
+  /// All map entries whose scope (transitively) contains `id`.
+  int scope_depth(NodeId id) const;
+
+  /// Topological order over all nodes (Kahn). Throws std::logic_error on
+  /// a cycle, which validation treats as a structural error.
+  std::vector<NodeId> topological_order() const;
+
+  /// Removes the given nodes and their edges, compacting ids. Returns the
+  /// old-id -> new-id mapping (removed nodes map to kNoNode).
+  std::vector<NodeId> erase_nodes(const std::vector<NodeId>& ids);
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dmv::ir

@@ -1,0 +1,27 @@
+#pragma once
+
+// SDFG deserialization from the JSON produced by dmv::ir::to_json.
+//
+// Together with the writer this gives programs a durable on-disk form:
+// analysis sessions can be archived, diffed across optimization steps,
+// and fed to the command-line tools (see examples/analyze_cli.cpp)
+// without rebuilding the graph from C++.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dmv/ir/sdfg.hpp"
+
+namespace dmv::ir {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a JSON document into an SDFG. Throws JsonError on malformed
+/// JSON or a document that does not describe a valid SDFG.
+Sdfg from_json(std::string_view text);
+
+}  // namespace dmv::ir

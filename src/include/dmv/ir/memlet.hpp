@@ -1,0 +1,84 @@
+#pragma once
+
+// Memlets: annotated data-movement edges.
+//
+// A memlet records *what* subset of a container moves along an edge and
+// *how much*. Subsets use DaCe's inclusive-range convention
+// (begin:end:step, end inclusive), and entries may be symbolic in both
+// program symbols and enclosing map parameters — "i, j+1, 0:K" is a valid
+// subset inside a map over (i, j). The static volume analysis (§IV-B) and
+// the access-pattern simulation (§V-C) both read these annotations; the
+// simulation evaluates them exactly once map parameters are bound.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dmv/symbolic/expr.hpp"
+
+namespace dmv::ir {
+
+using symbolic::Expr;
+using symbolic::SymbolMap;
+
+/// Inclusive symbolic range begin:end:step along one dimension.
+/// A single index i is represented as i:i:1.
+struct Range {
+  Expr begin = 0;
+  Expr end = 0;
+  Expr step = 1;
+
+  /// Number of iterates: (end - begin + step) / step for positive steps.
+  Expr size() const;
+  bool is_single_element() const;
+  std::string to_string() const;
+
+  static Range index(Expr at) { return Range{at, at, 1}; }
+  /// Half-open convenience: covers [0, extent).
+  static Range span(Expr extent) { return Range{0, extent - 1, 1}; }
+};
+
+/// N-dimensional subset: one Range per dimension.
+struct Subset {
+  std::vector<Range> ranges;
+
+  int rank() const { return static_cast<int>(ranges.size()); }
+  /// Product of per-dimension sizes.
+  Expr num_elements() const;
+  bool is_single_element() const;
+  Subset substitute(const SymbolMap& symbols) const;
+  std::string to_string() const;
+
+  /// Parses "i, 0:N, 2*j+1, 0:K:2". Bare expressions become single
+  /// indices; `a:b` is inclusive of b; an optional `:s` sets the step.
+  static Subset parse(std::string_view text);
+};
+
+/// Write-conflict resolution for parallel accumulation (DaCe `wcr`).
+enum class Wcr { None, Sum, Min, Max };
+
+std::string to_string(Wcr wcr);
+
+/// Data movement annotation attached to every dataflow edge.
+struct Memlet {
+  std::string data;  ///< Container name; empty = pure dependency edge.
+  Subset subset;
+  /// For access->access copy edges: the subset written on the destination
+  /// container (empty = mirrors `subset`).
+  Subset other_subset;
+  /// Elements moved per single traversal of the edge. Defaults to the
+  /// subset's element count; can be overridden for dynamic memlets.
+  Expr volume = 0;
+  Wcr wcr = Wcr::None;
+
+  bool is_empty() const { return data.empty(); }
+  /// Effective per-traversal volume (explicit override or subset count).
+  Expr effective_volume() const;
+  std::string to_string() const;
+
+  static Memlet simple(std::string data, std::string_view subset_text,
+                       Wcr wcr = Wcr::None);
+  static Memlet none() { return Memlet{}; }
+};
+
+}  // namespace dmv::ir

@@ -1,0 +1,52 @@
+#pragma once
+
+// The top-level program container.
+//
+// An `Sdfg` owns the data descriptors, the set of free program symbols
+// (the paper's tunable input parameters: B, H, SM, I, J, K, ...), and a
+// sequence of states executed in order. The full SDFG model allows an
+// arbitrary state machine; every program in the paper's evaluation is a
+// linear sequence of dataflow states, so this reproduction models exactly
+// that and validates it explicitly.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dmv/ir/data.hpp"
+#include "dmv/ir/graph.hpp"
+
+namespace dmv::ir {
+
+class Sdfg {
+ public:
+  explicit Sdfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares a free program symbol (input parameter).
+  void add_symbol(const std::string& symbol) { symbols_.insert(symbol); }
+  const std::set<std::string>& symbols() const { return symbols_; }
+
+  DataDescriptor& add_array(DataDescriptor descriptor);
+  bool has_array(const std::string& name) const;
+  const DataDescriptor& array(const std::string& name) const;
+  DataDescriptor& array(const std::string& name);
+  const std::map<std::string, DataDescriptor>& arrays() const {
+    return arrays_;
+  }
+  void remove_array(const std::string& name);
+
+  State& add_state(std::string name);
+  const std::vector<State>& states() const { return states_; }
+  std::vector<State>& states() { return states_; }
+
+ private:
+  std::string name_;
+  std::set<std::string> symbols_;
+  std::map<std::string, DataDescriptor> arrays_;
+  std::vector<State> states_;
+};
+
+}  // namespace dmv::ir

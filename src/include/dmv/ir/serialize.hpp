@@ -1,0 +1,20 @@
+#pragma once
+
+// JSON serialization of SDFGs, for dumping analysis sessions to disk and
+// for interoperability with external viewers. The writer emits a stable,
+// human-diffable layout; symbolic expressions serialize to their string
+// form and parse back through dmv::symbolic::parse.
+
+#include <string>
+
+#include "dmv/ir/sdfg.hpp"
+
+namespace dmv::ir {
+
+/// Serializes the whole SDFG to a JSON document.
+std::string to_json(const Sdfg& sdfg);
+
+/// Graphviz dot export of one state, mainly for debugging graph shapes.
+std::string to_dot(const State& state);
+
+}  // namespace dmv::ir

@@ -1,0 +1,105 @@
+#pragma once
+
+// Micro-AST for tasklet code.
+//
+// Tasklets are the pure-compute leaves of the dataflow graph. Their code
+// is a short sequence of scalar assignments over input/output connectors,
+// e.g. "out = a * b + c". The paper's arithmetic-intensity overlay
+// (§IV-B) is driven by *counting operations in exactly this AST*, and the
+// IR interpreter executes it to validate that graph transformations
+// preserve program semantics.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmv::ir {
+
+enum class TaskletOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  // Comparisons yield 0.0 / 1.0 so selection idioms stay expressible.
+  Less,
+  Greater,
+  // Intrinsics.
+  Exp,
+  Log,
+  Sqrt,
+  Tanh,
+  Erf,
+  Abs,
+  Min,
+  Max,
+  Select,  ///< select(c, a, b) = c != 0 ? a : b
+};
+
+/// One node of a tasklet expression tree.
+struct TaskletExpr {
+  enum class Kind { Literal, Connector, Operation };
+  Kind kind = Kind::Literal;
+  double literal = 0.0;
+  std::string connector;
+  TaskletOp op = TaskletOp::Add;
+  std::vector<TaskletExpr> operands;
+
+  static TaskletExpr literal_value(double v);
+  static TaskletExpr conn(std::string name);
+  static TaskletExpr operation(TaskletOp op, std::vector<TaskletExpr> args);
+};
+
+/// One `target = expression` statement.
+struct TaskletStatement {
+  std::string target;
+  TaskletExpr value;
+};
+
+/// Operation counts extracted from a tasklet body (paper §IV-B: "parsing
+/// the abstract syntax tree of individual computations, counting the
+/// number of arithmetic operations").
+struct OpCount {
+  std::int64_t adds = 0;  ///< Add + Sub + Neg
+  std::int64_t muls = 0;
+  std::int64_t divs = 0;
+  std::int64_t comparisons = 0;
+  std::int64_t special = 0;  ///< transcendental / intrinsic calls
+
+  std::int64_t total() const {
+    return adds + muls + divs + comparisons + special;
+  }
+  OpCount& operator+=(const OpCount& other);
+};
+
+/// Parsed tasklet body: an ordered list of assignments. A connector that
+/// is assigned before being read acts as a local temporary.
+struct TaskletAst {
+  std::vector<TaskletStatement> statements;
+  std::string source;  ///< Original text, kept for display.
+
+  OpCount count_operations() const;
+  /// Connector names read before any assignment (the data inputs).
+  std::vector<std::string> read_connectors() const;
+  /// Connector names assigned (outputs and locals).
+  std::vector<std::string> written_connectors() const;
+
+  /// Evaluates the statements over `values` (inputs pre-populated;
+  /// outputs and locals written into the same map).
+  void execute(std::map<std::string, double>& values) const;
+};
+
+class TaskletParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses code like "tmp = a * b; out = tmp + c" (';' or newline
+/// separated). Functions: exp, log, sqrt, tanh, erf, abs, min, max,
+/// select. Operators: + - * / unary- and comparisons < >.
+TaskletAst parse_tasklet(std::string_view code);
+
+}  // namespace dmv::ir

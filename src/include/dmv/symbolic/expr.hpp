@@ -1,0 +1,168 @@
+#pragma once
+
+// Symbolic integer expression engine.
+//
+// Every quantity the analyses reason about (array extents, strides, memlet
+// volumes, map bounds, FLOP counts) is an `Expr`: an immutable tree over
+// 64-bit integer constants and named program symbols. Expressions are
+// value types backed by shared immutable nodes, so copying is cheap and
+// subtrees are freely shared between the IR and analysis results.
+//
+// Expressions support partial substitution (bind some symbols, keep the
+// rest symbolic) and full evaluation under a `SymbolMap`, which is what
+// powers the paper's parametric scaling analysis (SC22 paper, section
+// IV-D): the same symbolic volume is re-evaluated as the user moves an
+// input-parameter slider.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmv::symbolic {
+
+/// Binding of symbol names to concrete integer values.
+using SymbolMap = std::map<std::string, std::int64_t>;
+
+/// Node discriminator. Add and Mul are n-ary (operands flattened and
+/// canonically sorted by the simplifier); the rest are binary.
+enum class ExprKind {
+  Constant,
+  Symbol,
+  Add,
+  Mul,
+  FloorDiv,  ///< floor(a / b); matches integer index arithmetic
+  CeilDiv,   ///< ceil(a / b); used for tile/cache-line counts
+  Mod,
+  Min,
+  Max,
+  Pow,
+};
+
+class Expr;
+struct ExprNode;
+
+/// Thrown when `Expr::evaluate` meets a symbol absent from the map.
+class UnboundSymbolError : public std::runtime_error {
+ public:
+  explicit UnboundSymbolError(const std::string& symbol)
+      : std::runtime_error("unbound symbol in evaluation: " + symbol),
+        symbol_(symbol) {}
+  const std::string& symbol() const { return symbol_; }
+
+ private:
+  std::string symbol_;
+};
+
+/// Immutable symbolic integer expression (value type, cheap to copy).
+class Expr {
+ public:
+  /// Default-constructs the constant 0.
+  Expr();
+  /// Implicit from integers so `shape = {Expr::symbol("N"), 4}` reads well.
+  Expr(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  Expr(int value) : Expr(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  static Expr constant(std::int64_t value);
+  static Expr symbol(std::string name);
+  /// Builds an n-ary/binary node of `kind` over `operands` and simplifies.
+  static Expr make(ExprKind kind, std::vector<Expr> operands);
+
+  ExprKind kind() const;
+  bool is_constant() const { return kind() == ExprKind::Constant; }
+  bool is_symbol() const { return kind() == ExprKind::Symbol; }
+  /// True iff this is the literal constant `value`.
+  bool is_constant(std::int64_t value) const;
+
+  /// Precondition: is_constant().
+  std::int64_t constant_value() const;
+  /// Precondition: is_symbol().
+  const std::string& symbol_name() const;
+  /// Child expressions (empty for leaves).
+  std::span<const Expr> operands() const;
+
+  /// Fully evaluates; throws UnboundSymbolError on a missing symbol and
+  /// std::domain_error on division/modulo by zero.
+  std::int64_t evaluate(const SymbolMap& symbols) const;
+  /// Like evaluate but returns nullopt instead of throwing.
+  std::optional<std::int64_t> try_evaluate(const SymbolMap& symbols) const;
+
+  /// Replaces bound symbols with constants and re-simplifies. Symbols not
+  /// present in the map stay symbolic (partial binding).
+  Expr substitute(const SymbolMap& symbols) const;
+  /// General substitution of symbols by arbitrary expressions.
+  Expr substitute(const std::map<std::string, Expr>& replacements) const;
+
+  void collect_free_symbols(std::set<std::string>& out) const;
+  std::set<std::string> free_symbols() const;
+
+  /// Structural equality after canonical simplification. Not a full
+  /// symbolic equivalence decision procedure, but canonicalization makes
+  /// it reliable for the polynomial expressions the IR produces.
+  bool equals(const Expr& other) const;
+
+  /// Human-readable form with minimal parenthesization.
+  std::string to_string() const;
+
+  /// Total order used for canonical operand sorting (constants first,
+  /// then symbols by name, then composites by kind/operands).
+  static int compare(const Expr& a, const Expr& b);
+
+  const ExprNode& node() const { return *node_; }
+
+ private:
+  explicit Expr(std::shared_ptr<const ExprNode> node);
+  std::shared_ptr<const ExprNode> node_;
+  friend Expr simplified(const Expr&);
+  friend Expr detail_make_raw(ExprKind, std::vector<Expr>);
+};
+
+/// Builds a composite node WITHOUT simplification. Internal: used by the
+/// simplifier to rebuild nodes whose operands are already canonical,
+/// which is what guarantees the simplifier terminates.
+Expr detail_make_raw(ExprKind kind, std::vector<Expr> operands);
+
+struct ExprNode {
+  ExprKind kind = ExprKind::Constant;
+  std::int64_t value = 0;      ///< Constant payload.
+  std::string name;            ///< Symbol payload.
+  std::vector<Expr> operands;  ///< Composite payload.
+};
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a);
+Expr operator*(const Expr& a, const Expr& b);
+/// Floor division, matching C++ `/` only for non-negative operands.
+Expr operator/(const Expr& a, const Expr& b);
+Expr operator%(const Expr& a, const Expr& b);
+
+Expr min(const Expr& a, const Expr& b);
+Expr max(const Expr& a, const Expr& b);
+Expr ceil_div(const Expr& a, const Expr& b);
+Expr pow(const Expr& base, const Expr& exponent);
+
+/// Canonical simplification: constant folding, identity elimination,
+/// flattening of nested Add/Mul, like-term collection, operand sorting.
+/// All operators already simplify locally; this is the deep pass.
+Expr simplified(const Expr& e);
+
+/// Distributes products over sums and expands small constant powers,
+/// yielding a canonical polynomial normal form. `Expr::equals` compares
+/// expanded forms, so it decides equality for polynomial expressions;
+/// display keeps the compact factored form.
+Expr expanded(const Expr& e);
+
+/// Integer helpers shared by the simplifier and the evaluator so that
+/// symbolic and concrete arithmetic can never disagree.
+std::int64_t floor_div_i64(std::int64_t a, std::int64_t b);
+std::int64_t ceil_div_i64(std::int64_t a, std::int64_t b);
+std::int64_t mod_i64(std::int64_t a, std::int64_t b);
+std::int64_t pow_i64(std::int64_t base, std::int64_t exponent);
+
+}  // namespace dmv::symbolic

@@ -1,0 +1,42 @@
+#pragma once
+
+// Recursive-descent parser for symbolic integer expressions.
+//
+// Grammar (whitespace-insensitive):
+//   expr    := term (('+' | '-') term)*
+//   term    := unary (('*' | '/' | '%') unary)*
+//   unary   := '-' unary | power
+//   power   := primary ('**' unary)?
+//   primary := integer | identifier | identifier '(' expr (',' expr)* ')'
+//            | '(' expr ')'
+// Recognized functions: min, max, ceil_div (alias: ceiling), pow.
+//
+// This is the syntax used throughout the library whenever a shape, stride,
+// map bound, or memlet subset is given as a string, e.g. "B*H*SM*P" or
+// "(I + 4)*(J + 4)*K".
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dmv/symbolic/expr.hpp"
+
+namespace dmv::symbolic {
+
+/// Thrown on malformed input; message carries the offending position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses `text` into a simplified expression. Throws ParseError.
+Expr parse(std::string_view text);
+
+}  // namespace dmv::symbolic

@@ -1,0 +1,83 @@
+#pragma once
+
+// Graph transformations: the optimizations the paper's case studies apply.
+//
+// The tool's workflow is analyze -> transform -> re-analyze: the global
+// heatmap points at high-volume edges, the engineer fuses the maps around
+// them (BERT, §VI-A); the local view exposes bad layouts and loop orders,
+// the engineer permutes dimensions, reorders loops, and pads strides
+// (hdiff, §VI-B). Each transformation here mutates the IR in place and is
+// validated semantics-preserving by the interpreter tests.
+
+#include <string>
+#include <vector>
+
+#include "dmv/ir/sdfg.hpp"
+
+namespace dmv::transforms {
+
+using ir::NodeId;
+using ir::Sdfg;
+using ir::State;
+
+/// A fusible producer/consumer pair: `first` map writes a transient that
+/// `second` map reads element-wise with identical iteration domains.
+struct FusionCandidate {
+  int state_index = 0;
+  NodeId first_entry = ir::kNoNode;
+  NodeId second_entry = ir::kNoNode;
+  std::string transient;  ///< The intermediate array fusion eliminates.
+};
+
+/// Finds all candidate pairs in the SDFG. A pair qualifies when:
+///  * both maps have identical parameter ranges,
+///  * the intermediate container is a transient written only by `first`
+///    and read only by `second`,
+///  * both sides access it with the same per-iteration subset (after
+///    renaming the second map's parameters onto the first's), and
+///  * neither access uses write-conflict resolution.
+std::vector<FusionCandidate> find_fusion_candidates(const Sdfg& sdfg);
+
+/// Fuses one candidate: moves the consumer's tasklets into the producer's
+/// map, replaces the transient round-trip with a direct tasklet-to-
+/// tasklet scalar edge, deletes the dead access nodes and (if now unused)
+/// the transient container. Throws std::invalid_argument if the
+/// candidate no longer applies.
+void apply_map_fusion(Sdfg& sdfg, const FusionCandidate& candidate);
+
+/// Applies fusion until fixpoint; returns the number of maps fused.
+int fuse_all(Sdfg& sdfg);
+
+/// Reorders the parameters of a map (the hdiff "make k outermost" step,
+/// Fig 8b). `order[i]` is the old position of the new i-th parameter.
+void loop_interchange(State& state, NodeId map_entry,
+                      const std::vector<int>& order);
+
+/// Permutes the dimensions of a data container (the hdiff reshape
+/// [I+4,J+4,K] -> [K,I+4,J+4], Fig 8a): shape, strides, and every memlet
+/// subset over the container are rewritten; strides are reset to
+/// row-major of the permuted shape. `permutation[i]` is the old dimension
+/// that becomes new dimension i.
+void permute_dimensions(Sdfg& sdfg, const std::string& data,
+                        const std::vector<int>& permutation);
+
+/// Pads the stride of dimension `dim-1`... more precisely: rounds the
+/// stride of every dimension OUTSIDE `dim` up so that rows along `dim`
+/// start at multiples of `multiple_elements` (the Fig 8c post-padding:
+/// align each row to the cache line). Only valid when `dim` is the
+/// contiguous (stride-1) dimension.
+void pad_innermost_stride(Sdfg& sdfg, const std::string& data,
+                          std::int64_t multiple_elements);
+
+/// Loop tiling (the optimization §V-C says the related-access view
+/// informs): splits map parameter `param` (range [b, e], step 1, with
+/// e - b + 1 divisible by `tile_size`) into an OUTERMOST tile counter
+/// `<param>_tile` over [0, (e-b+1)/tile_size - 1] and rewrites `param`'s
+/// range to the tile window [b + <param>_tile*T, b + <param>_tile*T +
+/// T-1]. Memlets stay untouched: they still reference `param`, whose
+/// iteration order is what changed. Divisibility is checked when the
+/// extent is a constant; for symbolic extents the caller guarantees it.
+void tile_map(State& state, NodeId map_entry, const std::string& param,
+              std::int64_t tile_size);
+
+}  // namespace dmv::transforms

@@ -1,0 +1,52 @@
+#pragma once
+
+// Hierarchical graph layout for dataflow states.
+//
+// A compact Sugiyama-style pipeline: longest-path layering over the
+// (scope-collapse-aware) visible graph, barycenter ordering sweeps to
+// reduce crossings, and coordinate assignment with neighbor-average
+// relaxation. Output is resolution-independent geometry consumed by the
+// SVG renderer; the same geometry scaled down produces the minimap
+// (paper §IV-A).
+
+#include <cstddef>
+#include <vector>
+
+#include "dmv/ir/graph.hpp"
+
+namespace dmv::viz {
+
+struct NodeBox {
+  ir::NodeId id = ir::kNoNode;
+  double x = 0;  ///< Center x.
+  double y = 0;  ///< Center y.
+  double width = 0;
+  double height = 0;
+  bool collapsed = false;  ///< Rendered as a folded-scope summary box.
+};
+
+struct EdgePath {
+  std::size_t edge_index = 0;  ///< Index into State::edges().
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+};
+
+struct StateLayout {
+  std::vector<NodeBox> nodes;   ///< Visible nodes only.
+  std::vector<EdgePath> edges;  ///< Visible edges only.
+  double width = 0;
+  double height = 0;
+
+  const NodeBox* find(ir::NodeId id) const;
+};
+
+struct LayoutOptions {
+  double horizontal_gap = 30;
+  double vertical_gap = 50;
+  /// Honor MapInfo::collapsed: fold map bodies into a summary box.
+  bool respect_collapsed = true;
+};
+
+StateLayout layout_state(const ir::State& state,
+                         const LayoutOptions& options = {});
+
+}  // namespace dmv::viz

@@ -1,0 +1,76 @@
+#pragma once
+
+// Heatmap scaling policies and color maps (paper §IV-C).
+//
+// Real programs produce metric distributions spanning many orders of
+// magnitude, so a fixed color scale is useless. The paper contributes
+// three adaptive policies beyond Cube's linear/exponential interpolation:
+//
+//   MeanCentered   — scale [0, 2*mean]; outliers saturate, which makes
+//                    bottlenecks pop (Fig 2 left).
+//   Histogram      — every distinct observation gets its own bucket and
+//                    thus its own color; shows the full distribution
+//                    regardless of value spacing (Fig 2 middle).
+//   MedianCentered — scale [0, 2*median]; outlier-resistant grouping of
+//                    similar magnitudes (Fig 2 right).
+//
+// Colors follow the paper's green-yellow-red ramp (intuitive fast/slow
+// ordering with a yellow midpoint for separation); a colorblind-safe
+// Viridis alternative is provided, as the paper stipulates the scale be
+// swappable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmv::viz {
+
+enum class ScalingPolicy {
+  Linear,          ///< min..max linear interpolation (Cube baseline).
+  Exponential,     ///< log-scale min..max (Cube baseline).
+  MeanCentered,    ///< [0, 2*mean], clamped.
+  MedianCentered,  ///< [0, 2*median], clamped.
+  Histogram,       ///< bucket index / bucket count.
+};
+
+std::string to_string(ScalingPolicy policy);
+
+/// A fitted scale: maps metric values to normalized heat t in [0, 1].
+class HeatmapScale {
+ public:
+  /// Fits the chosen policy to the observed values. Empty input yields a
+  /// degenerate scale mapping everything to 0.
+  static HeatmapScale fit(const std::vector<double>& values,
+                          ScalingPolicy policy);
+
+  double normalize(double value) const;
+  ScalingPolicy policy() const { return policy_; }
+  /// The center value c for the centered policies (0 otherwise).
+  double center() const { return center_; }
+  /// Number of distinct buckets (Histogram policy; 0 otherwise).
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  ScalingPolicy policy_ = ScalingPolicy::Linear;
+  double min_ = 0;
+  double max_ = 0;  ///< max == min marks a degenerate scale (all -> 0).
+  double center_ = 0;
+  std::vector<double> buckets_;  ///< Sorted distinct values (Histogram).
+};
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  std::string hex() const;
+};
+
+enum class ColorScheme {
+  GreenYellowRed,  ///< The paper's default ramp.
+  Viridis,         ///< Colorblind-safe alternative.
+};
+
+/// Samples the scheme at t in [0, 1] (clamped).
+Rgb sample_color(double t, ColorScheme scheme);
+
+}  // namespace dmv::viz

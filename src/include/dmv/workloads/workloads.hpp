@@ -1,0 +1,167 @@
+#pragma once
+
+// The paper's workloads, as IR builders (for the analyses/visualization)
+// and as native benchmark kernels (for the Table I runtime reproduction).
+//
+//  * outer product  — Fig 3 (parameterized view, sliders) and Fig 4c
+//                     (related accesses).
+//  * matmul         — Fig 5a (cache-line layout overlay: A and C
+//                     row-major, B column-major) and Fig 5b (reuse
+//                     distance heatmap + histogram).
+//  * conv2d (the paper's "3D convolution": multi-channel 2-D conv with a
+//    4-D weight tensor) — Fig 4a/4b and Fig 5c.
+//  * horizontal diffusion (hdiff) — §VI-B local-view case study, Figs 7/8
+//    and Table I rows 4-6. Variants correspond to the tuning steps:
+//    baseline, reshaped in_field, reordered loops, padded strides. The IR
+//    variants are produced by APPLYING THE TRANSFORMS to the baseline
+//    graph, exactly like the tool's workflow.
+//  * BERT encoder layer — §VI-A global-view case study, Fig 6 and Table I
+//    rows 1-3, at three fusion stages.
+
+#include "dmv/ir/sdfg.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmv::workloads {
+
+using ir::Sdfg;
+using symbolic::SymbolMap;
+
+// ---------------------------------------------------------------------
+// Outer product C[i,j] = A[i] * B[j].
+
+Sdfg outer_product();
+/// Fig 3 parameters: A in R^3, B in R^4.
+SymbolMap outer_product_fig3();
+
+// ---------------------------------------------------------------------
+// Matrix multiplication C[M,N] = A[M,K] x B[K,N], WCR-accumulated over a
+// 3-D map. B optionally column-major (the Fig 5a layout reveal).
+
+Sdfg matmul(bool b_column_major = true);
+/// Fig 5 parameters: A 9x10, B 10x15, 4-byte elements.
+SymbolMap matmul_fig5();
+
+// ---------------------------------------------------------------------
+// Multi-channel 2-D convolution ("3D convolution" in the paper):
+// out[co, y, x] += in[ci, y+ky, x+kx] * w[co, ci, ky, kx], no padding.
+
+Sdfg conv2d();
+/// Fig 4b parameters: 3-channel 9x9 inputs -> 2-channel 6x6 outputs
+/// (kernel 4x4).
+SymbolMap conv2d_fig4();
+
+// ---------------------------------------------------------------------
+// Horizontal diffusion. Free parameters I, J, K; inputs
+// in_field[I+4, J+4, K] and coeff[I, J, K]; output out_field[I, J, K].
+// One 3-D map with the fully fused 13-point stencil tasklet (the shape
+// shown in Fig 7 left).
+
+enum class HdiffVariant {
+  Baseline,   ///< in_field[I+4, J+4, K], loop order (i, j, k).
+  Reshaped,   ///< in_field permuted to [K, I+4, J+4] (Fig 8a fix).
+  Reordered,  ///< + loop order (k, i, j) (Fig 8b fix).
+  Padded,     ///< + in_field rows padded to the cache line (Fig 8c fix).
+};
+
+Sdfg hdiff(HdiffVariant variant,
+           std::int64_t pad_multiple_elements = 8);
+/// Local-view parameters I=J=8, K=5 (the paper's 1/32-scaled setting).
+SymbolMap hdiff_local();
+/// Full NPBench parameters I=J=256, K=160.
+SymbolMap hdiff_full();
+
+// ---------------------------------------------------------------------
+// BERT encoder layer (BERT-LARGE shapes via bert_large()).
+
+enum class BertStage {
+  Baseline,  ///< Every operator its own map; all intermediates in memory.
+  Fused1,    ///< First set of loop fusions (attention + FFN chains).
+  Fused2,    ///< All remaining fusable chains fused (fixpoint).
+};
+
+Sdfg bert_encoder(BertStage stage);
+/// B=8, H=16, I=1024, SM=512, emb=4096, P=I/H=64.
+SymbolMap bert_large();
+/// Proportionally scaled configuration for simulation-friendly sizes.
+SymbolMap bert_small();
+
+// ---------------------------------------------------------------------
+// Native kernels (benchmark substrate for Table I). The kernels
+// implement the same three program versions the SDFGs model.
+
+namespace kernels {
+
+struct HdiffData {
+  std::int64_t I = 0, J = 0, K = 0;
+  std::vector<double> in_field;   ///< Layout depends on the kernel.
+  std::vector<double> coeff;      ///< [I, J, K] row-major.
+  std::vector<double> out_field;  ///< [I, J, K] row-major.
+};
+
+/// Allocates and fills inputs deterministically; in_field stored
+/// [I+4, J+4, K] row-major (the baseline layout).
+HdiffData make_hdiff_data(std::int64_t I, std::int64_t J, std::int64_t K);
+
+/// NumPy-style baseline: materializes lap, flx, fly as full arrays in
+/// separate passes over [I+4, J+4, K]-layout data.
+void hdiff_baseline(HdiffData& data);
+/// Single-pass fused stencil on the original layout (stands in for the
+/// best compiled NPBench CPU version).
+void hdiff_fused(HdiffData& data);
+/// Buffers in the hand-tuned layout: everything [K, ...] with in_field
+/// rows padded to `Jp` elements. The layout change is a program-wide
+/// decision in the paper's workflow, so benchmarks convert once up front
+/// and time only the stencil.
+struct HdiffTunedData {
+  std::int64_t I = 0, J = 0, K = 0, Jp = 0;
+  std::vector<double> in_field;   ///< [K, I+4, Jp]
+  std::vector<double> coeff;      ///< [K, I, J]
+  std::vector<double> out_field;  ///< [K, I, J]
+};
+
+/// Converts canonical-layout inputs into the tuned layout.
+HdiffTunedData make_hdiff_tuned_data(const HdiffData& data,
+                                     std::int64_t pad_elements = 8);
+
+/// The hand-tuned stencil: fused + [K, I+4, Jp] layout + k-outermost
+/// loops + cache-line-padded rows (the paper's final version).
+void hdiff_tuned_kernel(HdiffTunedData& data);
+
+/// Convenience wrapper for correctness tests: converts, runs the tuned
+/// kernel, and converts the result back to the canonical [I, J, K]
+/// layout of `data.out_field`.
+void hdiff_tuned(HdiffData& data, std::int64_t pad_elements = 8);
+
+struct BertConfig {
+  std::int64_t B = 1, H = 4, SM = 64, I = 128, emb = 512;
+  std::int64_t P() const { return I / H; }
+};
+
+struct BertData {
+  BertConfig config;
+  std::vector<float> x;    ///< [B, SM, I]
+  std::vector<float> wq, wk, wv;  ///< [H, I, P]
+  std::vector<float> wo;   ///< [H, P, I]
+  std::vector<float> w1;   ///< [I, emb]
+  std::vector<float> b1;   ///< [emb]
+  std::vector<float> w2;   ///< [emb, I]
+  std::vector<float> b2;   ///< [I]
+  std::vector<float> out;  ///< [B, SM, I]
+};
+
+BertData make_bert_data(const BertConfig& config);
+
+/// Baseline: every operator materializes its result (NumPy style).
+void bert_baseline(BertData& data);
+/// First fusion set: elementwise chains (softmax pipeline, bias+GELU,
+/// residual+layernorm) fused into single passes.
+void bert_fused1(BertData& data);
+/// Second fusion set: row-wise fusion of the attention pipeline
+/// (scores -> softmax -> context per query row) and FFN tiles.
+void bert_fused2(BertData& data);
+
+}  // namespace kernels
+
+}  // namespace dmv::workloads

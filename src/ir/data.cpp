@@ -1,0 +1,80 @@
+#include "dmv/ir/data.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dmv::ir {
+
+Expr DataDescriptor::total_elements() const {
+  Expr total = 1;
+  for (const Expr& extent : shape) total = total * extent;
+  return total;
+}
+
+Expr DataDescriptor::logical_bytes() const {
+  return total_elements() * element_size;
+}
+
+Expr DataDescriptor::allocated_elements() const {
+  Expr last = start_offset;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    last = last + (shape[d] - 1) * strides[d];
+  }
+  return last + 1;
+}
+
+Expr DataDescriptor::allocated_bytes() const {
+  return allocated_elements() * element_size;
+}
+
+Expr DataDescriptor::element_offset(const std::vector<Expr>& indices) const {
+  if (indices.size() != shape.size()) {
+    throw std::invalid_argument("element_offset: rank mismatch for '" + name +
+                                "'");
+  }
+  Expr offset = start_offset;
+  for (std::size_t d = 0; d < indices.size(); ++d) {
+    offset = offset + indices[d] * strides[d];
+  }
+  return offset;
+}
+
+std::vector<Expr> DataDescriptor::row_major_strides(
+    const std::vector<Expr>& shape) {
+  std::vector<Expr> strides(shape.size(), Expr(1));
+  for (int d = static_cast<int>(shape.size()) - 2; d >= 0; --d) {
+    strides[d] = strides[d + 1] * shape[d + 1];
+  }
+  return strides;
+}
+
+std::vector<Expr> DataDescriptor::column_major_strides(
+    const std::vector<Expr>& shape) {
+  std::vector<Expr> strides(shape.size(), Expr(1));
+  for (std::size_t d = 1; d < shape.size(); ++d) {
+    strides[d] = strides[d - 1] * shape[d - 1];
+  }
+  return strides;
+}
+
+DataDescriptor DataDescriptor::array(std::string name, std::vector<Expr> shape,
+                                     int element_size, bool transient) {
+  DataDescriptor descriptor;
+  descriptor.name = std::move(name);
+  descriptor.strides = row_major_strides(shape);
+  descriptor.shape = std::move(shape);
+  descriptor.element_size = element_size;
+  descriptor.transient = transient;
+  return descriptor;
+}
+
+DataDescriptor DataDescriptor::scalar(std::string name, int element_size,
+                                      bool transient) {
+  DataDescriptor descriptor;
+  descriptor.name = std::move(name);
+  descriptor.element_size = element_size;
+  descriptor.transient = transient;
+  return descriptor;
+}
+
+}  // namespace dmv::ir

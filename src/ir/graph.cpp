@@ -1,0 +1,200 @@
+#include "dmv/ir/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dmv::ir {
+
+NodeId State::add_access(std::string data, NodeId scope) {
+  Node node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.kind = NodeKind::Access;
+  node.label = data;
+  node.data = std::move(data);
+  node.scope_parent = scope;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+NodeId State::add_tasklet(std::string label, TaskletAst code, NodeId scope) {
+  Node node;
+  node.id = static_cast<NodeId>(nodes_.size());
+  node.kind = NodeKind::Tasklet;
+  node.label = std::move(label);
+  node.code = std::move(code);
+  node.scope_parent = scope;
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+NodeId State::add_tasklet(std::string label, std::string_view code,
+                          NodeId scope) {
+  return add_tasklet(std::move(label), parse_tasklet(code), scope);
+}
+
+std::pair<NodeId, NodeId> State::add_map(MapInfo info, NodeId scope) {
+  Node entry;
+  entry.id = static_cast<NodeId>(nodes_.size());
+  entry.kind = NodeKind::MapEntry;
+  entry.label = info.label;
+  entry.map = std::move(info);
+  entry.scope_parent = scope;
+  nodes_.push_back(std::move(entry));
+  const NodeId entry_id = nodes_.back().id;
+
+  Node exit;
+  exit.id = static_cast<NodeId>(nodes_.size());
+  exit.kind = NodeKind::MapExit;
+  exit.label = nodes_[entry_id].map.label;
+  exit.paired = entry_id;
+  // The exit is a member of the scope it closes, mirroring DaCe, so that
+  // scope_children(entry) yields the full body including the exit.
+  exit.scope_parent = entry_id;
+  nodes_.push_back(std::move(exit));
+  const NodeId exit_id = nodes_.back().id;
+  nodes_[entry_id].paired = exit_id;
+  return {entry_id, exit_id};
+}
+
+NodeId State::add_raw(Node node) {
+  if (node.id != static_cast<NodeId>(nodes_.size())) {
+    throw std::invalid_argument("State::add_raw: node id must be " +
+                                std::to_string(nodes_.size()));
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void State::add_edge(NodeId src, NodeId dst, Memlet memlet,
+                     std::string src_conn, std::string dst_conn) {
+  if (src < 0 || dst < 0 || src >= static_cast<NodeId>(nodes_.size()) ||
+      dst >= static_cast<NodeId>(nodes_.size())) {
+    throw std::out_of_range("State::add_edge: node id out of range");
+  }
+  Edge edge;
+  edge.src = src;
+  edge.dst = dst;
+  edge.src_conn = std::move(src_conn);
+  edge.dst_conn = std::move(dst_conn);
+  edge.memlet = std::move(memlet);
+  edges_.push_back(std::move(edge));
+}
+
+std::vector<const Edge*> State::in_edges(NodeId id) const {
+  std::vector<const Edge*> result;
+  for (const Edge& edge : edges_) {
+    if (edge.dst == id) result.push_back(&edge);
+  }
+  return result;
+}
+
+std::vector<const Edge*> State::out_edges(NodeId id) const {
+  std::vector<const Edge*> result;
+  for (const Edge& edge : edges_) {
+    if (edge.src == id) result.push_back(&edge);
+  }
+  return result;
+}
+
+std::vector<NodeId> State::scope_children(NodeId scope) const {
+  std::vector<NodeId> children;
+  for (const Node& node : nodes_) {
+    if (node.scope_parent == scope) children.push_back(node.id);
+  }
+  return children;
+}
+
+std::vector<NodeId> State::scope_chain(NodeId id) const {
+  std::vector<NodeId> chain;
+  NodeId current = node(id).scope_parent;
+  while (current != kNoNode) {
+    chain.push_back(current);
+    current = node(current).scope_parent;
+  }
+  return chain;
+}
+
+int State::scope_depth(NodeId id) const {
+  return static_cast<int>(scope_chain(id).size());
+}
+
+std::vector<NodeId> State::topological_order() const {
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const Edge& edge : edges_) ++in_degree[edge.dst];
+
+  std::vector<NodeId> ready;
+  for (const Node& node : nodes_) {
+    if (in_degree[node.id] == 0) ready.push_back(node.id);
+  }
+  // Stable order: process lowest ids first so results are deterministic.
+  std::sort(ready.begin(), ready.end());
+
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId current = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(current);
+    std::vector<NodeId> newly_ready;
+    for (const Edge& edge : edges_) {
+      if (edge.src != current) continue;
+      if (--in_degree[edge.dst] == 0) newly_ready.push_back(edge.dst);
+    }
+    std::sort(newly_ready.begin(), newly_ready.end());
+    // Merge while keeping `ready` sorted.
+    for (NodeId id : newly_ready) {
+      ready.insert(std::lower_bound(ready.begin(), ready.end(), id), id);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("State::topological_order: dataflow cycle in '" +
+                           name_ + "'");
+  }
+  return order;
+}
+
+std::vector<NodeId> State::erase_nodes(const std::vector<NodeId>& ids) {
+  std::vector<bool> removed(nodes_.size(), false);
+  for (NodeId id : ids) {
+    if (id < 0 || id >= static_cast<NodeId>(nodes_.size())) {
+      throw std::out_of_range("State::erase_nodes: node id out of range");
+    }
+    removed[id] = true;
+  }
+
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  std::vector<Node> new_nodes;
+  new_nodes.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    if (removed[node.id]) continue;
+    remap[node.id] = static_cast<NodeId>(new_nodes.size());
+    new_nodes.push_back(node);
+  }
+  for (Node& node : new_nodes) {
+    node.id = remap[node.id];
+    if (node.paired != kNoNode) {
+      node.paired = removed[node.paired] ? kNoNode : remap[node.paired];
+    }
+    if (node.scope_parent != kNoNode) {
+      node.scope_parent =
+          removed[node.scope_parent] ? kNoNode : remap[node.scope_parent];
+    }
+  }
+
+  std::vector<Edge> new_edges;
+  new_edges.reserve(edges_.size());
+  for (const Edge& edge : edges_) {
+    if (removed[edge.src] || removed[edge.dst]) continue;
+    Edge copy = edge;
+    copy.src = remap[edge.src];
+    copy.dst = remap[edge.dst];
+    new_edges.push_back(std::move(copy));
+  }
+
+  nodes_ = std::move(new_nodes);
+  edges_ = std::move(new_edges);
+  return remap;
+}
+
+}  // namespace dmv::ir

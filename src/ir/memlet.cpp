@@ -1,0 +1,142 @@
+#include "dmv/ir/memlet.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "dmv/symbolic/parser.hpp"
+
+namespace dmv::ir {
+
+Expr Range::size() const {
+  if (step.is_constant(1)) return end - begin + 1;
+  return (end - begin + step) / step;
+}
+
+bool Range::is_single_element() const {
+  return symbolic::Expr::compare(symbolic::simplified(begin),
+                                 symbolic::simplified(end)) == 0 ||
+         begin.equals(end);
+}
+
+std::string Range::to_string() const {
+  if (is_single_element()) return begin.to_string();
+  std::ostringstream os;
+  os << begin.to_string() << ':' << end.to_string();
+  if (!step.is_constant(1)) os << ':' << step.to_string();
+  return os.str();
+}
+
+Expr Subset::num_elements() const {
+  Expr total = 1;
+  for (const Range& range : ranges) total = total * range.size();
+  return total;
+}
+
+bool Subset::is_single_element() const {
+  for (const Range& range : ranges) {
+    if (!range.is_single_element()) return false;
+  }
+  return true;
+}
+
+Subset Subset::substitute(const SymbolMap& symbols) const {
+  Subset result;
+  result.ranges.reserve(ranges.size());
+  for (const Range& range : ranges) {
+    result.ranges.push_back(Range{range.begin.substitute(symbols),
+                                  range.end.substitute(symbols),
+                                  range.step.substitute(symbols)});
+  }
+  return result;
+}
+
+std::string Subset::to_string() const {
+  std::ostringstream os;
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    if (d > 0) os << ", ";
+    os << ranges[d].to_string();
+  }
+  return os.str();
+}
+
+namespace {
+
+// Splits on `sep` at depth 0 (ignores separators inside parentheses).
+std::vector<std::string> split_top_level(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string current;
+  for (char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == sep && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+Subset Subset::parse(std::string_view text) {
+  Subset subset;
+  if (text.empty()) return subset;
+  for (const std::string& dim : split_top_level(text, ',')) {
+    std::vector<std::string> pieces = split_top_level(dim, ':');
+    Range range;
+    if (pieces.size() == 1) {
+      range = Range::index(symbolic::parse(pieces[0]));
+    } else if (pieces.size() == 2 || pieces.size() == 3) {
+      range.begin = symbolic::parse(pieces[0]);
+      range.end = symbolic::parse(pieces[1]);
+      range.step = pieces.size() == 3 ? symbolic::parse(pieces[2]) : Expr(1);
+    } else {
+      throw std::invalid_argument("Subset::parse: malformed range '" + dim +
+                                  "'");
+    }
+    subset.ranges.push_back(std::move(range));
+  }
+  return subset;
+}
+
+std::string to_string(Wcr wcr) {
+  switch (wcr) {
+    case Wcr::None:
+      return "none";
+    case Wcr::Sum:
+      return "sum";
+    case Wcr::Min:
+      return "min";
+    case Wcr::Max:
+      return "max";
+  }
+  return "none";
+}
+
+Expr Memlet::effective_volume() const {
+  if (!volume.is_constant(0)) return volume;
+  return subset.num_elements();
+}
+
+std::string Memlet::to_string() const {
+  if (is_empty()) return "(empty)";
+  std::ostringstream os;
+  os << data << '[' << subset.to_string() << ']';
+  if (wcr != Wcr::None) os << " (wcr: " << ir::to_string(wcr) << ')';
+  return os.str();
+}
+
+Memlet Memlet::simple(std::string data, std::string_view subset_text,
+                      Wcr wcr) {
+  Memlet memlet;
+  memlet.data = std::move(data);
+  memlet.subset = Subset::parse(subset_text);
+  memlet.wcr = wcr;
+  return memlet;
+}
+
+}  // namespace dmv::ir

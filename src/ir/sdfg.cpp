@@ -1,0 +1,58 @@
+#include "dmv/ir/sdfg.hpp"
+
+#include <stdexcept>
+
+namespace dmv::ir {
+
+DataDescriptor& Sdfg::add_array(DataDescriptor descriptor) {
+  if (descriptor.name.empty()) {
+    throw std::invalid_argument("Sdfg::add_array: empty data name");
+  }
+  if (descriptor.shape.size() != descriptor.strides.size()) {
+    throw std::invalid_argument("Sdfg::add_array: shape/strides rank mismatch for '" +
+                                descriptor.name + "'");
+  }
+  auto [it, inserted] =
+      arrays_.emplace(descriptor.name, std::move(descriptor));
+  if (!inserted) {
+    throw std::invalid_argument("Sdfg::add_array: duplicate data name '" +
+                                it->first + "'");
+  }
+  return it->second;
+}
+
+bool Sdfg::has_array(const std::string& name) const {
+  return arrays_.contains(name);
+}
+
+const DataDescriptor& Sdfg::array(const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    throw std::out_of_range("Sdfg::array: unknown data container '" + name +
+                            "'");
+  }
+  return it->second;
+}
+
+DataDescriptor& Sdfg::array(const std::string& name) {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    throw std::out_of_range("Sdfg::array: unknown data container '" + name +
+                            "'");
+  }
+  return it->second;
+}
+
+void Sdfg::remove_array(const std::string& name) {
+  if (arrays_.erase(name) == 0) {
+    throw std::out_of_range("Sdfg::remove_array: unknown data container '" +
+                            name + "'");
+  }
+}
+
+State& Sdfg::add_state(std::string name) {
+  states_.emplace_back(std::move(name));
+  return states_.back();
+}
+
+}  // namespace dmv::ir

@@ -1,0 +1,407 @@
+#include "dmv/ir/tasklet_ast.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+
+namespace dmv::ir {
+
+TaskletExpr TaskletExpr::literal_value(double v) {
+  TaskletExpr e;
+  e.kind = Kind::Literal;
+  e.literal = v;
+  return e;
+}
+
+TaskletExpr TaskletExpr::conn(std::string name) {
+  TaskletExpr e;
+  e.kind = Kind::Connector;
+  e.connector = std::move(name);
+  return e;
+}
+
+TaskletExpr TaskletExpr::operation(TaskletOp op,
+                                   std::vector<TaskletExpr> args) {
+  TaskletExpr e;
+  e.kind = Kind::Operation;
+  e.op = op;
+  e.operands = std::move(args);
+  return e;
+}
+
+OpCount& OpCount::operator+=(const OpCount& other) {
+  adds += other.adds;
+  muls += other.muls;
+  divs += other.divs;
+  comparisons += other.comparisons;
+  special += other.special;
+  return *this;
+}
+
+namespace {
+
+void count_expr(const TaskletExpr& e, OpCount& count) {
+  if (e.kind != TaskletExpr::Kind::Operation) return;
+  switch (e.op) {
+    case TaskletOp::Add:
+    case TaskletOp::Sub:
+    case TaskletOp::Neg:
+      ++count.adds;
+      break;
+    case TaskletOp::Mul:
+      ++count.muls;
+      break;
+    case TaskletOp::Div:
+      ++count.divs;
+      break;
+    case TaskletOp::Less:
+    case TaskletOp::Greater:
+      ++count.comparisons;
+      break;
+    case TaskletOp::Exp:
+    case TaskletOp::Log:
+    case TaskletOp::Sqrt:
+    case TaskletOp::Tanh:
+    case TaskletOp::Erf:
+    case TaskletOp::Abs:
+    case TaskletOp::Min:
+    case TaskletOp::Max:
+    case TaskletOp::Select:
+      ++count.special;
+      break;
+  }
+  for (const TaskletExpr& operand : e.operands) count_expr(operand, count);
+}
+
+void collect_reads(const TaskletExpr& e, const std::set<std::string>& locals,
+                   std::vector<std::string>& out,
+                   std::set<std::string>& seen) {
+  if (e.kind == TaskletExpr::Kind::Connector) {
+    if (!locals.contains(e.connector) && !seen.contains(e.connector)) {
+      seen.insert(e.connector);
+      out.push_back(e.connector);
+    }
+    return;
+  }
+  for (const TaskletExpr& operand : e.operands) {
+    collect_reads(operand, locals, out, seen);
+  }
+}
+
+double eval_expr(const TaskletExpr& e,
+                 const std::map<std::string, double>& values) {
+  switch (e.kind) {
+    case TaskletExpr::Kind::Literal:
+      return e.literal;
+    case TaskletExpr::Kind::Connector: {
+      auto it = values.find(e.connector);
+      if (it == values.end()) {
+        throw TaskletParseError("tasklet read of undefined connector '" +
+                                e.connector + "'");
+      }
+      return it->second;
+    }
+    case TaskletExpr::Kind::Operation: {
+      auto arg = [&](std::size_t i) { return eval_expr(e.operands[i], values); };
+      switch (e.op) {
+        case TaskletOp::Add:
+          return arg(0) + arg(1);
+        case TaskletOp::Sub:
+          return arg(0) - arg(1);
+        case TaskletOp::Mul:
+          return arg(0) * arg(1);
+        case TaskletOp::Div:
+          return arg(0) / arg(1);
+        case TaskletOp::Neg:
+          return -arg(0);
+        case TaskletOp::Less:
+          return arg(0) < arg(1) ? 1.0 : 0.0;
+        case TaskletOp::Greater:
+          return arg(0) > arg(1) ? 1.0 : 0.0;
+        case TaskletOp::Exp:
+          return std::exp(arg(0));
+        case TaskletOp::Log:
+          return std::log(arg(0));
+        case TaskletOp::Sqrt:
+          return std::sqrt(arg(0));
+        case TaskletOp::Tanh:
+          return std::tanh(arg(0));
+        case TaskletOp::Erf:
+          return std::erf(arg(0));
+        case TaskletOp::Abs:
+          return std::fabs(arg(0));
+        case TaskletOp::Min:
+          return std::min(arg(0), arg(1));
+        case TaskletOp::Max:
+          return std::max(arg(0), arg(1));
+        case TaskletOp::Select:
+          return arg(0) != 0.0 ? arg(1) : arg(2);
+      }
+      break;
+    }
+  }
+  throw TaskletParseError("tasklet: malformed expression node");
+}
+
+class TaskletParser {
+ public:
+  explicit TaskletParser(std::string_view text) : text_(text) {}
+
+  TaskletAst run() {
+    TaskletAst ast;
+    ast.source = std::string(text_);
+    for (;;) {
+      skip_separators();
+      if (pos_ >= text_.size()) break;
+      ast.statements.push_back(parse_statement());
+    }
+    if (ast.statements.empty()) {
+      throw TaskletParseError("tasklet body has no statements");
+    }
+    return ast;
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  void skip_separators() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ';')) {
+      ++pos_;
+    }
+  }
+
+  bool at_statement_end() {
+    skip_spaces();
+    return pos_ >= text_.size() || text_[pos_] == ';' || text_[pos_] == '\n';
+  }
+
+  TaskletStatement parse_statement() {
+    std::string target = parse_identifier();
+    skip_spaces();
+    if (pos_ >= text_.size() || text_[pos_] != '=') {
+      throw TaskletParseError("expected '=' in tasklet statement after '" +
+                              target + "'");
+    }
+    ++pos_;
+    TaskletExpr value = parse_expr();
+    if (!at_statement_end()) {
+      throw TaskletParseError("trailing characters in tasklet statement");
+    }
+    return TaskletStatement{std::move(target), std::move(value)};
+  }
+
+  TaskletExpr parse_expr() { return parse_comparison(); }
+
+  TaskletExpr parse_comparison() {
+    TaskletExpr left = parse_additive();
+    skip_spaces();
+    if (pos_ < text_.size() && (text_[pos_] == '<' || text_[pos_] == '>')) {
+      TaskletOp op =
+          text_[pos_] == '<' ? TaskletOp::Less : TaskletOp::Greater;
+      ++pos_;
+      TaskletExpr right = parse_additive();
+      return TaskletExpr::operation(op, {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  TaskletExpr parse_additive() {
+    TaskletExpr left = parse_multiplicative();
+    for (;;) {
+      skip_spaces();
+      if (pos_ < text_.size() && text_[pos_] == '+') {
+        ++pos_;
+        left = TaskletExpr::operation(
+            TaskletOp::Add, {std::move(left), parse_multiplicative()});
+      } else if (pos_ < text_.size() && text_[pos_] == '-') {
+        ++pos_;
+        left = TaskletExpr::operation(
+            TaskletOp::Sub, {std::move(left), parse_multiplicative()});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  TaskletExpr parse_multiplicative() {
+    TaskletExpr left = parse_unary();
+    for (;;) {
+      skip_spaces();
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        left = TaskletExpr::operation(TaskletOp::Mul,
+                                      {std::move(left), parse_unary()});
+      } else if (pos_ < text_.size() && text_[pos_] == '/') {
+        ++pos_;
+        left = TaskletExpr::operation(TaskletOp::Div,
+                                      {std::move(left), parse_unary()});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  TaskletExpr parse_unary() {
+    skip_spaces();
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+      return TaskletExpr::operation(TaskletOp::Neg, {parse_unary()});
+    }
+    return parse_primary();
+  }
+
+  TaskletExpr parse_primary() {
+    skip_spaces();
+    if (pos_ >= text_.size()) {
+      throw TaskletParseError("unexpected end of tasklet expression");
+    }
+    char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name = parse_identifier();
+      skip_spaces();
+      if (pos_ < text_.size() && text_[pos_] == '(') {
+        return parse_call(std::move(name));
+      }
+      return TaskletExpr::conn(std::move(name));
+    }
+    if (c == '(') {
+      ++pos_;
+      TaskletExpr inner = parse_expr();
+      skip_spaces();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        throw TaskletParseError("expected ')' in tasklet expression");
+      }
+      ++pos_;
+      return inner;
+    }
+    throw TaskletParseError(std::string("unexpected character '") + c +
+                            "' in tasklet expression");
+  }
+
+  TaskletExpr parse_number() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return TaskletExpr::literal_value(
+        std::stod(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  std::string parse_identifier() {
+    skip_spaces();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw TaskletParseError("expected identifier in tasklet code");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  TaskletExpr parse_call(std::string name) {
+    ++pos_;  // '('
+    std::vector<TaskletExpr> args;
+    skip_spaces();
+    if (pos_ < text_.size() && text_[pos_] != ')') {
+      args.push_back(parse_expr());
+      skip_spaces();
+      while (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        args.push_back(parse_expr());
+        skip_spaces();
+      }
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      throw TaskletParseError("expected ')' after call arguments");
+    }
+    ++pos_;
+
+    struct Intrinsic {
+      const char* name;
+      TaskletOp op;
+      std::size_t arity;
+    };
+    static constexpr Intrinsic kIntrinsics[] = {
+        {"exp", TaskletOp::Exp, 1},       {"log", TaskletOp::Log, 1},
+        {"sqrt", TaskletOp::Sqrt, 1},     {"tanh", TaskletOp::Tanh, 1},
+        {"erf", TaskletOp::Erf, 1},       {"abs", TaskletOp::Abs, 1},
+        {"min", TaskletOp::Min, 2},       {"max", TaskletOp::Max, 2},
+        {"select", TaskletOp::Select, 3},
+    };
+    for (const Intrinsic& intrinsic : kIntrinsics) {
+      if (name == intrinsic.name) {
+        if (args.size() != intrinsic.arity) {
+          throw TaskletParseError("intrinsic '" + name + "' expects " +
+                                  std::to_string(intrinsic.arity) +
+                                  " arguments");
+        }
+        return TaskletExpr::operation(intrinsic.op, std::move(args));
+      }
+    }
+    throw TaskletParseError("unknown tasklet intrinsic '" + name + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+OpCount TaskletAst::count_operations() const {
+  OpCount count;
+  for (const TaskletStatement& statement : statements) {
+    count_expr(statement.value, count);
+  }
+  return count;
+}
+
+std::vector<std::string> TaskletAst::read_connectors() const {
+  std::vector<std::string> reads;
+  std::set<std::string> assigned;
+  std::set<std::string> seen;
+  for (const TaskletStatement& statement : statements) {
+    collect_reads(statement.value, assigned, reads, seen);
+    assigned.insert(statement.target);
+  }
+  return reads;
+}
+
+std::vector<std::string> TaskletAst::written_connectors() const {
+  std::vector<std::string> writes;
+  std::set<std::string> seen;
+  for (const TaskletStatement& statement : statements) {
+    if (seen.insert(statement.target).second) {
+      writes.push_back(statement.target);
+    }
+  }
+  return writes;
+}
+
+void TaskletAst::execute(std::map<std::string, double>& values) const {
+  for (const TaskletStatement& statement : statements) {
+    values[statement.target] = eval_expr(statement.value, values);
+  }
+}
+
+TaskletAst parse_tasklet(std::string_view code) {
+  return TaskletParser(code).run();
+}
+
+}  // namespace dmv::ir

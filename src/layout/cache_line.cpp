@@ -1,0 +1,105 @@
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "dmv/layout/layout.hpp"
+
+namespace dmv::layout {
+
+namespace {
+
+void require_line_size(int line_size) {
+  if (line_size <= 0) {
+    throw std::invalid_argument("cache line size must be positive");
+  }
+}
+
+// Visits every logical element of the layout in row-major order.
+template <typename Fn>
+void for_each_element(const ConcreteLayout& layout, Fn&& fn) {
+  const std::int64_t total = layout.total_elements();
+  for (std::int64_t flat = 0; flat < total; ++flat) {
+    fn(layout.unflatten(flat));
+  }
+}
+
+}  // namespace
+
+std::int64_t cache_line_of(const ConcreteLayout& layout,
+                           std::span<const std::int64_t> indices,
+                           int line_size) {
+  require_line_size(line_size);
+  return layout.byte_address(indices) / line_size;
+}
+
+std::vector<Index> elements_sharing_line(
+    const ConcreteLayout& layout, std::span<const std::int64_t> indices,
+    int line_size) {
+  require_line_size(line_size);
+  const std::int64_t line = cache_line_of(layout, indices, line_size);
+  std::vector<std::pair<std::int64_t, Index>> found;
+  for_each_element(layout, [&](Index element) {
+    const std::int64_t address = layout.byte_address(element);
+    if (address / line_size == line) {
+      found.emplace_back(address, std::move(element));
+    }
+  });
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Index> result;
+  result.reserve(found.size());
+  for (auto& [address, element] : found) result.push_back(std::move(element));
+  return result;
+}
+
+std::int64_t lines_spanned(const ConcreteLayout& layout, int line_size) {
+  require_line_size(line_size);
+  std::set<std::int64_t> lines;
+  for_each_element(layout, [&](const Index& element) {
+    lines.insert(layout.byte_address(element) / line_size);
+  });
+  return static_cast<std::int64_t>(lines.size());
+}
+
+std::vector<Index> rows_with_line_wraparound(const ConcreteLayout& layout,
+                                             int dim, int line_size) {
+  require_line_size(line_size);
+  if (dim < 0 || dim >= layout.rank()) {
+    throw std::invalid_argument("rows_with_line_wraparound: bad dimension");
+  }
+  // A "row" is a 1-D slice varying along `dim` with all other indices
+  // fixed. Enumerate the fixed prefixes (all dims except `dim`).
+  std::vector<Index> affected;
+  std::vector<std::int64_t> outer_shape;
+  for (int d = 0; d < layout.rank(); ++d) {
+    if (d != dim) outer_shape.push_back(layout.shape[d]);
+  }
+  std::int64_t outer_total = 1;
+  for (std::int64_t extent : outer_shape) outer_total *= extent;
+
+  auto outer_to_index = [&](std::int64_t flat, std::int64_t along) {
+    Index indices(layout.rank(), 0);
+    for (int d = layout.rank() - 1; d >= 0; --d) {
+      if (d == dim) continue;
+      const std::int64_t extent = layout.shape[d];
+      indices[d] = flat % extent;
+      flat /= extent;
+    }
+    indices[dim] = along;
+    return indices;
+  };
+
+  for (std::int64_t outer = 1; outer < outer_total; ++outer) {
+    const Index head = outer_to_index(outer, 0);
+    const Index previous_tail =
+        outer_to_index(outer - 1, layout.shape[dim] - 1);
+    const std::int64_t head_line =
+        layout.byte_address(head) / line_size;
+    const std::int64_t tail_line =
+        layout.byte_address(previous_tail) / line_size;
+    if (head_line == tail_line) affected.push_back(head);
+  }
+  return affected;
+}
+
+}  // namespace dmv::layout

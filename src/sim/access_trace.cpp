@@ -1,0 +1,211 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+namespace {
+
+using ir::Edge;
+using ir::Node;
+using ir::NodeId;
+using ir::NodeKind;
+using ir::Subset;
+
+// Enumerates the concrete element index tuples of an evaluated subset in
+// row-major order.
+std::vector<layout::Index> subset_elements(const Subset& subset,
+                                           const SymbolMap& env) {
+  std::vector<std::array<std::int64_t, 3>> bounds;
+  bounds.reserve(subset.ranges.size());
+  for (const ir::Range& range : subset.ranges) {
+    bounds.push_back({range.begin.evaluate(env), range.end.evaluate(env),
+                      range.step.evaluate(env)});
+  }
+  std::vector<layout::Index> elements;
+  // Iterative odometer over the (tiny) subset.
+  std::vector<std::int64_t> cursor(bounds.size());
+  for (std::size_t d = 0; d < bounds.size(); ++d) cursor[d] = bounds[d][0];
+  if (bounds.empty()) return {layout::Index{}};
+  for (;;) {
+    elements.emplace_back(cursor);
+    int d = static_cast<int>(bounds.size()) - 1;
+    for (; d >= 0; --d) {
+      cursor[d] += bounds[d][2];
+      if (cursor[d] <= bounds[d][1]) break;
+      cursor[d] = bounds[d][0];
+    }
+    if (d < 0) break;
+  }
+  return elements;
+}
+
+class Simulator {
+ public:
+  Simulator(const Sdfg& sdfg, const SymbolMap& symbols,
+            const SimulationOptions& options)
+      : sdfg_(sdfg), symbols_(symbols), options_(options) {}
+
+  AccessTrace run() {
+    place_containers();
+    for (const State& state : sdfg_.states()) {
+      order_ = state.topological_order();
+      // Adjacency index: in_edges/out_edges scan all edges, which would
+      // be paid once per tasklet per iteration otherwise.
+      in_adjacency_.assign(state.num_nodes(), {});
+      out_adjacency_.assign(state.num_nodes(), {});
+      for (const Edge& edge : state.edges()) {
+        out_adjacency_[edge.src].push_back(&edge);
+        in_adjacency_[edge.dst].push_back(&edge);
+      }
+      execute_scope(state, ir::kNoNode, symbols_);
+    }
+    trace_.executions = execution_;
+    return std::move(trace_);
+  }
+
+ private:
+  void place_containers() {
+    layout::AddressSpace space(options_.placement_alignment);
+    for (const auto& [name, descriptor] : sdfg_.arrays()) {
+      ConcreteLayout layout = ConcreteLayout::from(descriptor, symbols_);
+      space.place(layout);
+      container_ids_.emplace(name, static_cast<int>(trace_.layouts.size()));
+      trace_.containers.push_back(name);
+      trace_.layouts.push_back(std::move(layout));
+    }
+  }
+
+  void emit(int container, const layout::Index& indices, bool is_write,
+            NodeId tasklet) {
+    const ConcreteLayout& layout = trace_.layouts[container];
+    if (!layout.in_bounds(indices)) {
+      std::string text;
+      for (std::int64_t i : indices) text += std::to_string(i) + ",";
+      throw std::out_of_range("simulate: access out of bounds on '" +
+                              layout.name + "' at [" + text + "]");
+    }
+    AccessEvent event;
+    event.container = container;
+    event.flat = layout.flat_index(indices);
+    event.is_write = is_write;
+    event.timestep = timestep_++;
+    event.execution = execution_;
+    event.tasklet = tasklet;
+    trace_.events.push_back(event);
+  }
+
+  void emit_subset(const ir::Memlet& memlet, const SymbolMap& env,
+                   bool is_write, NodeId tasklet) {
+    const int container = container_ids_.at(memlet.data);
+    for (const layout::Index& element : subset_elements(memlet.subset, env)) {
+      if (is_write && memlet.wcr != ir::Wcr::None && options_.wcr_reads) {
+        emit(container, element, /*is_write=*/false, tasklet);
+      }
+      emit(container, element, is_write, tasklet);
+    }
+  }
+
+  void execute_scope(const State& state, NodeId scope, const SymbolMap& env) {
+    for (NodeId id : order_) {
+      const Node& node = state.node(id);
+      if (node.scope_parent != scope) continue;
+      switch (node.kind) {
+        case NodeKind::MapEntry: {
+          IterationSpace space = IterationSpace::from(node.map, env);
+          space.for_each([&](std::span<const std::int64_t> values) {
+            SymbolMap inner = env;
+            for (std::size_t p = 0; p < space.params.size(); ++p) {
+              inner[space.params[p]] = values[p];
+            }
+            execute_scope(state, node.id, inner);
+          });
+          break;
+        }
+        case NodeKind::Tasklet:
+          execute_tasklet(state, node, env);
+          break;
+        case NodeKind::Access:
+          execute_copies(state, node, env);
+          break;
+        case NodeKind::MapExit:
+          break;  // Writes are emitted at the producing tasklet.
+      }
+    }
+  }
+
+  void execute_tasklet(const State& state, const Node& node,
+                       const SymbolMap& env) {
+    (void)state;
+    for (const Edge* edge : in_adjacency_[node.id]) {
+      if (edge->memlet.is_empty()) continue;
+      emit_subset(edge->memlet, env, /*is_write=*/false, node.id);
+    }
+    for (const Edge* edge : out_adjacency_[node.id]) {
+      if (edge->memlet.is_empty()) continue;
+      emit_subset(edge->memlet, env, /*is_write=*/true, node.id);
+    }
+    ++execution_;
+  }
+
+  // Access -> access copy edges: element-wise read of the source subset
+  // paired with a write of the destination subset.
+  void execute_copies(const State& state, const Node& node,
+                      const SymbolMap& env) {
+    for (const Edge* edge : out_adjacency_[node.id]) {
+      if (edge->memlet.is_empty()) continue;
+      const Node& dst = state.node(edge->dst);
+      if (dst.kind != NodeKind::Access) continue;
+      const int src_container = container_ids_.at(edge->memlet.data);
+      const int dst_container = container_ids_.at(dst.data);
+      const Subset& dst_subset = edge->memlet.other_subset.ranges.empty()
+                                     ? edge->memlet.subset
+                                     : edge->memlet.other_subset;
+      std::vector<layout::Index> sources =
+          subset_elements(edge->memlet.subset, env);
+      std::vector<layout::Index> destinations =
+          subset_elements(dst_subset, env);
+      if (sources.size() != destinations.size()) {
+        throw std::logic_error("simulate: copy subset size mismatch on '" +
+                               edge->memlet.data + "'");
+      }
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        emit(src_container, sources[i], /*is_write=*/false, ir::kNoNode);
+        emit(dst_container, destinations[i], /*is_write=*/true, ir::kNoNode);
+        ++execution_;
+      }
+    }
+  }
+
+  const Sdfg& sdfg_;
+  const SymbolMap& symbols_;
+  const SimulationOptions& options_;
+  AccessTrace trace_;
+  std::map<std::string, int> container_ids_;
+  std::vector<NodeId> order_;
+  std::vector<std::vector<const Edge*>> in_adjacency_;
+  std::vector<std::vector<const Edge*>> out_adjacency_;
+  std::int64_t timestep_ = 0;
+  std::int64_t execution_ = 0;
+};
+
+}  // namespace
+
+int AccessTrace::container_id(const std::string& name) const {
+  for (std::size_t i = 0; i < containers.size(); ++i) {
+    if (containers[i] == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("AccessTrace: unknown container '" + name + "'");
+}
+
+const ConcreteLayout& AccessTrace::layout_of(const std::string& name) const {
+  return layouts[container_id(name)];
+}
+
+AccessTrace simulate(const Sdfg& sdfg, const SymbolMap& symbols,
+                     const SimulationOptions& options) {
+  return Simulator(sdfg, symbols, options).run();
+}
+
+}  // namespace dmv::sim

@@ -1,0 +1,118 @@
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+MissReport classify_misses(const AccessTrace& trace,
+                           const StackDistanceResult& distances,
+                           std::int64_t threshold_lines) {
+  if (threshold_lines <= 0) {
+    throw std::invalid_argument(
+        "classify_misses: threshold must be positive");
+  }
+  MissReport report;
+  report.threshold_lines = threshold_lines;
+  report.per_container.resize(trace.layouts.size());
+  report.element_misses.reserve(trace.layouts.size());
+  for (const ConcreteLayout& layout : trace.layouts) {
+    report.element_misses.emplace_back(layout.total_elements(), 0);
+  }
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const AccessEvent& event = trace.events[i];
+    MissStats& stats = report.per_container[event.container];
+    const std::int64_t distance = distances.distances[i];
+    if (distance == kInfiniteDistance) {
+      ++stats.cold;
+      ++report.element_misses[event.container][event.flat];
+    } else if (distance >= threshold_lines) {
+      // LRU with `threshold_lines` resident lines would have evicted this
+      // line before the re-reference: capacity miss (paper §V-F b).
+      ++stats.capacity;
+      ++report.element_misses[event.container][event.flat];
+    } else {
+      ++stats.hits;
+    }
+  }
+  for (const MissStats& stats : report.per_container) {
+    report.total.cold += stats.cold;
+    report.total.capacity += stats.capacity;
+    report.total.hits += stats.hits;
+  }
+  return report;
+}
+
+CacheSimResult simulate_cache(const AccessTrace& trace,
+                              const CacheConfig& config) {
+  if (config.line_size <= 0 || config.total_size <= 0) {
+    throw std::invalid_argument("simulate_cache: bad cache geometry");
+  }
+  const std::int64_t total_lines = config.total_size / config.line_size;
+  if (total_lines <= 0) {
+    throw std::invalid_argument("simulate_cache: cache smaller than a line");
+  }
+  std::int64_t ways = config.ways;
+  std::int64_t num_sets = 1;
+  if (ways == 0) {
+    ways = total_lines;  // Fully associative.
+  } else {
+    num_sets = total_lines / ways;
+    if (num_sets <= 0) {
+      throw std::invalid_argument(
+          "simulate_cache: associativity exceeds cache size");
+    }
+  }
+
+  struct CacheSet {
+    std::list<std::int64_t> lru;  ///< Front = most recently used.
+    std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator>
+        where;
+  };
+  std::vector<CacheSet> sets(num_sets);
+  std::unordered_set<std::int64_t> ever_seen;
+
+  CacheSimResult result;
+  result.config = config;
+  result.per_container.resize(trace.layouts.size());
+
+  for (const AccessEvent& event : trace.events) {
+    const ConcreteLayout& layout = trace.layouts[event.container];
+    const std::int64_t address =
+        layout.byte_address(layout.unflatten(event.flat));
+    const std::int64_t line = address / config.line_size;
+    CacheSet& set = sets[line % num_sets];
+    MissStats& stats = result.per_container[event.container];
+
+    auto it = set.where.find(line);
+    if (it != set.where.end()) {
+      ++stats.hits;
+      set.lru.splice(set.lru.begin(), set.lru, it->second);
+      continue;
+    }
+    // Miss: cold if this line was never resident anywhere before.
+    if (ever_seen.insert(line).second) {
+      ++stats.cold;
+    } else {
+      ++stats.capacity;  // Includes conflict misses when num_sets > 1.
+    }
+    set.lru.push_front(line);
+    set.where[line] = set.lru.begin();
+    if (static_cast<std::int64_t>(set.lru.size()) > ways) {
+      set.where.erase(set.lru.back());
+      set.lru.pop_back();
+    }
+  }
+
+  for (const MissStats& stats : result.per_container) {
+    result.total.cold += stats.cold;
+    result.total.capacity += stats.capacity;
+    result.total.hits += stats.hits;
+  }
+  return result;
+}
+
+}  // namespace dmv::sim

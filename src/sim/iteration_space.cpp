@@ -1,0 +1,26 @@
+#include <stdexcept>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+std::int64_t IterationSpace::size() const {
+  std::int64_t count = 0;
+  for_each([&](std::span<const std::int64_t>) { ++count; });
+  return count;
+}
+
+IterationSpace IterationSpace::from(const ir::MapInfo& info,
+                                    const SymbolMap& symbols) {
+  if (info.params.size() != info.ranges.size()) {
+    throw std::invalid_argument("IterationSpace: malformed map '" +
+                                info.label + "'");
+  }
+  IterationSpace space;
+  space.params = info.params;
+  space.ranges = info.ranges;
+  space.base = symbols;
+  return space;
+}
+
+}  // namespace dmv::sim

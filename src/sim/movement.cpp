@@ -1,0 +1,93 @@
+#include <map>
+#include <set>
+
+#include "dmv/analysis/analysis.hpp"
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+std::map<std::size_t, std::int64_t> physical_edge_bytes(
+    const State& state, const AccessTrace& trace, const MissReport& report,
+    const SymbolMap& symbols, int line_size) {
+  // Logical traffic per container over this state, used to apportion the
+  // container's physical bytes across its edges.
+  std::map<std::string, std::int64_t> logical_total;
+  std::vector<std::int64_t> edge_logical(state.edges().size(), 0);
+  for (std::size_t e = 0; e < state.edges().size(); ++e) {
+    const ir::Edge& edge = state.edges()[e];
+    if (edge.memlet.is_empty()) continue;
+    edge_logical[e] =
+        analysis::total_edge_elements(state, edge).evaluate(symbols);
+    logical_total[edge.memlet.data] += edge_logical[e];
+  }
+  std::map<std::size_t, std::int64_t> result;
+  for (std::size_t e = 0; e < state.edges().size(); ++e) {
+    const ir::Edge& edge = state.edges()[e];
+    if (edge.memlet.is_empty()) continue;
+    const int container = trace.container_id(edge.memlet.data);
+    const std::int64_t physical =
+        report.per_container[container].misses() * line_size;
+    const std::int64_t total = logical_total[edge.memlet.data];
+    result[e] = total == 0 ? 0 : physical * edge_logical[e] / total;
+  }
+  return result;
+}
+
+IterationLineStats iteration_line_stats(const AccessTrace& trace,
+                                        int container, int line_size) {
+  const ConcreteLayout& layout = trace.layouts[container];
+  const std::int64_t elements_per_line =
+      std::max<std::int64_t>(1, line_size / layout.element_size);
+
+  // Group this container's events by tasklet execution.
+  std::map<std::int64_t, std::map<std::int64_t, std::set<std::int64_t>>>
+      per_execution;  // execution -> line -> distinct elements used
+  for (const AccessEvent& event : trace.events) {
+    if (event.container != container) continue;
+    const std::int64_t line =
+        layout.byte_address(layout.unflatten(event.flat)) / line_size;
+    per_execution[event.execution][line].insert(event.flat);
+  }
+
+  IterationLineStats stats;
+  double line_sum = 0;
+  double utilization_sum = 0;
+  for (const auto& [execution, lines] : per_execution) {
+    line_sum += static_cast<double>(lines.size());
+    std::int64_t used = 0;
+    for (const auto& [line, elements] : lines) {
+      used += static_cast<std::int64_t>(elements.size());
+    }
+    utilization_sum +=
+        static_cast<double>(used) /
+        static_cast<double>(elements_per_line *
+                            static_cast<std::int64_t>(lines.size()));
+    ++stats.executions;
+  }
+  if (stats.executions > 0) {
+    stats.mean_lines_per_execution =
+        line_sum / static_cast<double>(stats.executions);
+    stats.mean_line_utilization =
+        utilization_sum / static_cast<double>(stats.executions);
+  }
+  return stats;
+}
+
+MovementEstimate physical_movement(const AccessTrace& trace,
+                                   const MissReport& report, int line_size) {
+  MovementEstimate estimate;
+  estimate.line_size = line_size;
+  estimate.bytes_per_container.reserve(trace.layouts.size());
+  for (std::size_t c = 0; c < trace.layouts.size(); ++c) {
+    // Every predicted miss pulls one full line from main memory (§V-F:
+    // "multiplying the number of misses ... with the number of bytes per
+    // cache line").
+    const std::int64_t bytes =
+        report.per_container[c].misses() * line_size;
+    estimate.bytes_per_container.push_back(bytes);
+    estimate.total_bytes += bytes;
+  }
+  return estimate;
+}
+
+}  // namespace dmv::sim

@@ -1,0 +1,72 @@
+#include <set>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+std::vector<std::int64_t> AccessCounts::total(int container) const {
+  std::vector<std::int64_t> sum = reads.at(container);
+  const std::vector<std::int64_t>& w = writes.at(container);
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += w[i];
+  return sum;
+}
+
+namespace {
+
+AccessCounts zero_counts(const AccessTrace& trace) {
+  AccessCounts counts;
+  counts.reads.reserve(trace.layouts.size());
+  counts.writes.reserve(trace.layouts.size());
+  for (const ConcreteLayout& layout : trace.layouts) {
+    counts.reads.emplace_back(layout.total_elements(), 0);
+    counts.writes.emplace_back(layout.total_elements(), 0);
+  }
+  return counts;
+}
+
+}  // namespace
+
+AccessCounts count_accesses(const AccessTrace& trace) {
+  AccessCounts counts = zero_counts(trace);
+  for (const AccessEvent& event : trace.events) {
+    if (event.is_write) {
+      ++counts.writes[event.container][event.flat];
+    } else {
+      ++counts.reads[event.container][event.flat];
+    }
+  }
+  return counts;
+}
+
+AccessCounts related_accesses(const AccessTrace& trace,
+                              const std::vector<Selection>& selected) {
+  // Pass 1: find every tasklet-execution instance that touches a selected
+  // element. Multiple selections stack additively, so an execution
+  // touching two selected elements contributes twice (matching the
+  // paper's "stacking the number of related accesses").
+  std::map<std::int64_t, std::int64_t> execution_weight;
+  for (const AccessEvent& event : trace.events) {
+    for (const Selection& selection : selected) {
+      if (event.container != selection.container) continue;
+      for (std::int64_t flat : selection.flats) {
+        if (event.flat == flat) {
+          ++execution_weight[event.execution];
+        }
+      }
+    }
+  }
+  // Pass 2: accumulate all accesses of those executions.
+  AccessCounts counts = zero_counts(trace);
+  for (const AccessEvent& event : trace.events) {
+    auto it = execution_weight.find(event.execution);
+    if (it == execution_weight.end()) continue;
+    if (event.is_write) {
+      counts.writes[event.container][event.flat] += it->second;
+    } else {
+      counts.reads[event.container][event.flat] += it->second;
+    }
+  }
+  return counts;
+}
+
+}  // namespace dmv::sim

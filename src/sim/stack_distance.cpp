@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+namespace {
+
+// Fenwick tree over event positions; a mark at position p means "some
+// cache line's most recent access happened at p".
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t position, int delta) {
+    for (std::size_t i = position + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  // Sum of marks in [0, position].
+  std::int64_t prefix(std::size_t position) const {
+    std::int64_t sum = 0;
+    for (std::size_t i = position + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  // Sum of marks in [from, to] (inclusive).
+  std::int64_t range(std::size_t from, std::size_t to) const {
+    if (from > to) return 0;
+    return prefix(to) - (from == 0 ? 0 : prefix(from - 1));
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+// Cache line id of an event in the global simulated address space.
+std::int64_t line_of(const AccessTrace& trace, const AccessEvent& event,
+                     int line_size) {
+  const ConcreteLayout& layout = trace.layouts[event.container];
+  const layout::Index indices = layout.unflatten(event.flat);
+  return layout.byte_address(indices) / line_size;
+}
+
+}  // namespace
+
+StackDistanceResult stack_distances(const AccessTrace& trace, int line_size) {
+  StackDistanceResult result;
+  result.line_size = line_size;
+  result.distances.resize(trace.events.size());
+
+  // Olken's algorithm, Fenwick formulation: the reuse distance of an
+  // access is the number of distinct lines whose latest access falls
+  // strictly between this line's previous access and now.
+  Fenwick marks(trace.events.size());
+  std::unordered_map<std::int64_t, std::size_t> last_position;
+  last_position.reserve(trace.events.size());
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const std::int64_t line = line_of(trace, trace.events[i], line_size);
+    auto it = last_position.find(line);
+    if (it == last_position.end()) {
+      result.distances[i] = kInfiniteDistance;
+    } else {
+      result.distances[i] = marks.range(it->second + 1, i);
+      marks.add(it->second, -1);
+    }
+    marks.add(i, +1);
+    last_position[line] = i;
+  }
+  return result;
+}
+
+StackDistanceResult stack_distances_naive(const AccessTrace& trace,
+                                          int line_size) {
+  StackDistanceResult result;
+  result.line_size = line_size;
+  result.distances.resize(trace.events.size());
+
+  // LRU stack as a vector, most recent first; distance = depth found.
+  std::vector<std::int64_t> stack;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const std::int64_t line = line_of(trace, trace.events[i], line_size);
+    auto it = std::find(stack.begin(), stack.end(), line);
+    if (it == stack.end()) {
+      result.distances[i] = kInfiniteDistance;
+    } else {
+      result.distances[i] = it - stack.begin();
+      stack.erase(it);
+    }
+    stack.insert(stack.begin(), line);
+  }
+  return result;
+}
+
+ElementDistanceStats element_distance_stats(const AccessTrace& trace,
+                                            const StackDistanceResult& result,
+                                            int container) {
+  const std::int64_t elements =
+      trace.layouts[container].total_elements();
+  std::vector<std::vector<std::int64_t>> finite(elements);
+  ElementDistanceStats stats;
+  stats.min.assign(elements, kInfiniteDistance);
+  stats.median.assign(elements, kInfiniteDistance);
+  stats.max.assign(elements, kInfiniteDistance);
+  stats.cold_count.assign(elements, 0);
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const AccessEvent& event = trace.events[i];
+    if (event.container != container) continue;
+    const std::int64_t distance = result.distances[i];
+    if (distance == kInfiniteDistance) {
+      ++stats.cold_count[event.flat];
+    } else {
+      finite[event.flat].push_back(distance);
+    }
+  }
+  for (std::int64_t e = 0; e < elements; ++e) {
+    std::vector<std::int64_t>& distances = finite[e];
+    if (distances.empty()) continue;
+    std::sort(distances.begin(), distances.end());
+    stats.min[e] = distances.front();
+    stats.max[e] = distances.back();
+    stats.median[e] = distances[distances.size() / 2];
+  }
+  return stats;
+}
+
+DistanceHistogram distance_histogram(const AccessTrace& trace,
+                                     const StackDistanceResult& result,
+                                     int container, std::int64_t flat) {
+  DistanceHistogram histogram;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const AccessEvent& event = trace.events[i];
+    if (event.container != container) continue;
+    if (flat >= 0 && event.flat != flat) continue;
+    const std::int64_t distance = result.distances[i];
+    if (distance == kInfiniteDistance) {
+      ++histogram.cold_misses;
+    } else {
+      histogram.distances.push_back(distance);
+    }
+  }
+  std::sort(histogram.distances.begin(), histogram.distances.end());
+  return histogram;
+}
+
+}  // namespace dmv::sim

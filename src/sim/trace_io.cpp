@@ -1,0 +1,132 @@
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dmv/sim/trace_io.hpp"
+
+namespace dmv::sim {
+
+void write_trace(const AccessTrace& trace, std::ostream& out) {
+  out << "dmvtrace 1\n";
+  for (std::size_t c = 0; c < trace.containers.size(); ++c) {
+    const ConcreteLayout& layout = trace.layouts[c];
+    out << "container " << trace.containers[c] << ' '
+        << layout.element_size << ' ' << layout.base_address;
+    for (std::int64_t extent : layout.shape) out << ' ' << extent;
+    out << " ;";
+    for (std::int64_t stride : layout.strides) out << ' ' << stride;
+    out << '\n';
+  }
+  out << "events\n";
+  for (const AccessEvent& event : trace.events) {
+    out << event.timestep << ' ' << event.container << ' ' << event.flat
+        << ' ' << (event.is_write ? 'w' : 'r') << ' ' << event.execution
+        << ' ' << event.tasklet << '\n';
+  }
+  if (!out) throw std::runtime_error("write_trace: stream failure");
+}
+
+std::string trace_to_string(const AccessTrace& trace) {
+  std::ostringstream out;
+  write_trace(trace, out);
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("read_trace: line " + std::to_string(line) +
+                           ": " + message);
+}
+
+}  // namespace
+
+AccessTrace read_trace(std::istream& in) {
+  AccessTrace trace;
+  std::string line;
+  int line_number = 0;
+
+  if (!std::getline(in, line)) fail(1, "empty input");
+  ++line_number;
+  if (line != "dmvtrace 1") fail(line_number, "bad magic/version");
+
+  bool in_events = false;
+  std::int64_t max_execution = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (!in_events) {
+      if (line == "events") {
+        in_events = true;
+        continue;
+      }
+      std::istringstream fields(line);
+      std::string keyword;
+      fields >> keyword;
+      if (keyword != "container") {
+        fail(line_number, "expected 'container' or 'events'");
+      }
+      ConcreteLayout layout;
+      fields >> layout.name >> layout.element_size >> layout.base_address;
+      if (!fields) fail(line_number, "malformed container header");
+      std::string token;
+      bool strides = false;
+      while (fields >> token) {
+        if (token == ";") {
+          strides = true;
+          continue;
+        }
+        try {
+          const std::int64_t value = std::stoll(token);
+          (strides ? layout.strides : layout.shape).push_back(value);
+        } catch (const std::exception&) {
+          fail(line_number, "bad integer '" + token + "'");
+        }
+      }
+      if (layout.shape.size() != layout.strides.size()) {
+        fail(line_number, "shape/strides rank mismatch");
+      }
+      if (layout.element_size <= 0) {
+        fail(line_number, "bad element size");
+      }
+      trace.containers.push_back(layout.name);
+      trace.layouts.push_back(std::move(layout));
+      continue;
+    }
+
+    std::istringstream fields(line);
+    AccessEvent event;
+    char mode = '?';
+    std::int64_t container = 0;
+    std::int64_t tasklet = 0;
+    fields >> event.timestep >> container >> event.flat >> mode >>
+        event.execution >> tasklet;
+    if (!fields || (mode != 'r' && mode != 'w')) {
+      fail(line_number, "malformed event");
+    }
+    if (container < 0 ||
+        container >= static_cast<std::int64_t>(trace.layouts.size())) {
+      fail(line_number, "container index out of range");
+    }
+    if (event.flat < 0 ||
+        event.flat >= trace.layouts[container].total_elements()) {
+      fail(line_number, "element index out of range");
+    }
+    event.container = static_cast<std::int32_t>(container);
+    event.is_write = mode == 'w';
+    event.tasklet = static_cast<ir::NodeId>(tasklet);
+    max_execution = std::max(max_execution, event.execution);
+    trace.events.push_back(event);
+  }
+  if (!in_events) fail(line_number, "missing 'events' section");
+  trace.executions = max_execution + 1;
+  return trace;
+}
+
+AccessTrace trace_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+}  // namespace dmv::sim

@@ -1,0 +1,400 @@
+#include "dmv/symbolic/expr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace dmv::symbolic {
+
+namespace {
+
+std::shared_ptr<const ExprNode> make_constant_node(std::int64_t value) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprKind::Constant;
+  node->value = value;
+  return node;
+}
+
+// Small interned constants: shapes and strides are full of 0/1/2.
+const std::shared_ptr<const ExprNode>& cached_small_constant(std::int64_t v) {
+  static const std::shared_ptr<const ExprNode> cache[] = {
+      make_constant_node(0), make_constant_node(1), make_constant_node(2),
+      make_constant_node(3), make_constant_node(4)};
+  assert(v >= 0 && v <= 4);
+  return cache[v];
+}
+
+bool is_nary(ExprKind kind) {
+  return kind == ExprKind::Add || kind == ExprKind::Mul;
+}
+
+int kind_rank(ExprKind kind) { return static_cast<int>(kind); }
+
+}  // namespace
+
+Expr::Expr() : node_(cached_small_constant(0)) {}
+
+Expr::Expr(std::int64_t value)
+    : node_(value >= 0 && value <= 4 ? cached_small_constant(value)
+                                     : make_constant_node(value)) {}
+
+Expr::Expr(std::shared_ptr<const ExprNode> node) : node_(std::move(node)) {
+  assert(node_ != nullptr);
+}
+
+Expr Expr::constant(std::int64_t value) { return Expr(value); }
+
+Expr Expr::symbol(std::string name) {
+  assert(!name.empty());
+  auto node = std::make_shared<ExprNode>();
+  node->kind = ExprKind::Symbol;
+  node->name = std::move(name);
+  return Expr(std::move(node));
+}
+
+Expr detail_make_raw(ExprKind kind, std::vector<Expr> operands) {
+  auto node = std::make_shared<ExprNode>();
+  node->kind = kind;
+  node->operands = std::move(operands);
+  return Expr(std::move(node));
+}
+
+Expr Expr::make(ExprKind kind, std::vector<Expr> operands) {
+  assert(kind != ExprKind::Constant && kind != ExprKind::Symbol);
+  assert(is_nary(kind) ? !operands.empty() : operands.size() == 2);
+  auto node = std::make_shared<ExprNode>();
+  node->kind = kind;
+  node->operands = std::move(operands);
+  return simplified(Expr(std::move(node)));
+}
+
+ExprKind Expr::kind() const { return node_->kind; }
+
+bool Expr::is_constant(std::int64_t value) const {
+  return is_constant() && node_->value == value;
+}
+
+std::int64_t Expr::constant_value() const {
+  assert(is_constant());
+  return node_->value;
+}
+
+const std::string& Expr::symbol_name() const {
+  assert(is_symbol());
+  return node_->name;
+}
+
+std::span<const Expr> Expr::operands() const { return node_->operands; }
+
+std::int64_t floor_div_i64(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::domain_error("symbolic: division by zero");
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t ceil_div_i64(std::int64_t a, std::int64_t b) {
+  return -floor_div_i64(-a, b);
+}
+
+std::int64_t mod_i64(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw std::domain_error("symbolic: modulo by zero");
+  std::int64_t r = a - floor_div_i64(a, b) * b;
+  return r;
+}
+
+std::int64_t pow_i64(std::int64_t base, std::int64_t exponent) {
+  if (exponent < 0) throw std::domain_error("symbolic: negative exponent");
+  std::int64_t result = 1;
+  for (std::int64_t i = 0; i < exponent; ++i) result *= base;
+  return result;
+}
+
+std::int64_t Expr::evaluate(const SymbolMap& symbols) const {
+  switch (kind()) {
+    case ExprKind::Constant:
+      return node_->value;
+    case ExprKind::Symbol: {
+      auto it = symbols.find(node_->name);
+      if (it == symbols.end()) throw UnboundSymbolError(node_->name);
+      return it->second;
+    }
+    case ExprKind::Add: {
+      std::int64_t acc = 0;
+      for (const Expr& op : node_->operands) acc += op.evaluate(symbols);
+      return acc;
+    }
+    case ExprKind::Mul: {
+      std::int64_t acc = 1;
+      for (const Expr& op : node_->operands) acc *= op.evaluate(symbols);
+      return acc;
+    }
+    case ExprKind::FloorDiv:
+      return floor_div_i64(node_->operands[0].evaluate(symbols),
+                           node_->operands[1].evaluate(symbols));
+    case ExprKind::CeilDiv:
+      return ceil_div_i64(node_->operands[0].evaluate(symbols),
+                          node_->operands[1].evaluate(symbols));
+    case ExprKind::Mod:
+      return mod_i64(node_->operands[0].evaluate(symbols),
+                     node_->operands[1].evaluate(symbols));
+    case ExprKind::Min:
+      return std::min(node_->operands[0].evaluate(symbols),
+                      node_->operands[1].evaluate(symbols));
+    case ExprKind::Max:
+      return std::max(node_->operands[0].evaluate(symbols),
+                      node_->operands[1].evaluate(symbols));
+    case ExprKind::Pow:
+      return pow_i64(node_->operands[0].evaluate(symbols),
+                     node_->operands[1].evaluate(symbols));
+  }
+  assert(false && "unreachable");
+  return 0;
+}
+
+std::optional<std::int64_t> Expr::try_evaluate(const SymbolMap& symbols) const {
+  try {
+    return evaluate(symbols);
+  } catch (const UnboundSymbolError&) {
+    return std::nullopt;
+  } catch (const std::domain_error&) {
+    return std::nullopt;
+  }
+}
+
+Expr Expr::substitute(const SymbolMap& symbols) const {
+  std::map<std::string, Expr> replacements;
+  for (const auto& [name, value] : symbols) {
+    replacements.emplace(name, Expr(value));
+  }
+  return substitute(replacements);
+}
+
+Expr Expr::substitute(const std::map<std::string, Expr>& replacements) const {
+  switch (kind()) {
+    case ExprKind::Constant:
+      return *this;
+    case ExprKind::Symbol: {
+      auto it = replacements.find(node_->name);
+      return it == replacements.end() ? *this : it->second;
+    }
+    default: {
+      std::vector<Expr> new_operands;
+      new_operands.reserve(node_->operands.size());
+      bool changed = false;
+      for (const Expr& op : node_->operands) {
+        new_operands.push_back(op.substitute(replacements));
+        changed = changed || new_operands.back().node_ != op.node_;
+      }
+      if (!changed) return *this;
+      return make(kind(), std::move(new_operands));
+    }
+  }
+}
+
+void Expr::collect_free_symbols(std::set<std::string>& out) const {
+  if (is_symbol()) {
+    out.insert(node_->name);
+    return;
+  }
+  for (const Expr& op : node_->operands) op.collect_free_symbols(out);
+}
+
+std::set<std::string> Expr::free_symbols() const {
+  std::set<std::string> out;
+  collect_free_symbols(out);
+  return out;
+}
+
+int Expr::compare(const Expr& a, const Expr& b) {
+  if (a.node_ == b.node_) return 0;
+  // Constants sort before symbols, symbols before composites; this keeps
+  // canonical forms like `4 + 2*N + N*M` stable.
+  auto category = [](const Expr& e) {
+    if (e.is_constant()) return 0;
+    if (e.is_symbol()) return 1;
+    return 2;
+  };
+  if (category(a) != category(b)) return category(a) < category(b) ? -1 : 1;
+  if (a.is_constant()) {
+    if (a.constant_value() != b.constant_value())
+      return a.constant_value() < b.constant_value() ? -1 : 1;
+    return 0;
+  }
+  if (a.is_symbol()) return a.symbol_name().compare(b.symbol_name());
+  if (a.kind() != b.kind())
+    return kind_rank(a.kind()) < kind_rank(b.kind()) ? -1 : 1;
+  const auto& ao = a.operands();
+  const auto& bo = b.operands();
+  if (ao.size() != bo.size()) return ao.size() < bo.size() ? -1 : 1;
+  for (std::size_t i = 0; i < ao.size(); ++i) {
+    int c = compare(ao[i], bo[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool Expr::equals(const Expr& other) const {
+  if (compare(*this, other) == 0) return true;
+  return compare(expanded(*this), expanded(other)) == 0;
+}
+
+namespace {
+
+// Precedence levels for printing: higher binds tighter.
+int precedence(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::Add:
+      return 1;
+    case ExprKind::Mul:
+    case ExprKind::FloorDiv:
+    case ExprKind::Mod:
+      return 2;
+    case ExprKind::Pow:
+      return 3;
+    default:
+      return 4;  // leaves and function-call forms never need parentheses
+  }
+}
+
+void print_expr(const Expr& e, std::ostream& os, int parent_precedence) {
+  const int own = precedence(e.kind());
+  const bool parens = own < parent_precedence;
+  if (parens) os << '(';
+  switch (e.kind()) {
+    case ExprKind::Constant:
+      os << e.constant_value();
+      break;
+    case ExprKind::Symbol:
+      os << e.symbol_name();
+      break;
+    case ExprKind::Add: {
+      // Render `+ (-1)*x` as `- x`, and order positive terms before
+      // negative ones so bounds read as "B - 1" rather than "-1 + B".
+      struct Term {
+        bool negative;
+        Expr body;
+      };
+      std::vector<Term> terms;
+      for (const Expr& op : e.operands()) {
+        if (op.kind() == ExprKind::Mul && !op.operands().empty() &&
+            op.operands()[0].is_constant() &&
+            op.operands()[0].constant_value() < 0) {
+          std::vector<Expr> rest(op.operands().begin(), op.operands().end());
+          rest[0] = Expr(-rest[0].constant_value());
+          Expr body = rest[0].is_constant(1) && rest.size() > 1
+                          ? Expr::make(ExprKind::Mul,
+                                       std::vector<Expr>(rest.begin() + 1,
+                                                         rest.end()))
+                          : Expr::make(ExprKind::Mul, std::move(rest));
+          terms.push_back(Term{true, std::move(body)});
+        } else if (op.is_constant() && op.constant_value() < 0) {
+          terms.push_back(Term{true, Expr(-op.constant_value())});
+        } else {
+          terms.push_back(Term{false, op});
+        }
+      }
+      std::stable_partition(terms.begin(), terms.end(),
+                            [](const Term& t) { return !t.negative; });
+      bool first = true;
+      for (const Term& term : terms) {
+        if (!first) {
+          os << (term.negative ? " - " : " + ");
+        } else if (term.negative) {
+          os << '-';
+        }
+        first = false;
+        print_expr(term.body, os, own + (term.negative ? 1 : 0));
+      }
+      break;
+    }
+    case ExprKind::Mul: {
+      bool first = true;
+      for (const Expr& op : e.operands()) {
+        if (!first) os << '*';
+        first = false;
+        print_expr(op, os, own + 1);
+      }
+      break;
+    }
+    case ExprKind::FloorDiv:
+      print_expr(e.operands()[0], os, own);
+      os << " / ";
+      print_expr(e.operands()[1], os, own + 1);
+      break;
+    case ExprKind::Mod:
+      print_expr(e.operands()[0], os, own);
+      os << " % ";
+      print_expr(e.operands()[1], os, own + 1);
+      break;
+    case ExprKind::Pow:
+      print_expr(e.operands()[0], os, own + 1);
+      os << "**";
+      print_expr(e.operands()[1], os, own + 1);
+      break;
+    case ExprKind::CeilDiv:
+      os << "ceil_div(";
+      print_expr(e.operands()[0], os, 0);
+      os << ", ";
+      print_expr(e.operands()[1], os, 0);
+      os << ')';
+      break;
+    case ExprKind::Min:
+    case ExprKind::Max:
+      os << (e.kind() == ExprKind::Min ? "min(" : "max(");
+      print_expr(e.operands()[0], os, 0);
+      os << ", ";
+      print_expr(e.operands()[1], os, 0);
+      os << ')';
+      break;
+  }
+  if (parens) os << ')';
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  std::ostringstream os;
+  print_expr(*this, os, 0);
+  return os.str();
+}
+
+Expr operator+(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::Add, {a, b});
+}
+
+Expr operator-(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::Add, {a, Expr::make(ExprKind::Mul, {-1, b})});
+}
+
+Expr operator-(const Expr& a) { return Expr::make(ExprKind::Mul, {-1, a}); }
+
+Expr operator*(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::Mul, {a, b});
+}
+
+Expr operator/(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::FloorDiv, {a, b});
+}
+
+Expr operator%(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::Mod, {a, b});
+}
+
+Expr min(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::Min, {a, b});
+}
+
+Expr max(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::Max, {a, b});
+}
+
+Expr ceil_div(const Expr& a, const Expr& b) {
+  return Expr::make(ExprKind::CeilDiv, {a, b});
+}
+
+Expr pow(const Expr& base, const Expr& exponent) {
+  return Expr::make(ExprKind::Pow, {base, exponent});
+}
+
+}  // namespace dmv::symbolic

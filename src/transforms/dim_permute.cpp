@@ -1,0 +1,66 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "dmv/transforms/transforms.hpp"
+
+namespace dmv::transforms {
+
+namespace {
+
+void check_permutation(const std::vector<int>& permutation, int rank,
+                       const char* what) {
+  if (static_cast<int>(permutation.size()) != rank) {
+    throw std::invalid_argument(std::string(what) + ": rank mismatch");
+  }
+  std::vector<int> sorted = permutation;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < rank; ++i) {
+    if (sorted[i] != i) {
+      throw std::invalid_argument(std::string(what) + ": not a permutation");
+    }
+  }
+}
+
+}  // namespace
+
+void permute_dimensions(Sdfg& sdfg, const std::string& data,
+                        const std::vector<int>& permutation) {
+  ir::DataDescriptor& descriptor = sdfg.array(data);
+  check_permutation(permutation, descriptor.rank(), "permute_dimensions");
+
+  std::vector<symbolic::Expr> shape;
+  shape.reserve(permutation.size());
+  for (int old_dim : permutation) shape.push_back(descriptor.shape[old_dim]);
+  descriptor.shape = shape;
+  // Physical reshape: the permuted logical order becomes the new
+  // row-major layout (this is what changes the memory behaviour).
+  descriptor.strides = ir::DataDescriptor::row_major_strides(shape);
+
+  for (State& state : sdfg.states()) {
+    for (ir::Edge& edge : state.mutable_edges()) {
+      const bool src_side = edge.memlet.data == data;
+      const bool dst_side =
+          !edge.memlet.other_subset.ranges.empty() &&
+          state.node(edge.dst).kind == ir::NodeKind::Access &&
+          state.node(edge.dst).data == data;
+      if (src_side && edge.memlet.subset.rank() ==
+                          static_cast<int>(permutation.size())) {
+        ir::Subset permuted;
+        for (int old_dim : permutation) {
+          permuted.ranges.push_back(edge.memlet.subset.ranges[old_dim]);
+        }
+        edge.memlet.subset = std::move(permuted);
+      }
+      if (dst_side && edge.memlet.other_subset.rank() ==
+                          static_cast<int>(permutation.size())) {
+        ir::Subset permuted;
+        for (int old_dim : permutation) {
+          permuted.ranges.push_back(edge.memlet.other_subset.ranges[old_dim]);
+        }
+        edge.memlet.other_subset = std::move(permuted);
+      }
+    }
+  }
+}
+
+}  // namespace dmv::transforms

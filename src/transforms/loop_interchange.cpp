@@ -1,0 +1,39 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "dmv/transforms/transforms.hpp"
+
+namespace dmv::transforms {
+
+void loop_interchange(State& state, NodeId map_entry,
+                      const std::vector<int>& order) {
+  ir::Node& entry = state.node(map_entry);
+  if (entry.kind != ir::NodeKind::MapEntry) {
+    throw std::invalid_argument("loop_interchange: node is not a map entry");
+  }
+  if (order.size() != entry.map.params.size()) {
+    throw std::invalid_argument("loop_interchange: order size mismatch");
+  }
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<int>(i)) {
+      throw std::invalid_argument("loop_interchange: not a permutation");
+    }
+  }
+  std::vector<std::string> params;
+  std::vector<ir::Range> ranges;
+  params.reserve(order.size());
+  ranges.reserve(order.size());
+  for (int old_position : order) {
+    params.push_back(entry.map.params[old_position]);
+    ranges.push_back(entry.map.ranges[old_position]);
+  }
+  entry.map.params = std::move(params);
+  entry.map.ranges = std::move(ranges);
+  // Memlets reference parameters by name, so nothing else changes: only
+  // the ITERATION ORDER over the same iteration space is different, which
+  // is exactly the semantics of loop interchange on a parallel map.
+}
+
+}  // namespace dmv::transforms

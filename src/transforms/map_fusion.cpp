@@ -1,0 +1,298 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "dmv/transforms/transforms.hpp"
+
+namespace dmv::transforms {
+
+namespace {
+
+using ir::Edge;
+using ir::Memlet;
+using ir::Node;
+using ir::NodeKind;
+using ir::Subset;
+
+bool ranges_equal(const std::vector<ir::Range>& a,
+                  const std::vector<ir::Range>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].begin.equals(b[i].begin) || !a[i].end.equals(b[i].end) ||
+        !a[i].step.equals(b[i].step)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Subset rename_params(const Subset& subset,
+                     const std::map<std::string, symbolic::Expr>& renames) {
+  Subset result;
+  result.ranges.reserve(subset.ranges.size());
+  for (const ir::Range& range : subset.ranges) {
+    result.ranges.push_back(ir::Range{range.begin.substitute(renames),
+                                      range.end.substitute(renames),
+                                      range.step.substitute(renames)});
+  }
+  return result;
+}
+
+bool subsets_equal(const Subset& a, const Subset& b) {
+  if (a.ranges.size() != b.ranges.size()) return false;
+  for (std::size_t i = 0; i < a.ranges.size(); ++i) {
+    if (!a.ranges[i].begin.equals(b.ranges[i].begin) ||
+        !a.ranges[i].end.equals(b.ranges[i].end) ||
+        !a.ranges[i].step.equals(b.ranges[i].step)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// All access nodes of `data` across the whole SDFG.
+int count_access_nodes(const Sdfg& sdfg, const std::string& data) {
+  int count = 0;
+  for (const State& state : sdfg.states()) {
+    for (const Node& node : state.nodes()) {
+      if (node.kind == NodeKind::Access && node.data == data) ++count;
+    }
+  }
+  return count;
+}
+
+// The single edge matching a predicate, or nullptr if zero or many.
+template <typename Pred>
+const Edge* unique_edge(const State& state, Pred&& pred) {
+  const Edge* found = nullptr;
+  for (const Edge& edge : state.edges()) {
+    if (!pred(edge)) continue;
+    if (found != nullptr) return nullptr;
+    found = &edge;
+  }
+  return found;
+}
+
+}  // namespace
+
+std::vector<FusionCandidate> find_fusion_candidates(const Sdfg& sdfg) {
+  std::vector<FusionCandidate> candidates;
+  for (int s = 0; s < static_cast<int>(sdfg.states().size()); ++s) {
+    const State& state = sdfg.states()[s];
+    for (const Node& node : state.nodes()) {
+      // Pattern root: a top-level access node of a transient.
+      if (node.kind != NodeKind::Access) continue;
+      if (node.scope_parent != ir::kNoNode) continue;
+      if (!sdfg.has_array(node.data)) continue;
+      if (!sdfg.array(node.data).transient) continue;
+      // This must be the transient's only access node in the program.
+      if (count_access_nodes(sdfg, node.data) != 1) continue;
+
+      std::vector<const Edge*> in = state.in_edges(node.id);
+      std::vector<const Edge*> out = state.out_edges(node.id);
+      if (in.size() != 1 || out.size() != 1) continue;
+      const Node& producer_exit = state.node(in[0]->src);
+      const Node& consumer_entry = state.node(out[0]->dst);
+      if (producer_exit.kind != NodeKind::MapExit ||
+          consumer_entry.kind != NodeKind::MapEntry) {
+        continue;
+      }
+      const NodeId first_entry = producer_exit.paired;
+      const Node& first = state.node(first_entry);
+      if (first.scope_parent != ir::kNoNode ||
+          consumer_entry.scope_parent != ir::kNoNode) {
+        continue;
+      }
+      if (!ranges_equal(first.map.ranges, consumer_entry.map.ranges)) {
+        continue;
+      }
+      if (first.map.params.size() != consumer_entry.map.params.size()) {
+        continue;
+      }
+
+      // Inner producer edge: exactly one tasklet writes the transient.
+      const Edge* produce = unique_edge(state, [&](const Edge& edge) {
+        return edge.dst == producer_exit.id && !edge.memlet.is_empty() &&
+               edge.memlet.data == node.data;
+      });
+      if (produce == nullptr) continue;
+      if (produce->memlet.wcr != ir::Wcr::None) continue;
+      if (!produce->memlet.subset.is_single_element()) continue;
+      if (state.node(produce->src).kind != NodeKind::Tasklet) continue;
+
+      // Inner consumer edges: the consumer map distributes the transient.
+      std::map<std::string, symbolic::Expr> renames;
+      for (std::size_t p = 0; p < first.map.params.size(); ++p) {
+        renames.emplace(consumer_entry.map.params[p],
+                        symbolic::Expr::symbol(first.map.params[p]));
+      }
+      bool compatible = true;
+      bool any_consumer = false;
+      for (const Edge& edge : state.edges()) {
+        if (edge.src != consumer_entry.id || edge.memlet.is_empty() ||
+            edge.memlet.data != node.data) {
+          continue;
+        }
+        any_consumer = true;
+        if (!edge.memlet.subset.is_single_element() ||
+            !subsets_equal(rename_params(edge.memlet.subset, renames),
+                           produce->memlet.subset)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible || !any_consumer) continue;
+
+      FusionCandidate candidate;
+      candidate.state_index = s;
+      candidate.first_entry = first_entry;
+      candidate.second_entry = consumer_entry.id;
+      candidate.transient = node.data;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+void apply_map_fusion(Sdfg& sdfg, const FusionCandidate& candidate) {
+  State& state = sdfg.states().at(candidate.state_index);
+  const Node& first = state.node(candidate.first_entry);
+  const Node& second = state.node(candidate.second_entry);
+  if (first.kind != NodeKind::MapEntry ||
+      second.kind != NodeKind::MapEntry) {
+    throw std::invalid_argument("apply_map_fusion: stale candidate");
+  }
+  const NodeId first_exit = first.paired;
+  const NodeId second_exit = second.paired;
+
+  // The transient's access node between the two maps.
+  NodeId bridge = ir::kNoNode;
+  for (const Node& node : state.nodes()) {
+    if (node.kind == NodeKind::Access && node.data == candidate.transient) {
+      bridge = node.id;
+      break;
+    }
+  }
+  if (bridge == ir::kNoNode) {
+    throw std::invalid_argument("apply_map_fusion: transient access gone");
+  }
+
+  // Producer tasklet and its output connector for the transient.
+  NodeId producer = ir::kNoNode;
+  std::string producer_conn;
+  for (const Edge& edge : state.edges()) {
+    if (edge.dst == first_exit && !edge.memlet.is_empty() &&
+        edge.memlet.data == candidate.transient) {
+      producer = edge.src;
+      producer_conn = edge.src_conn;
+      break;
+    }
+  }
+  if (producer == ir::kNoNode) {
+    throw std::invalid_argument("apply_map_fusion: producer edge gone");
+  }
+
+  // Parameter renaming: second map's params become the first map's.
+  std::map<std::string, symbolic::Expr> renames;
+  for (std::size_t p = 0; p < first.map.params.size(); ++p) {
+    renames.emplace(second.map.params[p],
+                    symbolic::Expr::symbol(first.map.params[p]));
+  }
+
+  // Nodes transitively inside the second map (before any mutation).
+  std::set<NodeId> second_body;
+  for (const Node& node : state.nodes()) {
+    for (NodeId scope : state.scope_chain(node.id)) {
+      if (scope == candidate.second_entry) {
+        second_body.insert(node.id);
+        break;
+      }
+    }
+  }
+
+  // Rewrite memlets of every edge touching the second map's interior.
+  for (Edge& edge : state.mutable_edges()) {
+    const bool interior = second_body.contains(edge.src) ||
+                          second_body.contains(edge.dst) ||
+                          edge.src == candidate.second_entry;
+    if (!interior || edge.memlet.is_empty()) continue;
+    edge.memlet.subset = rename_params(edge.memlet.subset, renames);
+    if (!edge.memlet.other_subset.ranges.empty()) {
+      edge.memlet.other_subset =
+          rename_params(edge.memlet.other_subset, renames);
+    }
+  }
+
+  // Re-parent the second map's direct children (except its exit) into the
+  // first map.
+  for (Node& node : state.mutable_nodes()) {
+    if (node.scope_parent == candidate.second_entry &&
+        node.id != second_exit) {
+      node.scope_parent = candidate.first_entry;
+    }
+  }
+
+  // Redirect and rewrite edges.
+  std::vector<Edge> kept;
+  kept.reserve(state.edges().size());
+  for (Edge edge : state.edges()) {
+    // Drop the producer's write of the transient and the edges adjacent
+    // to the bridging access node (the round-trip fusion eliminates).
+    if (edge.dst == first_exit && !edge.memlet.is_empty() &&
+        edge.memlet.data == candidate.transient) {
+      continue;
+    }
+    if (edge.src == bridge || edge.dst == bridge) continue;
+
+    if (edge.src == candidate.second_entry) {
+      if (!edge.memlet.is_empty() &&
+          edge.memlet.data == candidate.transient) {
+        // Distribution of the transient becomes a direct scalar handoff
+        // from the producer tasklet.
+        Edge direct;
+        direct.src = producer;
+        direct.dst = edge.dst;
+        direct.src_conn = producer_conn;
+        direct.dst_conn = edge.dst_conn;
+        direct.memlet = Memlet::none();
+        kept.push_back(std::move(direct));
+        continue;
+      }
+      edge.src = candidate.first_entry;
+    }
+    if (edge.dst == candidate.second_entry) edge.dst = candidate.first_entry;
+    if (edge.src == second_exit) edge.src = first_exit;
+    if (edge.dst == second_exit) edge.dst = first_exit;
+    kept.push_back(std::move(edge));
+  }
+  state.mutable_edges() = std::move(kept);
+
+  state.erase_nodes({candidate.second_entry, second_exit, bridge});
+
+  // The transient should now be dead; drop its descriptor if so.
+  bool still_used = false;
+  for (const State& other : sdfg.states()) {
+    for (const Node& node : other.nodes()) {
+      if (node.kind == NodeKind::Access && node.data == candidate.transient) {
+        still_used = true;
+      }
+    }
+    for (const Edge& edge : other.edges()) {
+      if (edge.memlet.data == candidate.transient) still_used = true;
+    }
+  }
+  if (!still_used) sdfg.remove_array(candidate.transient);
+}
+
+int fuse_all(Sdfg& sdfg) {
+  int fused = 0;
+  for (;;) {
+    std::vector<FusionCandidate> candidates = find_fusion_candidates(sdfg);
+    if (candidates.empty()) return fused;
+    apply_map_fusion(sdfg, candidates.front());
+    ++fused;
+  }
+}
+
+}  // namespace dmv::transforms

@@ -1,0 +1,34 @@
+#include <stdexcept>
+
+#include "dmv/transforms/transforms.hpp"
+
+namespace dmv::transforms {
+
+void pad_innermost_stride(Sdfg& sdfg, const std::string& data,
+                          std::int64_t multiple_elements) {
+  if (multiple_elements <= 0) {
+    throw std::invalid_argument("pad_innermost_stride: bad multiple");
+  }
+  ir::DataDescriptor& descriptor = sdfg.array(data);
+  const int rank = descriptor.rank();
+  if (rank < 2) {
+    throw std::invalid_argument(
+        "pad_innermost_stride: container must be at least 2-D");
+  }
+  // Assumes a row-major layout (last dimension contiguous). Rebuild the
+  // strides with the row length rounded up to the requested multiple, so
+  // each row starts on a fresh cache line (Fig 8c post-padding). The
+  // padding elements exist in the allocation but are never addressed.
+  const symbolic::Expr padded_row =
+      symbolic::ceil_div(descriptor.shape[rank - 1],
+                         symbolic::Expr(multiple_elements)) *
+      multiple_elements;
+  std::vector<symbolic::Expr> strides(rank, symbolic::Expr(1));
+  strides[rank - 2] = padded_row;
+  for (int d = rank - 3; d >= 0; --d) {
+    strides[d] = strides[d + 1] * descriptor.shape[d + 1];
+  }
+  descriptor.strides = std::move(strides);
+}
+
+}  // namespace dmv::transforms

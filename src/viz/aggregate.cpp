@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dmv/viz/render.hpp"
+
+namespace dmv::viz {
+
+std::string render_aggregated_tiles_svg(
+    const layout::ConcreteLayout& layout, const std::vector<double>& values,
+    const AggregatedTileOptions& options) {
+  const int rank = layout.rank();
+  if (static_cast<std::int64_t>(values.size()) != layout.total_elements()) {
+    throw std::invalid_argument(
+        "render_aggregated_tiles_svg: values size mismatch");
+  }
+  if (static_cast<int>(options.prefix.size()) != std::max(0, rank - 2)) {
+    throw std::invalid_argument(
+        "render_aggregated_tiles_svg: prefix must fix all but the last "
+        "two dimensions");
+  }
+  if (options.max_tiles_per_axis <= 0) {
+    throw std::invalid_argument(
+        "render_aggregated_tiles_svg: bad max_tiles_per_axis");
+  }
+
+  const std::int64_t rows = rank >= 2 ? layout.shape[rank - 2] : 1;
+  const std::int64_t cols = rank >= 1 ? layout.shape[rank - 1] : 1;
+  const std::int64_t block_rows =
+      (rows + options.max_tiles_per_axis - 1) / options.max_tiles_per_axis;
+  const std::int64_t block_cols =
+      (cols + options.max_tiles_per_axis - 1) / options.max_tiles_per_axis;
+  const std::int64_t tile_rows = (rows + block_rows - 1) / block_rows;
+  const std::int64_t tile_cols = (cols + block_cols - 1) / block_cols;
+
+  // Reduce each block.
+  std::vector<double> aggregated(tile_rows * tile_cols, 0.0);
+  std::vector<std::int64_t> population(tile_rows * tile_cols, 0);
+  layout::Index indices(options.prefix.begin(), options.prefix.end());
+  indices.resize(rank, 0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (rank >= 2) indices[rank - 2] = r;
+      if (rank >= 1) indices[rank - 1] = c;
+      const double value = values[layout.flat_index(indices)];
+      const std::int64_t tile =
+          (r / block_rows) * tile_cols + (c / block_cols);
+      switch (options.aggregation) {
+        case TileAggregation::Sum:
+        case TileAggregation::Mean:
+          aggregated[tile] += value;
+          break;
+        case TileAggregation::Max:
+          aggregated[tile] = population[tile] == 0
+                                 ? value
+                                 : std::max(aggregated[tile], value);
+          break;
+      }
+      ++population[tile];
+    }
+  }
+  if (options.aggregation == TileAggregation::Mean) {
+    for (std::size_t t = 0; t < aggregated.size(); ++t) {
+      if (population[t] > 0) {
+        aggregated[t] /= static_cast<double>(population[t]);
+      }
+    }
+  }
+
+  HeatmapScale scale = HeatmapScale::fit(aggregated, options.scaling);
+  std::ostringstream svg;
+  const double tile = options.tile_size;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << tile_cols * tile + 2 << "\" height=\"" << tile_rows * tile + 24
+      << "\">\n";
+  svg << "<text x=\"0\" y=\"14\" font-size=\"13\" "
+         "font-family=\"monospace\" font-weight=\"bold\">"
+      << layout.name << " (" << block_rows << "x" << block_cols
+      << " elements/tile)</text>\n";
+  for (std::int64_t tr = 0; tr < tile_rows; ++tr) {
+    for (std::int64_t tc = 0; tc < tile_cols; ++tc) {
+      const double value = aggregated[tr * tile_cols + tc];
+      svg << "<rect x=\"" << tc * tile + 1 << "\" y=\""
+          << tr * tile + 23 << "\" width=\"" << tile - 1 << "\" height=\""
+          << tile - 1 << "\" fill=\""
+          << sample_color(scale.normalize(value), options.scheme).hex()
+          << "\"><title>rows " << tr * block_rows << ".."
+          << std::min(rows - 1, (tr + 1) * block_rows - 1) << ", cols "
+          << tc * block_cols << ".."
+          << std::min(cols - 1, (tc + 1) * block_cols - 1) << ": " << value
+          << "</title></rect>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace dmv::viz

@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "dmv/viz/render.hpp"
+
+namespace dmv::viz {
+
+std::string ascii_heatmap(const layout::ConcreteLayout& layout,
+                          const std::vector<double>& heat,
+                          const std::vector<std::int64_t>& prefix) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 10;
+  const int rank = layout.rank();
+  if (static_cast<std::int64_t>(heat.size()) != layout.total_elements()) {
+    throw std::invalid_argument("ascii_heatmap: heat size mismatch");
+  }
+  if (static_cast<int>(prefix.size()) != std::max(0, rank - 2)) {
+    throw std::invalid_argument(
+        "ascii_heatmap: prefix must fix all but the last two dimensions");
+  }
+
+  std::ostringstream out;
+  const std::int64_t rows = rank >= 2 ? layout.shape[rank - 2] : 1;
+  const std::int64_t cols =
+      rank >= 1 ? layout.shape[rank - 1] : 1;
+  layout::Index indices(prefix.begin(), prefix.end());
+  indices.resize(rank, 0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (rank >= 2) indices[rank - 2] = r;
+      if (rank >= 1) indices[rank - 1] = c;
+      const double t =
+          std::clamp(heat[layout.flat_index(indices)], 0.0, 1.0);
+      const int level =
+          std::min(kLevels - 1, static_cast<int>(t * kLevels));
+      out << kRamp[level];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c]
+          << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+    if (r == 0) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        out << '|' << std::string(widths[c] + 2, '-');
+      }
+      out << "|\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace dmv::viz

@@ -1,0 +1,286 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "dmv/viz/graph_layout.hpp"
+
+namespace dmv::viz {
+
+namespace {
+
+using ir::Edge;
+using ir::Node;
+using ir::NodeId;
+using ir::NodeKind;
+using ir::State;
+
+// Default node geometry per kind; width grows with the label.
+void node_size(const Node& node, bool collapsed, double& width,
+               double& height) {
+  const double label_width = 8.0 * static_cast<double>(node.label.size());
+  switch (node.kind) {
+    case NodeKind::Access:
+      width = std::max(70.0, label_width + 20.0);
+      height = 28.0;
+      break;
+    case NodeKind::Tasklet:
+      width = std::max(90.0, label_width + 24.0);
+      height = 36.0;
+      break;
+    case NodeKind::MapEntry:
+    case NodeKind::MapExit: {
+      double params_width = 0;
+      if (node.kind == NodeKind::MapEntry) {
+        for (std::size_t p = 0; p < node.map.params.size(); ++p) {
+          params_width += 10.0 * (node.map.params[p].size() +
+                                  node.map.ranges[p].to_string().size());
+        }
+      }
+      width = std::max(130.0, std::max(label_width, params_width) + 30.0);
+      height = collapsed ? 44.0 : 30.0;
+      break;
+    }
+  }
+}
+
+// True if the node is hidden inside a collapsed map scope.
+bool hidden_by_collapse(const State& state, NodeId id, bool respect) {
+  if (!respect) return false;
+  for (NodeId scope : state.scope_chain(id)) {
+    if (state.node(scope).map.collapsed) return true;
+  }
+  return false;
+}
+
+// For edges touching hidden nodes: remap the endpoint to the outermost
+// collapsed map entry that hides it (the summary box). A collapsed map's
+// exit also folds onto its entry.
+NodeId visible_representative(const State& state, NodeId id, bool respect) {
+  if (!respect) return id;
+  NodeId representative = id;
+  const std::vector<NodeId> chain = state.scope_chain(id);
+  // Outermost collapsed scope wins.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (state.node(*it).map.collapsed) {
+      representative = *it;
+      break;
+    }
+  }
+  const Node& node = state.node(representative);
+  if (node.kind == NodeKind::MapExit && node.paired != ir::kNoNode &&
+      state.node(node.paired).map.collapsed) {
+    representative = node.paired;
+  }
+  return representative;
+}
+
+}  // namespace
+
+const NodeBox* StateLayout::find(ir::NodeId id) const {
+  for (const NodeBox& box : nodes) {
+    if (box.id == id) return &box;
+  }
+  return nullptr;
+}
+
+StateLayout layout_state(const State& state, const LayoutOptions& options) {
+  StateLayout result;
+  const std::size_t n = state.num_nodes();
+
+  // Visible nodes and remapped edges.
+  std::vector<bool> visible(n, false);
+  for (const Node& node : state.nodes()) {
+    const bool hidden =
+        hidden_by_collapse(state, node.id, options.respect_collapsed);
+    const bool folded_exit =
+        options.respect_collapsed && node.kind == NodeKind::MapExit &&
+        node.paired != ir::kNoNode && state.node(node.paired).map.collapsed;
+    visible[node.id] = !hidden && !folded_exit;
+  }
+
+  struct VisibleEdge {
+    std::size_t index;
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<VisibleEdge> edges;
+  for (std::size_t e = 0; e < state.edges().size(); ++e) {
+    const Edge& edge = state.edges()[e];
+    NodeId src =
+        visible_representative(state, edge.src, options.respect_collapsed);
+    NodeId dst =
+        visible_representative(state, edge.dst, options.respect_collapsed);
+    if (options.respect_collapsed) {
+      const Node& src_node = state.node(src);
+      if (src_node.kind == NodeKind::MapExit && src_node.paired != ir::kNoNode &&
+          state.node(src_node.paired).map.collapsed) {
+        src = src_node.paired;
+      }
+      const Node& dst_node = state.node(dst);
+      if (dst_node.kind == NodeKind::MapExit && dst_node.paired != ir::kNoNode &&
+          state.node(dst_node.paired).map.collapsed) {
+        dst = dst_node.paired;
+      }
+    }
+    if (src == dst) continue;  // Edge fully inside a collapsed scope.
+    if (!visible[src] || !visible[dst]) continue;
+    edges.push_back(VisibleEdge{e, src, dst});
+  }
+
+  // Longest-path layering over visible edges.
+  std::vector<int> layer(n, 0);
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < static_cast<int>(n) + 2) {
+    changed = false;
+    for (const VisibleEdge& edge : edges) {
+      if (layer[edge.dst] < layer[edge.src] + 1) {
+        layer[edge.dst] = layer[edge.src] + 1;
+        changed = true;
+      }
+    }
+  }
+
+  int max_layer = 0;
+  for (const Node& node : state.nodes()) {
+    if (visible[node.id]) max_layer = std::max(max_layer, layer[node.id]);
+  }
+
+  // Initial ordering within each layer: node id (deterministic), then
+  // barycenter sweeps to reduce crossings.
+  std::vector<std::vector<NodeId>> layers(max_layer + 1);
+  for (const Node& node : state.nodes()) {
+    if (visible[node.id]) layers[layer[node.id]].push_back(node.id);
+  }
+
+  std::vector<double> position(n, 0);
+  for (auto& row : layers) {
+    for (std::size_t i = 0; i < row.size(); ++i) position[row[i]] = i;
+  }
+
+  auto barycenter_sweep = [&](bool downward) {
+    for (int l = downward ? 1 : max_layer - 1;
+         downward ? l <= max_layer : l >= 0; downward ? ++l : --l) {
+      std::vector<std::pair<double, NodeId>> keyed;
+      for (NodeId id : layers[l]) {
+        double sum = 0;
+        int count = 0;
+        for (const VisibleEdge& edge : edges) {
+          if (downward && edge.dst == id) {
+            sum += position[edge.src];
+            ++count;
+          }
+          if (!downward && edge.src == id) {
+            sum += position[edge.dst];
+            ++count;
+          }
+        }
+        keyed.emplace_back(count > 0 ? sum / count : position[id], id);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      for (std::size_t i = 0; i < keyed.size(); ++i) {
+        layers[l][i] = keyed[i].second;
+        position[keyed[i].second] = static_cast<double>(i);
+      }
+    }
+  };
+  for (int pass = 0; pass < 3; ++pass) {
+    barycenter_sweep(true);
+    barycenter_sweep(false);
+  }
+
+  // Coordinates: pack each layer left-to-right, then center layers.
+  std::vector<double> widths(n, 0), heights(n, 0);
+  for (const Node& node : state.nodes()) {
+    if (!visible[node.id]) continue;
+    node_size(node, options.respect_collapsed && node.map.collapsed,
+              widths[node.id], heights[node.id]);
+  }
+  std::vector<double> layer_width(max_layer + 1, 0);
+  std::vector<double> layer_height(max_layer + 1, 0);
+  for (int l = 0; l <= max_layer; ++l) {
+    double w = 0;
+    for (NodeId id : layers[l]) {
+      w += widths[id] + options.horizontal_gap;
+      layer_height[l] = std::max(layer_height[l], heights[id]);
+    }
+    layer_width[l] = std::max(0.0, w - options.horizontal_gap);
+  }
+  const double total_width =
+      *std::max_element(layer_width.begin(), layer_width.end()) + 40.0;
+
+  std::vector<double> x(n, 0), y(n, 0);
+  double cursor_y = 20.0;
+  for (int l = 0; l <= max_layer; ++l) {
+    double cursor_x = (total_width - layer_width[l]) / 2.0;
+    for (NodeId id : layers[l]) {
+      x[id] = cursor_x + widths[id] / 2.0;
+      y[id] = cursor_y + layer_height[l] / 2.0;
+      cursor_x += widths[id] + options.horizontal_gap;
+    }
+    cursor_y += layer_height[l] + options.vertical_gap;
+  }
+
+  // Relaxation: pull nodes toward the mean x of their neighbors, then
+  // resolve overlaps within each layer left to right.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int l = 0; l <= max_layer; ++l) {
+      for (NodeId id : layers[l]) {
+        double sum = 0;
+        int count = 0;
+        for (const VisibleEdge& edge : edges) {
+          if (edge.dst == id) {
+            sum += x[edge.src];
+            ++count;
+          }
+          if (edge.src == id) {
+            sum += x[edge.dst];
+            ++count;
+          }
+        }
+        if (count > 0) x[id] = 0.5 * x[id] + 0.5 * (sum / count);
+      }
+      // De-overlap, preserving order.
+      for (std::size_t i = 1; i < layers[l].size(); ++i) {
+        const NodeId left = layers[l][i - 1];
+        const NodeId right = layers[l][i];
+        const double min_x = x[left] + widths[left] / 2.0 +
+                             options.horizontal_gap + widths[right] / 2.0;
+        if (x[right] < min_x) x[right] = min_x;
+      }
+    }
+  }
+
+  double max_x = 0;
+  for (const Node& node : state.nodes()) {
+    if (!visible[node.id]) continue;
+    NodeBox box;
+    box.id = node.id;
+    box.x = x[node.id];
+    box.y = y[node.id];
+    box.width = widths[node.id];
+    box.height = heights[node.id];
+    box.collapsed = options.respect_collapsed && node.map.collapsed &&
+                    node.kind == NodeKind::MapEntry;
+    result.nodes.push_back(box);
+    max_x = std::max(max_x, box.x + box.width / 2.0);
+  }
+  for (const VisibleEdge& edge : edges) {
+    EdgePath path;
+    path.edge_index = edge.index;
+    path.x1 = x[edge.src];
+    path.y1 = y[edge.src] + heights[edge.src] / 2.0;
+    path.x2 = x[edge.dst];
+    path.y2 = y[edge.dst] - heights[edge.dst] / 2.0;
+    result.edges.push_back(path);
+  }
+  result.width = max_x + 20.0;
+  result.height = cursor_y;
+  return result;
+}
+
+}  // namespace dmv::viz

@@ -1,0 +1,153 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "dmv/viz/heatmap.hpp"
+
+namespace dmv::viz {
+
+std::string to_string(ScalingPolicy policy) {
+  switch (policy) {
+    case ScalingPolicy::Linear:
+      return "linear";
+    case ScalingPolicy::Exponential:
+      return "exponential";
+    case ScalingPolicy::MeanCentered:
+      return "mean";
+    case ScalingPolicy::MedianCentered:
+      return "median";
+    case ScalingPolicy::Histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+HeatmapScale HeatmapScale::fit(const std::vector<double>& values,
+                               ScalingPolicy policy) {
+  HeatmapScale scale;
+  scale.policy_ = policy;
+  if (values.empty()) return scale;
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  scale.min_ = sorted.front();
+  scale.max_ = sorted.back();
+
+  switch (policy) {
+    case ScalingPolicy::Linear:
+    case ScalingPolicy::Exponential:
+      break;
+    case ScalingPolicy::MeanCentered: {
+      double sum = 0;
+      for (double v : sorted) sum += v;
+      scale.center_ = sum / static_cast<double>(sorted.size());
+      break;
+    }
+    case ScalingPolicy::MedianCentered:
+      scale.center_ = sorted[sorted.size() / 2];
+      break;
+    case ScalingPolicy::Histogram: {
+      // One bucket per distinct observation (tolerant of tiny float
+      // noise): the paper's "each distinct observation a different
+      // color".
+      for (double v : sorted) {
+        if (scale.buckets_.empty() ||
+            v > scale.buckets_.back() +
+                    1e-9 * std::max(1.0, std::fabs(scale.buckets_.back()))) {
+          scale.buckets_.push_back(v);
+        }
+      }
+      break;
+    }
+  }
+  return scale;
+}
+
+double HeatmapScale::normalize(double value) const {
+  auto clamp01 = [](double t) { return std::clamp(t, 0.0, 1.0); };
+  switch (policy_) {
+    case ScalingPolicy::Linear: {
+      if (max_ <= min_) return 0;
+      return clamp01((value - min_) / (max_ - min_));
+    }
+    case ScalingPolicy::Exponential: {
+      // Shift into positive territory if needed, then log interpolate.
+      const double shift = min_ <= 0 ? 1.0 - min_ : 0.0;
+      const double lo = std::log(min_ + shift);
+      const double hi = std::log(max_ + shift);
+      if (hi <= lo) return 0;
+      return clamp01((std::log(value + shift) - lo) / (hi - lo));
+    }
+    case ScalingPolicy::MeanCentered:
+    case ScalingPolicy::MedianCentered: {
+      if (center_ <= 0) return 0;
+      // Scale runs [0, 2c]; observations above 2c clamp to the hot end.
+      return clamp01(value / (2.0 * center_));
+    }
+    case ScalingPolicy::Histogram: {
+      if (buckets_.size() <= 1) return 0;
+      const auto it =
+          std::lower_bound(buckets_.begin(), buckets_.end(),
+                           value - 1e-9 * std::max(1.0, std::fabs(value)));
+      const std::size_t index =
+          std::min<std::size_t>(it - buckets_.begin(), buckets_.size() - 1);
+      return static_cast<double>(index) /
+             static_cast<double>(buckets_.size() - 1);
+    }
+  }
+  return 0;
+}
+
+std::string Rgb::hex() const {
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x%02x", r, g, b);
+  return buffer;
+}
+
+namespace {
+
+Rgb lerp(const Rgb& a, const Rgb& b, double t) {
+  auto mix = [&](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(std::lround(x + (y - x) * t));
+  };
+  return Rgb{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b)};
+}
+
+// Green -> yellow -> red, the paper's ramp with the added yellow midpoint
+// for visual separation of mid-range values.
+Rgb green_yellow_red(double t) {
+  constexpr Rgb kGreen{46, 182, 44};
+  constexpr Rgb kYellow{250, 210, 1};
+  constexpr Rgb kRed{222, 45, 38};
+  if (t < 0.5) return lerp(kGreen, kYellow, t * 2.0);
+  return lerp(kYellow, kRed, (t - 0.5) * 2.0);
+}
+
+// Viridis control points (perceptually uniform, colorblind safe).
+Rgb viridis(double t) {
+  static constexpr Rgb kStops[] = {
+      {68, 1, 84},   {71, 44, 122},  {59, 81, 139},  {44, 113, 142},
+      {33, 144, 141}, {39, 173, 129}, {92, 200, 99},  {170, 220, 50},
+      {253, 231, 37},
+  };
+  constexpr int kCount = static_cast<int>(std::size(kStops));
+  const double scaled = t * (kCount - 1);
+  const int low = static_cast<int>(scaled);
+  if (low >= kCount - 1) return kStops[kCount - 1];
+  return lerp(kStops[low], kStops[low + 1], scaled - low);
+}
+
+}  // namespace
+
+Rgb sample_color(double t, ColorScheme scheme) {
+  t = std::clamp(t, 0.0, 1.0);
+  switch (scheme) {
+    case ColorScheme::GreenYellowRed:
+      return green_yellow_red(t);
+    case ColorScheme::Viridis:
+      return viridis(t);
+  }
+  return Rgb{};
+}
+
+}  // namespace dmv::viz

@@ -1,0 +1,57 @@
+#include <sstream>
+
+#include "dmv/viz/render.hpp"
+
+namespace dmv::viz {
+
+namespace {
+
+using ir::Node;
+using ir::NodeId;
+using ir::NodeKind;
+using ir::State;
+
+void outline_scope(const State& state, NodeId scope, int depth,
+                   std::ostringstream& out) {
+  for (NodeId id : state.scope_children(scope)) {
+    const Node& node = state.node(id);
+    if (node.kind == NodeKind::MapExit) continue;
+    out << std::string(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (node.kind) {
+      case NodeKind::Access:
+        out << "(access) " << node.data << '\n';
+        break;
+      case NodeKind::Tasklet:
+        out << "[tasklet] " << node.label << '\n';
+        break;
+      case NodeKind::MapEntry: {
+        out << "<map> " << node.map.label << " [";
+        for (std::size_t p = 0; p < node.map.params.size(); ++p) {
+          if (p > 0) out << ", ";
+          out << node.map.params[p] << '=' << node.map.ranges[p].to_string();
+        }
+        out << "]" << (node.map.collapsed ? " (collapsed)" : "") << '\n';
+        if (!node.map.collapsed) {
+          outline_scope(state, node.id, depth + 1, out);
+        }
+        break;
+      }
+      case NodeKind::MapExit:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string outline(const ir::Sdfg& sdfg) {
+  std::ostringstream out;
+  out << "SDFG " << sdfg.name() << '\n';
+  for (const State& state : sdfg.states()) {
+    out << "  state " << state.name() << '\n';
+    outline_scope(state, ir::kNoNode, 2, out);
+  }
+  return out.str();
+}
+
+}  // namespace dmv::viz

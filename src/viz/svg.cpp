@@ -1,0 +1,247 @@
+#include <cmath>
+#include <sstream>
+
+#include "dmv/viz/render.hpp"
+
+namespace dmv::viz {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void draw_node(std::ostringstream& svg, const ir::State& state,
+               const NodeBox& box, const GraphRenderOptions& options) {
+  const Node& node = state.node(box.id);
+  std::string fill = "#f5f5f5";
+  auto heat = options.node_heat.find(box.id);
+  if (heat != options.node_heat.end()) {
+    fill = sample_color(heat->second, options.scheme).hex();
+  }
+  const double left = box.x - box.width / 2.0;
+  const double top = box.y - box.height / 2.0;
+
+  switch (node.kind) {
+    case NodeKind::Access:
+      svg << "<ellipse cx=\"" << box.x << "\" cy=\"" << box.y << "\" rx=\""
+          << box.width / 2.0 << "\" ry=\"" << box.height / 2.0
+          << "\" fill=\"" << fill << "\" stroke=\"#333\"/>";
+      break;
+    case NodeKind::Tasklet:
+      svg << "<rect x=\"" << left << "\" y=\"" << top << "\" width=\""
+          << box.width << "\" height=\"" << box.height
+          << "\" rx=\"6\" fill=\"" << fill << "\" stroke=\"#333\"/>";
+      break;
+    case NodeKind::MapEntry: {
+      // Trapezoid header bar (wide top), per the paper's map rendering.
+      const double inset = std::min(18.0, box.width / 5.0);
+      svg << "<polygon points=\"" << left << ',' << top << ' '
+          << (left + box.width) << ',' << top << ' '
+          << (left + box.width - inset) << ',' << (top + box.height) << ' '
+          << (left + inset) << ',' << (top + box.height) << "\" fill=\""
+          << fill << "\" stroke=\"#333\"/>";
+      break;
+    }
+    case NodeKind::MapExit: {
+      const double inset = std::min(18.0, box.width / 5.0);
+      svg << "<polygon points=\"" << (left + inset) << ',' << top << ' '
+          << (left + box.width - inset) << ',' << top << ' '
+          << (left + box.width) << ',' << (top + box.height) << ' ' << left
+          << ',' << (top + box.height) << "\" fill=\"" << fill
+          << "\" stroke=\"#333\"/>";
+      break;
+    }
+  }
+
+  if (options.scale >= 0.5) {
+    std::string label = node.label;
+    if (node.kind == NodeKind::MapEntry) {
+      label += " [";
+      for (std::size_t p = 0; p < node.map.params.size(); ++p) {
+        if (p > 0) label += ", ";
+        label += node.map.params[p] + "=" + node.map.ranges[p].to_string();
+      }
+      label += "]";
+    }
+    if (box.collapsed) label += " (collapsed)";
+    svg << "<text x=\"" << box.x << "\" y=\"" << (box.y + 4)
+        << "\" text-anchor=\"middle\" font-size=\"12\" "
+           "font-family=\"monospace\">"
+        << xml_escape(label) << "</text>";
+  }
+}
+
+}  // namespace
+
+std::string render_state_svg(const ir::State& state,
+                             const GraphRenderOptions& options) {
+  const StateLayout layout = layout_state(state, options.layout);
+  std::ostringstream svg;
+  const double w = layout.width * options.scale;
+  const double h = layout.height * options.scale;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+      << "\" height=\"" << h << "\" viewBox=\"0 0 " << layout.width << ' '
+      << layout.height << "\">\n";
+  svg << "<defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" "
+         "refY=\"5\" markerWidth=\"7\" markerHeight=\"7\" "
+         "orient=\"auto-start-reverse\"><path d=\"M 0 0 L 10 5 L 0 10 z\" "
+         "fill=\"#555\"/></marker></defs>\n";
+
+  auto hidden = [&](ir::NodeId id) {
+    return options.hidden_kinds.contains(state.node(id).kind);
+  };
+
+  for (const EdgePath& edge : layout.edges) {
+    const ir::Edge& endpoints = state.edges()[edge.edge_index];
+    if (hidden(endpoints.src) || hidden(endpoints.dst)) continue;
+    std::string stroke = "#999";
+    double width = 1.5;
+    auto heat = options.edge_heat.find(edge.edge_index);
+    if (heat != options.edge_heat.end()) {
+      stroke = sample_color(heat->second, options.scheme).hex();
+      width = 1.5 + 3.5 * heat->second;  // Hotter edges also get thicker.
+    }
+    svg << "<line x1=\"" << edge.x1 << "\" y1=\"" << edge.y1 << "\" x2=\""
+        << edge.x2 << "\" y2=\"" << edge.y2 << "\" stroke=\"" << stroke
+        << "\" stroke-width=\"" << width << "\" marker-end=\"url(#arrow)\"";
+    const ir::Edge& ir_edge = state.edges()[edge.edge_index];
+    if (!ir_edge.memlet.is_empty()) {
+      svg << "><title>" << xml_escape(ir_edge.memlet.to_string());
+      auto label = options.edge_label.find(edge.edge_index);
+      if (label != options.edge_label.end()) {
+        svg << " | " << xml_escape(label->second);
+      }
+      svg << "</title></line>\n";
+    } else {
+      svg << "/>\n";
+    }
+    auto label = options.edge_label.find(edge.edge_index);
+    if (label != options.edge_label.end() && options.scale >= 0.5) {
+      svg << "<text x=\"" << (edge.x1 + edge.x2) / 2.0 + 6 << "\" y=\""
+          << (edge.y1 + edge.y2) / 2.0
+          << "\" font-size=\"10\" font-family=\"monospace\" fill=\"#444\">"
+          << xml_escape(label->second) << "</text>\n";
+    }
+  }
+
+  for (const NodeBox& box : layout.nodes) {
+    if (hidden(box.id)) continue;
+    draw_node(svg, state, box, options);
+    svg << '\n';
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_sdfg_svg(
+    const ir::Sdfg& sdfg,
+    const std::map<int, GraphRenderOptions>& per_state) {
+  // Render each state body, then compose: frames stacked vertically,
+  // joined by control-flow arrows.
+  struct Panel {
+    std::string body;
+    double width = 0;
+    double height = 0;
+    std::string name;
+  };
+  std::vector<Panel> panels;
+  double max_width = 0;
+  for (int s = 0; s < static_cast<int>(sdfg.states().size()); ++s) {
+    auto it = per_state.find(s);
+    const GraphRenderOptions options =
+        it == per_state.end() ? GraphRenderOptions{} : it->second;
+    const StateLayout layout =
+        layout_state(sdfg.states()[s], options.layout);
+    Panel panel;
+    panel.body = render_state_svg(sdfg.states()[s], options);
+    panel.width = layout.width;
+    panel.height = layout.height;
+    panel.name = sdfg.states()[s].name();
+    max_width = std::max(max_width, panel.width);
+    panels.push_back(std::move(panel));
+  }
+
+  constexpr double kHeader = 26;
+  constexpr double kGap = 46;
+  double total_height = 20;
+  for (const Panel& panel : panels) {
+    total_height += kHeader + panel.height + kGap;
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << max_width + 40 << "\" height=\"" << total_height << "\">\n";
+  svg << "<text x=\"8\" y=\"14\" font-size=\"14\" "
+         "font-family=\"monospace\" font-weight=\"bold\">SDFG "
+      << xml_escape(sdfg.name()) << "</text>\n";
+  double y = 20;
+  for (std::size_t s = 0; s < panels.size(); ++s) {
+    const Panel& panel = panels[s];
+    svg << "<rect x=\"10\" y=\"" << y << "\" width=\"" << max_width + 20
+        << "\" height=\"" << panel.height + kHeader
+        << "\" fill=\"#fafafa\" stroke=\"#666\" rx=\"8\"/>\n";
+    svg << "<text x=\"18\" y=\"" << y + 17
+        << "\" font-size=\"12\" font-family=\"monospace\">state "
+        << xml_escape(panel.name) << "</text>\n";
+    // Inline the state body, stripped of its own <svg> wrapper, inside a
+    // translated group.
+    std::string body = panel.body;
+    const std::size_t open_end = body.find('\n');
+    const std::size_t close = body.rfind("</svg>");
+    body = body.substr(open_end + 1, close - open_end - 1);
+    svg << "<g transform=\"translate(20, " << y + kHeader << ")\">\n"
+        << body << "</g>\n";
+    y += kHeader + panel.height;
+    if (s + 1 < panels.size()) {
+      svg << "<line x1=\"" << max_width / 2 + 20 << "\" y1=\"" << y
+          << "\" x2=\"" << max_width / 2 + 20 << "\" y2=\"" << y + kGap
+          << "\" stroke=\"#333\" stroke-width=\"2\" "
+             "marker-end=\"url(#arrow)\"/>\n";
+    }
+    y += kGap;
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_minimap_svg(const ir::State& state, double viewport_x,
+                               double viewport_y, double viewport_w,
+                               double viewport_h) {
+  GraphRenderOptions options;
+  options.scale = 0.15;
+  std::string body = render_state_svg(state, options);
+  // Append a viewport rectangle before the closing tag.
+  std::ostringstream rect;
+  rect << "<rect x=\"" << viewport_x << "\" y=\"" << viewport_y
+       << "\" width=\"" << viewport_w << "\" height=\"" << viewport_h
+       << "\" fill=\"none\" stroke=\"#1565c0\" stroke-width=\"4\"/>\n";
+  const std::size_t pos = body.rfind("</svg>");
+  body.insert(pos, rect.str());
+  return body;
+}
+
+}  // namespace dmv::viz

@@ -1,0 +1,193 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "dmv/viz/render.hpp"
+
+namespace dmv::viz {
+
+namespace {
+
+constexpr double kGap = 8;  ///< Gap between nested blocks.
+
+// Geometry of the §V-B hierarchical layout: the two innermost dimensions
+// form a 2-D tile grid; each further dimension nests those blocks in
+// alternating horizontal / vertical 1-D grids.
+struct BlockGeometry {
+  double width = 0;
+  double height = 0;
+};
+
+bool level_is_horizontal(int rank, int dim) {
+  // dim indexes the outer dimension being laid out (0-based). The level
+  // closest to the 2-D core is horizontal, then alternate outward.
+  const int level = (rank - 2) - dim;  // 1 = innermost outer level.
+  return level % 2 == 1;
+}
+
+BlockGeometry measure(const std::vector<std::int64_t>& shape, int dim,
+                      double tile) {
+  const int rank = static_cast<int>(shape.size());
+  if (rank == 0) return {tile, tile};
+  if (dim == rank - 1) {
+    return {static_cast<double>(shape[dim]) * tile, tile};
+  }
+  if (dim == rank - 2) {
+    return {static_cast<double>(shape[dim + 1]) * tile,
+            static_cast<double>(shape[dim]) * tile};
+  }
+  const BlockGeometry child = measure(shape, dim + 1, tile);
+  const double count = static_cast<double>(shape[dim]);
+  if (level_is_horizontal(rank, dim)) {
+    return {count * child.width + (count - 1) * kGap, child.height};
+  }
+  return {child.width, count * child.height + (count - 1) * kGap};
+}
+
+// Top-left corner of an element's tile.
+void locate(const std::vector<std::int64_t>& shape,
+            const std::vector<std::int64_t>& indices, double tile,
+            double& x, double& y) {
+  const int rank = static_cast<int>(shape.size());
+  x = 0;
+  y = 0;
+  if (rank == 0) return;
+  for (int d = 0; d < rank - 2; ++d) {
+    const BlockGeometry child = measure(shape, d + 1, tile);
+    if (level_is_horizontal(rank, d)) {
+      x += static_cast<double>(indices[d]) * (child.width + kGap);
+    } else {
+      y += static_cast<double>(indices[d]) * (child.height + kGap);
+    }
+  }
+  if (rank >= 2) {
+    y += static_cast<double>(indices[rank - 2]) * tile;
+    x += static_cast<double>(indices[rank - 1]) * tile;
+  } else {
+    x += static_cast<double>(indices[rank - 1]) * tile;
+  }
+}
+
+std::string index_text(const std::vector<std::int64_t>& indices) {
+  std::string text = "[";
+  for (std::size_t d = 0; d < indices.size(); ++d) {
+    if (d > 0) text += ", ";
+    text += std::to_string(indices[d]);
+  }
+  return text + "]";
+}
+
+}  // namespace
+
+std::string render_tiles_svg(const layout::ConcreteLayout& layout,
+                             const TileRenderOptions& options) {
+  const double tile = options.tile_size;
+  const BlockGeometry geometry = measure(layout.shape, 0, tile);
+  const double header = options.show_name ? 22.0 : 0.0;
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << geometry.width + 2 << "\" height=\"" << geometry.height + header + 2
+      << "\">\n";
+  if (options.show_name) {
+    svg << "<text x=\"0\" y=\"14\" font-size=\"13\" "
+           "font-family=\"monospace\" font-weight=\"bold\">"
+        << layout.name << "</text>\n";
+  }
+
+  const std::int64_t total = layout.total_elements();
+  for (std::int64_t flat = 0; flat < total; ++flat) {
+    const layout::Index indices = layout.unflatten(flat);
+    double x = 0, y = 0;
+    locate(layout.shape, indices, tile, x, y);
+    y += header;
+
+    std::string fill = "#e8e8e8";
+    if (options.heat != nullptr) {
+      fill = sample_color((*options.heat)[flat], options.scheme).hex();
+    }
+    if (options.highlighted.contains(flat)) fill = "#39b54a";
+    const bool selected = options.selected.contains(flat);
+    svg << "<rect x=\"" << x + 1 << "\" y=\"" << y + 1 << "\" width=\""
+        << tile - 2 << "\" height=\"" << tile - 2 << "\" fill=\"" << fill
+        << "\" stroke=\"" << (selected ? "#1565c0" : "#888")
+        << "\" stroke-width=\"" << (selected ? 2.5 : 0.6) << "\">";
+    svg << "<title>" << layout.name << index_text(indices) << " @byte "
+        << layout.byte_address(indices);
+    if (options.counts != nullptr) {
+      svg << " | accesses: " << (*options.counts)[flat];
+    }
+    svg << "</title></rect>\n";
+    if (options.counts != nullptr && tile >= 16) {
+      const std::int64_t count = (*options.counts)[flat];
+      if (count != 0 && count < 10000) {
+        svg << "<text x=\"" << x + tile / 2 << "\" y=\"" << y + tile / 2 + 3
+            << "\" text-anchor=\"middle\" font-size=\"" << tile / 2.4
+            << "\" font-family=\"monospace\">" << count << "</text>\n";
+      }
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_histogram_svg(const std::vector<std::int64_t>& values,
+                                 const HistogramRenderOptions& options) {
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\">\n";
+  if (!options.title.empty()) {
+    svg << "<text x=\"4\" y=\"14\" font-size=\"12\" "
+           "font-family=\"monospace\" font-weight=\"bold\">"
+        << options.title << "</text>\n";
+  }
+  const double top = 24, bottom = options.height - 26, left = 8,
+               right = options.width - 8;
+
+  if (!values.empty()) {
+    const std::int64_t lo = *std::min_element(values.begin(), values.end());
+    const std::int64_t hi = *std::max_element(values.begin(), values.end());
+    const int buckets = static_cast<int>(std::min<std::int64_t>(
+        options.max_buckets, std::max<std::int64_t>(1, hi - lo + 1)));
+    std::vector<std::int64_t> counts(buckets, 0);
+    const double span = static_cast<double>(hi - lo + 1);
+    for (std::int64_t v : values) {
+      int bucket = static_cast<int>(
+          std::floor(static_cast<double>(v - lo) / span * buckets));
+      bucket = std::clamp(bucket, 0, buckets - 1);
+      ++counts[bucket];
+    }
+    const std::int64_t peak =
+        *std::max_element(counts.begin(), counts.end());
+    const double bar_width = (right - left) / buckets;
+    for (int b = 0; b < buckets; ++b) {
+      const double height =
+          peak == 0 ? 0
+                    : (bottom - top) * static_cast<double>(counts[b]) /
+                          static_cast<double>(peak);
+      svg << "<rect x=\"" << left + b * bar_width << "\" y=\""
+          << bottom - height << "\" width=\"" << bar_width - 1
+          << "\" height=\"" << height << "\" fill=\"#4a90d9\"><title>"
+          << "distance " << lo + static_cast<std::int64_t>(b * span / buckets)
+          << "..: " << counts[b] << " accesses</title></rect>\n";
+    }
+    svg << "<text x=\"" << left << "\" y=\"" << options.height - 12
+        << "\" font-size=\"10\" font-family=\"monospace\">" << lo
+        << "</text>\n";
+    svg << "<text x=\"" << right << "\" y=\"" << options.height - 12
+        << "\" text-anchor=\"end\" font-size=\"10\" "
+           "font-family=\"monospace\">"
+        << hi << "</text>\n";
+  }
+  if (options.cold_misses > 0) {
+    svg << "<text x=\"" << options.width / 2 << "\" y=\""
+        << options.height - 2
+        << "\" text-anchor=\"middle\" font-size=\"10\" fill=\"#b00\" "
+           "font-family=\"monospace\">"
+        << options.cold_misses << " cold miss"
+        << (options.cold_misses == 1 ? "" : "es") << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace dmv::viz

@@ -1,0 +1,244 @@
+#include <set>
+#include <string>
+
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/transforms/transforms.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads {
+
+namespace {
+
+using builder::ProgramBuilder;
+using builder::TaskletIo;
+
+// Builds the maximally split (NumPy-style) encoder layer: every operator
+// is its own parallel map, every intermediate lives in memory. This is
+// the "large graph" of Fig 6 (left) whose red high-volume edges the
+// global heatmap exposes.
+Sdfg build_baseline() {
+  ProgramBuilder p("bert_encoder");
+  p.symbols({"B", "H", "SM", "I", "emb", "P"});
+
+  // Inputs / parameters.
+  p.array("x", {"B", "SM", "I"}, 4);
+  p.array("wq", {"H", "I", "P"}, 4);
+  p.array("wk", {"H", "I", "P"}, 4);
+  p.array("wv", {"H", "I", "P"}, 4);
+  p.array("wo", {"H", "P", "I"}, 4);
+  p.array("w1", {"I", "emb"}, 4);
+  p.array("b1", {"emb"}, 4);
+  p.array("w2", {"emb", "I"}, 4);
+  p.array("b2", {"I"}, 4);
+  p.array("gamma1", {"I"}, 4);
+  p.array("beta1", {"I"}, 4);
+  p.array("gamma2", {"I"}, 4);
+  p.array("beta2", {"I"}, 4);
+  p.array("out", {"B", "SM", "I"}, 4);
+
+  // Intermediates.
+  p.transient("Q", {"B", "H", "SM", "P"}, 4);
+  p.transient("Kt", {"B", "H", "SM", "P"}, 4);
+  p.transient("V", {"B", "H", "SM", "P"}, 4);
+  p.transient("S", {"B", "H", "SM", "SM"}, 4);
+  p.transient("Ss", {"B", "H", "SM", "SM"}, 4);
+  p.transient("D", {"B", "H", "SM", "SM"}, 4);
+  p.transient("E", {"B", "H", "SM", "SM"}, 4);
+  p.transient("mx", {"B", "H", "SM"}, 4);
+  p.transient("sm", {"B", "H", "SM"}, 4);
+  p.transient("Pattn", {"B", "H", "SM", "SM"}, 4);
+  p.transient("C", {"B", "H", "SM", "P"}, 4);
+  p.transient("O", {"B", "SM", "I"}, 4);
+  p.transient("r1", {"B", "SM", "I"}, 4);
+  p.transient("mean1", {"B", "SM"}, 4);
+  p.transient("var1", {"B", "SM"}, 4);
+  p.transient("n1", {"B", "SM", "I"}, 4);
+  p.transient("y1", {"B", "SM", "I"}, 4);
+  p.transient("F1", {"B", "SM", "emb"}, 4);
+  p.transient("Fb", {"B", "SM", "emb"}, 4);
+  p.transient("G", {"B", "SM", "emb"}, 4);
+  p.transient("F2", {"B", "SM", "I"}, 4);
+  p.transient("F2b", {"B", "SM", "I"}, 4);
+  p.transient("r2", {"B", "SM", "I"}, 4);
+  p.transient("mean2", {"B", "SM"}, 4);
+  p.transient("var2", {"B", "SM"}, 4);
+  p.transient("n2", {"B", "SM", "I"}, 4);
+
+  p.state("encoder");
+
+  // --- Attention input projections (contractions over i, WCR-summed).
+  for (const auto& [name, weight] :
+       {std::pair{"Q", "wq"}, {"Kt", "wk"}, {"V", "wv"}}) {
+    p.mapped_tasklet(
+        std::string(name) + "_proj",
+        {{"b", "0:B-1"},
+         {"h", "0:H-1"},
+         {"s", "0:SM-1"},
+         {"pp", "0:P-1"},
+         {"i", "0:I-1"}},
+        {{"xv", "x", "b, s, i"}, {"w", weight, "h, i, pp"}},
+        "o = xv * w", {{"o", name, "b, h, s, pp", ir::Wcr::Sum}});
+  }
+
+  // --- Attention scores S = Q K^T.
+  p.mapped_tasklet("scores",
+                   {{"b", "0:B-1"},
+                    {"h", "0:H-1"},
+                    {"s", "0:SM-1"},
+                    {"t", "0:SM-1"},
+                    {"pp", "0:P-1"}},
+                   {{"q", "Q", "b, h, s, pp"}, {"kv", "Kt", "b, h, t, pp"}},
+                   "o = q * kv", {{"o", "S", "b, h, s, t", ir::Wcr::Sum}});
+
+  const std::vector<builder::MapRange> attn4 = {
+      {"b", "0:B-1"}, {"h", "0:H-1"}, {"s", "0:SM-1"}, {"t", "0:SM-1"}};
+
+  // --- Softmax pipeline, maximally split (the fusion-set-1 material).
+  p.mapped_tasklet("scale", attn4, {{"v", "S", "b, h, s, t"}},
+                   "o = v * 0.125", {{"o", "Ss", "b, h, s, t"}});
+  p.mapped_tasklet("rowmax", attn4, {{"v", "Ss", "b, h, s, t"}}, "o = v",
+                   {{"o", "mx", "b, h, s", ir::Wcr::Max}});
+  p.mapped_tasklet("submax", attn4,
+                   {{"v", "Ss", "b, h, s, t"}, {"m", "mx", "b, h, s"}},
+                   "o = v - m", {{"o", "D", "b, h, s, t"}});
+  p.mapped_tasklet("expval", attn4, {{"v", "D", "b, h, s, t"}},
+                   "o = exp(v)", {{"o", "E", "b, h, s, t"}});
+  p.mapped_tasklet("rowsum", attn4, {{"v", "E", "b, h, s, t"}}, "o = v",
+                   {{"o", "sm", "b, h, s", ir::Wcr::Sum}});
+  p.mapped_tasklet("normalize", attn4,
+                   {{"v", "E", "b, h, s, t"}, {"z", "sm", "b, h, s"}},
+                   "o = v / z", {{"o", "Pattn", "b, h, s, t"}});
+
+  // --- Context and output projection.
+  p.mapped_tasklet("context",
+                   {{"b", "0:B-1"},
+                    {"h", "0:H-1"},
+                    {"s", "0:SM-1"},
+                    {"pp", "0:P-1"},
+                    {"t", "0:SM-1"}},
+                   {{"a", "Pattn", "b, h, s, t"}, {"v", "V", "b, h, t, pp"}},
+                   "o = a * v", {{"o", "C", "b, h, s, pp", ir::Wcr::Sum}});
+  p.mapped_tasklet("out_proj",
+                   {{"b", "0:B-1"},
+                    {"s", "0:SM-1"},
+                    {"i", "0:I-1"},
+                    {"h", "0:H-1"},
+                    {"pp", "0:P-1"}},
+                   {{"c", "C", "b, h, s, pp"}, {"w", "wo", "h, pp, i"}},
+                   "o = c * w", {{"o", "O", "b, s, i", ir::Wcr::Sum}});
+
+  const std::vector<builder::MapRange> tok3 = {
+      {"b", "0:B-1"}, {"s", "0:SM-1"}, {"i", "0:I-1"}};
+
+  // --- Residual + layernorm 1, split into stat and apply maps.
+  p.mapped_tasklet("residual1", tok3,
+                   {{"a", "O", "b, s, i"}, {"xv", "x", "b, s, i"}},
+                   "o = a + xv", {{"o", "r1", "b, s, i"}});
+  p.mapped_tasklet("mean1", tok3, {{"v", "r1", "b, s, i"}}, "o = v",
+                   {{"o", "mean1", "b, s", ir::Wcr::Sum}});
+  p.mapped_tasklet("var1", tok3, {{"v", "r1", "b, s, i"}}, "o = v * v",
+                   {{"o", "var1", "b, s", ir::Wcr::Sum}});
+  p.mapped_tasklet(
+      "norm1", tok3,
+      {{"v", "r1", "b, s, i"}, {"mu", "mean1", "b, s"},
+       {"s2", "var1", "b, s"}},
+      "m = mu / I; o = (v - m) / sqrt(s2 / I - m * m + 0.00001)",
+      {{"o", "n1", "b, s, i"}});
+  p.mapped_tasklet("affine1", tok3,
+                   {{"v", "n1", "b, s, i"}, {"g", "gamma1", "i"},
+                    {"bb", "beta1", "i"}},
+                   "o = g * v + bb", {{"o", "y1", "b, s, i"}});
+
+  // --- Feed-forward network.
+  p.mapped_tasklet("ffn1",
+                   {{"b", "0:B-1"},
+                    {"s", "0:SM-1"},
+                    {"e", "0:emb-1"},
+                    {"i", "0:I-1"}},
+                   {{"v", "y1", "b, s, i"}, {"w", "w1", "i, e"}},
+                   "o = v * w", {{"o", "F1", "b, s, e", ir::Wcr::Sum}});
+  const std::vector<builder::MapRange> ffn3 = {
+      {"b", "0:B-1"}, {"s", "0:SM-1"}, {"e", "0:emb-1"}};
+  p.mapped_tasklet("bias1", ffn3,
+                   {{"v", "F1", "b, s, e"}, {"bb", "b1", "e"}},
+                   "o = v + bb", {{"o", "Fb", "b, s, e"}});
+  p.mapped_tasklet(
+      "gelu", ffn3, {{"v", "Fb", "b, s, e"}},
+      "o = 0.5 * v * (1 + erf(v / 1.4142135623730951))",
+      {{"o", "G", "b, s, e"}});
+  p.mapped_tasklet("ffn2",
+                   {{"b", "0:B-1"},
+                    {"s", "0:SM-1"},
+                    {"i", "0:I-1"},
+                    {"e", "0:emb-1"}},
+                   {{"v", "G", "b, s, e"}, {"w", "w2", "e, i"}},
+                   "o = v * w", {{"o", "F2", "b, s, i", ir::Wcr::Sum}});
+
+  // --- Residual + layernorm 2 -> output.
+  p.mapped_tasklet("bias2", tok3,
+                   {{"v", "F2", "b, s, i"}, {"bb", "b2", "i"}},
+                   "o = v + bb", {{"o", "F2b", "b, s, i"}});
+  p.mapped_tasklet("residual2", tok3,
+                   {{"a", "F2b", "b, s, i"}, {"yv", "y1", "b, s, i"}},
+                   "o = a + yv", {{"o", "r2", "b, s, i"}});
+  p.mapped_tasklet("mean2", tok3, {{"v", "r2", "b, s, i"}}, "o = v",
+                   {{"o", "mean2", "b, s", ir::Wcr::Sum}});
+  p.mapped_tasklet("var2", tok3, {{"v", "r2", "b, s, i"}}, "o = v * v",
+                   {{"o", "var2", "b, s", ir::Wcr::Sum}});
+  p.mapped_tasklet(
+      "norm2", tok3,
+      {{"v", "r2", "b, s, i"}, {"mu", "mean2", "b, s"},
+       {"s2", "var2", "b, s"}},
+      "m = mu / I; o = (v - m) / sqrt(s2 / I - m * m + 0.00001)",
+      {{"o", "n2", "b, s, i"}});
+  p.mapped_tasklet("affine2", tok3,
+                   {{"v", "n2", "b, s, i"}, {"g", "gamma2", "i"},
+                    {"bb", "beta2", "i"}},
+                   "o = g * v + bb", {{"o", "out", "b, s, i"}});
+
+  return p.take();
+}
+
+}  // namespace
+
+Sdfg bert_encoder(BertStage stage) {
+  Sdfg program = build_baseline();
+  if (stage == BertStage::Baseline) return program;
+
+  // First fusion set (§VI-A): the chains the data-movement heatmap flags,
+  // in the attention softmax pipeline and the FFN activation. (Transients
+  // with several consumers, like Ss and E, are correctly NOT fusible —
+  // their consumers include reductions whose results feed back into the
+  // same iteration domain.)
+  const std::set<std::string> first_set = {"D", "Fb", "F2b"};
+  for (;;) {
+    bool applied = false;
+    for (const transforms::FusionCandidate& candidate :
+         transforms::find_fusion_candidates(program)) {
+      if (first_set.contains(candidate.transient)) {
+        transforms::apply_map_fusion(program, candidate);
+        applied = true;
+        break;
+      }
+    }
+    if (!applied) break;
+  }
+  if (stage == BertStage::Fused1) return program;
+
+  // Second fusion set: everything else the intensity overlay surfaces
+  // (layernorm chains, remaining elementwise glue), to fixpoint.
+  transforms::fuse_all(program);
+  return program;
+}
+
+SymbolMap bert_large() {
+  return SymbolMap{{"B", 8},    {"H", 16},    {"SM", 512},
+                   {"I", 1024}, {"emb", 4096}, {"P", 64}};
+}
+
+SymbolMap bert_small() {
+  return SymbolMap{{"B", 1},  {"H", 2},    {"SM", 8},
+                   {"I", 16}, {"emb", 32}, {"P", 8}};
+}
+
+}  // namespace dmv::workloads

@@ -1,0 +1,422 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads::kernels {
+
+namespace {
+
+float synthf(std::uint64_t seed) {
+  seed ^= seed << 13;
+  seed ^= seed >> 7;
+  seed ^= seed << 17;
+  return static_cast<float>(seed % 2001) / 1000.0f - 1.0f;
+}
+
+void fill(std::vector<float>& v, std::uint64_t salt, float scale) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = scale * synthf(i + salt);
+  }
+}
+
+float gelu(float x) {
+  return 0.5f * x * (1.0f + std::erf(x / 1.4142135623730951f));
+}
+
+// Layernorm over the last axis of [B, SM, I] with unit gamma / zero beta
+// (the IR variant's affine step folds into this in the fused kernels).
+void layernorm_rows(const float* in, float* out, std::int64_t rows,
+                    std::int64_t width) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = in + r * width;
+    float* dst = out + r * width;
+    float mean = 0;
+    for (std::int64_t i = 0; i < width; ++i) mean += row[i];
+    mean /= static_cast<float>(width);
+    float variance = 0;
+    for (std::int64_t i = 0; i < width; ++i) {
+      variance += (row[i] - mean) * (row[i] - mean);
+    }
+    variance /= static_cast<float>(width);
+    const float inv = 1.0f / std::sqrt(variance + 1e-5f);
+    for (std::int64_t i = 0; i < width; ++i) {
+      dst[i] = (row[i] - mean) * inv;
+    }
+  }
+}
+
+}  // namespace
+
+BertData make_bert_data(const BertConfig& config) {
+  BertData data;
+  data.config = config;
+  const auto B = config.B, H = config.H, SM = config.SM, I = config.I,
+             emb = config.emb, P = config.P();
+  data.x.resize(B * SM * I);
+  data.wq.resize(H * I * P);
+  data.wk.resize(H * I * P);
+  data.wv.resize(H * I * P);
+  data.wo.resize(H * P * I);
+  data.w1.resize(I * emb);
+  data.b1.resize(emb);
+  data.w2.resize(emb * I);
+  data.b2.resize(I);
+  data.out.assign(B * SM * I, 0.0f);
+  fill(data.x, 11, 1.0f);
+  const float wscale = 1.0f / std::sqrt(static_cast<float>(I));
+  fill(data.wq, 13, wscale);
+  fill(data.wk, 17, wscale);
+  fill(data.wv, 19, wscale);
+  fill(data.wo, 23, wscale);
+  fill(data.w1, 29, wscale);
+  fill(data.b1, 31, 0.1f);
+  fill(data.w2, 37, 1.0f / std::sqrt(static_cast<float>(emb)));
+  fill(data.b2, 41, 0.1f);
+  return data;
+}
+
+void bert_baseline(BertData& data) {
+  const auto B = data.config.B, H = data.config.H, SM = data.config.SM,
+             I = data.config.I, emb = data.config.emb, P = data.config.P();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(P));
+
+  // Every operator materializes its full result, like the NumPy program.
+  std::vector<float> Q(B * H * SM * P, 0), K(B * H * SM * P, 0),
+      V(B * H * SM * P, 0);
+  auto project = [&](const std::vector<float>& w, std::vector<float>& dst) {
+    for (std::int64_t b = 0; b < B; ++b)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t s = 0; s < SM; ++s) {
+          float* q = &dst[((b * H + h) * SM + s) * P];
+          const float* xv = &data.x[(b * SM + s) * I];
+          for (std::int64_t i = 0; i < I; ++i) {
+            const float* wrow = &w[(h * I + i) * P];
+            const float xi = xv[i];
+            for (std::int64_t pp = 0; pp < P; ++pp) q[pp] += xi * wrow[pp];
+          }
+        }
+  };
+  project(data.wq, Q);
+  project(data.wk, K);
+  project(data.wv, V);
+
+  std::vector<float> S(B * H * SM * SM, 0);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t s = 0; s < SM; ++s) {
+        float* row = &S[((b * H + h) * SM + s) * SM];
+        const float* q = &Q[((b * H + h) * SM + s) * P];
+        for (std::int64_t t = 0; t < SM; ++t) {
+          const float* kv = &K[((b * H + h) * SM + t) * P];
+          float acc = 0;
+          for (std::int64_t pp = 0; pp < P; ++pp) acc += q[pp] * kv[pp];
+          row[t] = acc;
+        }
+      }
+
+  // Split softmax pipeline: scale, rowmax, subtract, exp, sum, divide —
+  // each a separate full pass, each with its own intermediate.
+  std::vector<float> Ss(S.size());
+  for (std::size_t i = 0; i < S.size(); ++i) Ss[i] = S[i] * scale;
+  const std::int64_t rows = B * H * SM;
+  std::vector<float> mx(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = &Ss[r * SM];
+    float m = row[0];
+    for (std::int64_t t = 1; t < SM; ++t) m = std::max(m, row[t]);
+    mx[r] = m;
+  }
+  std::vector<float> D(S.size());
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t t = 0; t < SM; ++t)
+      D[r * SM + t] = Ss[r * SM + t] - mx[r];
+  std::vector<float> E(S.size());
+  for (std::size_t i = 0; i < D.size(); ++i) E[i] = std::exp(D[i]);
+  std::vector<float> sm(rows, 0);
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t t = 0; t < SM; ++t) sm[r] += E[r * SM + t];
+  std::vector<float> Pattn(S.size());
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t t = 0; t < SM; ++t)
+      Pattn[r * SM + t] = E[r * SM + t] / sm[r];
+
+  std::vector<float> C(B * H * SM * P, 0);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t s = 0; s < SM; ++s) {
+        float* c = &C[((b * H + h) * SM + s) * P];
+        const float* a = &Pattn[((b * H + h) * SM + s) * SM];
+        for (std::int64_t t = 0; t < SM; ++t) {
+          const float* v = &V[((b * H + h) * SM + t) * P];
+          const float at = a[t];
+          for (std::int64_t pp = 0; pp < P; ++pp) c[pp] += at * v[pp];
+        }
+      }
+
+  std::vector<float> O(B * SM * I, 0);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t s = 0; s < SM; ++s) {
+      float* o = &O[(b * SM + s) * I];
+      for (std::int64_t h = 0; h < H; ++h) {
+        const float* c = &C[((b * H + h) * SM + s) * P];
+        for (std::int64_t pp = 0; pp < P; ++pp) {
+          const float* wrow = &data.wo[(h * P + pp) * I];
+          const float cv = c[pp];
+          for (std::int64_t i = 0; i < I; ++i) o[i] += cv * wrow[i];
+        }
+      }
+    }
+
+  std::vector<float> r1(B * SM * I);
+  for (std::size_t i = 0; i < r1.size(); ++i) r1[i] = O[i] + data.x[i];
+  std::vector<float> y1(B * SM * I);
+  layernorm_rows(r1.data(), y1.data(), B * SM, I);
+
+  std::vector<float> F1(B * SM * emb, 0);
+  for (std::int64_t r = 0; r < B * SM; ++r) {
+    float* f = &F1[r * emb];
+    const float* y = &y1[r * I];
+    for (std::int64_t i = 0; i < I; ++i) {
+      const float* wrow = &data.w1[i * emb];
+      const float yi = y[i];
+      for (std::int64_t e = 0; e < emb; ++e) f[e] += yi * wrow[e];
+    }
+  }
+  std::vector<float> Fb(F1.size());
+  for (std::int64_t r = 0; r < B * SM; ++r)
+    for (std::int64_t e = 0; e < emb; ++e)
+      Fb[r * emb + e] = F1[r * emb + e] + data.b1[e];
+  std::vector<float> G(F1.size());
+  for (std::size_t i = 0; i < Fb.size(); ++i) G[i] = gelu(Fb[i]);
+
+  std::vector<float> F2(B * SM * I, 0);
+  for (std::int64_t r = 0; r < B * SM; ++r) {
+    float* f = &F2[r * I];
+    const float* g = &G[r * emb];
+    for (std::int64_t e = 0; e < emb; ++e) {
+      const float* wrow = &data.w2[e * I];
+      const float ge = g[e];
+      for (std::int64_t i = 0; i < I; ++i) f[i] += ge * wrow[i];
+    }
+  }
+  std::vector<float> F2b(F2.size());
+  for (std::int64_t r = 0; r < B * SM; ++r)
+    for (std::int64_t i = 0; i < I; ++i)
+      F2b[r * I + i] = F2[r * I + i] + data.b2[i];
+  std::vector<float> r2(F2.size());
+  for (std::size_t i = 0; i < r2.size(); ++i) r2[i] = F2b[i] + y1[i];
+  layernorm_rows(r2.data(), data.out.data(), B * SM, I);
+}
+
+void bert_fused1(BertData& data) {
+  const auto B = data.config.B, H = data.config.H, SM = data.config.SM,
+             I = data.config.I, emb = data.config.emb, P = data.config.P();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(P));
+
+  std::vector<float> Q(B * H * SM * P, 0), K(B * H * SM * P, 0),
+      V(B * H * SM * P, 0);
+  auto project = [&](const std::vector<float>& w, std::vector<float>& dst) {
+    for (std::int64_t b = 0; b < B; ++b)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t s = 0; s < SM; ++s) {
+          float* q = &dst[((b * H + h) * SM + s) * P];
+          const float* xv = &data.x[(b * SM + s) * I];
+          for (std::int64_t i = 0; i < I; ++i) {
+            const float* wrow = &w[(h * I + i) * P];
+            const float xi = xv[i];
+            for (std::int64_t pp = 0; pp < P; ++pp) q[pp] += xi * wrow[pp];
+          }
+        }
+  };
+  project(data.wq, Q);
+  project(data.wk, K);
+  project(data.wv, V);
+
+  std::vector<float> S(B * H * SM * SM, 0);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t s = 0; s < SM; ++s) {
+        float* row = &S[((b * H + h) * SM + s) * SM];
+        const float* q = &Q[((b * H + h) * SM + s) * P];
+        for (std::int64_t t = 0; t < SM; ++t) {
+          const float* kv = &K[((b * H + h) * SM + t) * P];
+          float acc = 0;
+          for (std::int64_t pp = 0; pp < P; ++pp) acc += q[pp] * kv[pp];
+          row[t] = acc;
+        }
+      }
+
+  // Fusion set 1: the softmax pipeline runs as two passes over S (max,
+  // then exp+sum+divide) with no Ss/D/E intermediates.
+  const std::int64_t rows = B * H * SM;
+  std::vector<float> Pattn(S.size());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = &S[r * SM];
+    float m = row[0] * scale;
+    for (std::int64_t t = 1; t < SM; ++t) m = std::max(m, row[t] * scale);
+    float sum = 0;
+    float* p = &Pattn[r * SM];
+    for (std::int64_t t = 0; t < SM; ++t) {
+      p[t] = std::exp(row[t] * scale - m);
+      sum += p[t];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t t = 0; t < SM; ++t) p[t] *= inv;
+  }
+
+  std::vector<float> C(B * H * SM * P, 0);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t s = 0; s < SM; ++s) {
+        float* c = &C[((b * H + h) * SM + s) * P];
+        const float* a = &Pattn[((b * H + h) * SM + s) * SM];
+        for (std::int64_t t = 0; t < SM; ++t) {
+          const float* v = &V[((b * H + h) * SM + t) * P];
+          const float at = a[t];
+          for (std::int64_t pp = 0; pp < P; ++pp) c[pp] += at * v[pp];
+        }
+      }
+
+  std::vector<float> O(B * SM * I, 0);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t s = 0; s < SM; ++s) {
+      float* o = &O[(b * SM + s) * I];
+      for (std::int64_t h = 0; h < H; ++h) {
+        const float* c = &C[((b * H + h) * SM + s) * P];
+        for (std::int64_t pp = 0; pp < P; ++pp) {
+          const float* wrow = &data.wo[(h * P + pp) * I];
+          const float cv = c[pp];
+          for (std::int64_t i = 0; i < I; ++i) o[i] += cv * wrow[i];
+        }
+      }
+    }
+
+  // Fused residual + layernorm (single pass, no r1 array).
+  std::vector<float> y1(B * SM * I);
+  for (std::size_t i = 0; i < O.size(); ++i) O[i] += data.x[i];
+  layernorm_rows(O.data(), y1.data(), B * SM, I);
+
+  // FFN with bias+GELU fused into one pass (no Fb/G arrays).
+  std::vector<float> F1(B * SM * emb, 0);
+  for (std::int64_t r = 0; r < B * SM; ++r) {
+    float* f = &F1[r * emb];
+    const float* y = &y1[r * I];
+    for (std::int64_t i = 0; i < I; ++i) {
+      const float* wrow = &data.w1[i * emb];
+      const float yi = y[i];
+      for (std::int64_t e = 0; e < emb; ++e) f[e] += yi * wrow[e];
+    }
+    for (std::int64_t e = 0; e < emb; ++e) f[e] = gelu(f[e] + data.b1[e]);
+  }
+
+  std::vector<float> F2(B * SM * I, 0);
+  for (std::int64_t r = 0; r < B * SM; ++r) {
+    float* f = &F2[r * I];
+    const float* g = &F1[r * emb];
+    for (std::int64_t e = 0; e < emb; ++e) {
+      const float* wrow = &data.w2[e * I];
+      const float ge = g[e];
+      for (std::int64_t i = 0; i < I; ++i) f[i] += ge * wrow[i];
+    }
+    // Fused bias + residual.
+    for (std::int64_t i = 0; i < I; ++i) {
+      f[i] += data.b2[i] + y1[r * I + i];
+    }
+  }
+  layernorm_rows(F2.data(), data.out.data(), B * SM, I);
+}
+
+void bert_fused2(BertData& data) {
+  const auto B = data.config.B, H = data.config.H, SM = data.config.SM,
+             I = data.config.I, emb = data.config.emb, P = data.config.P();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(P));
+
+  std::vector<float> Q(B * H * SM * P, 0), K(B * H * SM * P, 0),
+      V(B * H * SM * P, 0);
+  auto project = [&](const std::vector<float>& w, std::vector<float>& dst) {
+    for (std::int64_t b = 0; b < B; ++b)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t s = 0; s < SM; ++s) {
+          float* q = &dst[((b * H + h) * SM + s) * P];
+          const float* xv = &data.x[(b * SM + s) * I];
+          for (std::int64_t i = 0; i < I; ++i) {
+            const float* wrow = &w[(h * I + i) * P];
+            const float xi = xv[i];
+            for (std::int64_t pp = 0; pp < P; ++pp) q[pp] += xi * wrow[pp];
+          }
+        }
+  };
+  project(data.wq, Q);
+  project(data.wk, K);
+  project(data.wv, V);
+
+  // Second fusion set: the whole attention pipeline is fused per query
+  // row — scores, softmax and the context contraction share one loop and
+  // the [SM, SM] attention matrices are never materialized.
+  std::vector<float> O(B * SM * I, 0);
+  std::vector<float> score_row(SM);
+  for (std::int64_t b = 0; b < B; ++b)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t s = 0; s < SM; ++s) {
+        const float* q = &Q[((b * H + h) * SM + s) * P];
+        float m = -1e30f;
+        for (std::int64_t t = 0; t < SM; ++t) {
+          const float* kv = &K[((b * H + h) * SM + t) * P];
+          float acc = 0;
+          for (std::int64_t pp = 0; pp < P; ++pp) acc += q[pp] * kv[pp];
+          score_row[t] = acc * scale;
+          m = std::max(m, score_row[t]);
+        }
+        float sum = 0;
+        for (std::int64_t t = 0; t < SM; ++t) {
+          score_row[t] = std::exp(score_row[t] - m);
+          sum += score_row[t];
+        }
+        const float inv = 1.0f / sum;
+        float context[512];  // P <= 512 in every supported config.
+        for (std::int64_t pp = 0; pp < P; ++pp) context[pp] = 0;
+        for (std::int64_t t = 0; t < SM; ++t) {
+          const float* v = &V[((b * H + h) * SM + t) * P];
+          const float at = score_row[t] * inv;
+          for (std::int64_t pp = 0; pp < P; ++pp) context[pp] += at * v[pp];
+        }
+        // Output projection fused in as well: this head's context row
+        // scatters straight into O.
+        float* o = &O[(b * SM + s) * I];
+        for (std::int64_t pp = 0; pp < P; ++pp) {
+          const float* wrow = &data.wo[(h * P + pp) * I];
+          const float cv = context[pp];
+          for (std::int64_t i = 0; i < I; ++i) o[i] += cv * wrow[i];
+        }
+      }
+
+  std::vector<float> y1(B * SM * I);
+  for (std::size_t i = 0; i < O.size(); ++i) O[i] += data.x[i];
+  layernorm_rows(O.data(), y1.data(), B * SM, I);
+
+  // FFN fused per token row: the F1 row lives in a stack buffer, GELU is
+  // applied in place, and F2 accumulates straight into the residual.
+  std::vector<float> f1_row(emb);
+  std::vector<float> F2(B * SM * I);
+  for (std::int64_t r = 0; r < B * SM; ++r) {
+    const float* y = &y1[r * I];
+    for (std::int64_t e = 0; e < emb; ++e) f1_row[e] = 0;
+    for (std::int64_t i = 0; i < I; ++i) {
+      const float* wrow = &data.w1[i * emb];
+      const float yi = y[i];
+      for (std::int64_t e = 0; e < emb; ++e) f1_row[e] += yi * wrow[e];
+    }
+    float* f = &F2[r * I];
+    for (std::int64_t i = 0; i < I; ++i) f[i] = data.b2[i] + y[i];
+    for (std::int64_t e = 0; e < emb; ++e) {
+      const float ge = gelu(f1_row[e] + data.b1[e]);
+      const float* wrow = &data.w2[e * I];
+      for (std::int64_t i = 0; i < I; ++i) f[i] += ge * wrow[i];
+    }
+  }
+  layernorm_rows(F2.data(), data.out.data(), B * SM, I);
+}
+
+}  // namespace dmv::workloads::kernels

@@ -1,0 +1,33 @@
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads {
+
+Sdfg conv2d() {
+  builder::ProgramBuilder program("conv2d");
+  program.symbols({"Cin", "Cout", "Hh", "W", "Ky", "Kx"});
+  program.array("input", {"Cin", "Hh", "W"});
+  program.array("weights", {"Cout", "Cin", "Ky", "Kx"});
+  program.array("output", {"Cout", "Hh - Ky + 1", "W - Kx + 1"});
+  program.state("compute");
+  program.mapped_tasklet(
+      "conv",
+      {{"co", "0:Cout-1"},
+       {"y", "0:Hh-Ky"},
+       {"x", "0:W-Kx"},
+       {"ci", "0:Cin-1"},
+       {"ky", "0:Ky-1"},
+       {"kx", "0:Kx-1"}},
+      {{"v", "input", "ci, y + ky, x + kx"},
+       {"w", "weights", "co, ci, ky, kx"}},
+      "o = v * w", {{"o", "output", "co, y, x", ir::Wcr::Sum}});
+  return program.take();
+}
+
+SymbolMap conv2d_fig4() {
+  // 3-channel 9x9 inputs, 2-channel 6x6 outputs => 4x4 kernels.
+  return SymbolMap{{"Cin", 3}, {"Cout", 2}, {"Hh", 9},
+                   {"W", 9},   {"Ky", 4},   {"Kx", 4}};
+}
+
+}  // namespace dmv::workloads

@@ -1,0 +1,100 @@
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/transforms/transforms.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads {
+
+namespace {
+
+// The fully fused horizontal-diffusion point stencil. Connector naming:
+// iAjB = in_field[i+A, j+B, k]. The five Laplacians cover the center and
+// its four neighbors; flx/fly are the limited fluxes (NPBench hdiff).
+constexpr const char* kHdiffCode = R"(
+lap_c = 4.0*i2j2 - (i3j2 + i1j2 + i2j3 + i2j1)
+lap_n = 4.0*i1j2 - (i2j2 + i0j2 + i1j3 + i1j1)
+lap_s = 4.0*i3j2 - (i4j2 + i2j2 + i3j3 + i3j1)
+lap_w = 4.0*i2j1 - (i3j1 + i1j1 + i2j2 + i2j0)
+lap_e = 4.0*i2j3 - (i3j3 + i1j3 + i2j4 + i2j2)
+flx1 = lap_s - lap_c
+flx1 = select(flx1 * (i3j2 - i2j2) > 0, 0, flx1)
+flx0 = lap_c - lap_n
+flx0 = select(flx0 * (i2j2 - i1j2) > 0, 0, flx0)
+fly1 = lap_e - lap_c
+fly1 = select(fly1 * (i2j3 - i2j2) > 0, 0, fly1)
+fly0 = lap_c - lap_w
+fly0 = select(fly0 * (i2j2 - i2j1) > 0, 0, fly0)
+o = i2j2 - c * (flx1 - flx0 + fly1 - fly0)
+)";
+
+// The 13 distinct in_field offsets the stencil touches (Fig 8a pattern).
+struct Offset {
+  const char* connector;
+  int di;
+  int dj;
+};
+constexpr Offset kOffsets[] = {
+    {"i0j2", 0, 2}, {"i1j1", 1, 1}, {"i1j2", 1, 2}, {"i1j3", 1, 3},
+    {"i2j0", 2, 0}, {"i2j1", 2, 1}, {"i2j2", 2, 2}, {"i2j3", 2, 3},
+    {"i2j4", 2, 4}, {"i3j1", 3, 1}, {"i3j2", 3, 2}, {"i3j3", 3, 3},
+    {"i4j2", 4, 2},
+};
+
+Sdfg build_baseline() {
+  builder::ProgramBuilder program("hdiff");
+  program.symbols({"I", "J", "K"});
+  program.array("in_field", {"I + 4", "J + 4", "K"});
+  program.array("coeff", {"I", "J", "K"});
+  program.array("out_field", {"I", "J", "K"});
+  program.state("stencil");
+
+  std::vector<builder::TaskletIo> inputs;
+  for (const Offset& offset : kOffsets) {
+    inputs.push_back(builder::TaskletIo{
+        offset.connector, "in_field",
+        "i + " + std::to_string(offset.di) + ", j + " +
+            std::to_string(offset.dj) + ", k"});
+  }
+  inputs.push_back(builder::TaskletIo{"c", "coeff", "i, j, k"});
+
+  program.mapped_tasklet(
+      "hdiff", {{"i", "0:I-1"}, {"j", "0:J-1"}, {"k", "0:K-1"}}, inputs,
+      kHdiffCode, {{"o", "out_field", "i, j, k"}});
+  return program.take();
+}
+
+}  // namespace
+
+Sdfg hdiff(HdiffVariant variant, std::int64_t pad_multiple_elements) {
+  Sdfg program = build_baseline();
+  if (variant == HdiffVariant::Baseline) return program;
+
+  // Tuning step 1 (Fig 8a): reshape in_field [I+4, J+4, K] -> [K, I+4,
+  // J+4] so the per-iteration 13-point neighborhood is contiguous.
+  transforms::permute_dimensions(program, "in_field", {2, 0, 1});
+  if (variant == HdiffVariant::Reshaped) return program;
+
+  // Tuning step 2 (Fig 8b): make k the outermost loop so the innermost
+  // loops walk the now-contiguous dimensions.
+  ir::State& state = program.states().front();
+  for (const ir::Node& node : state.nodes()) {
+    if (node.kind == ir::NodeKind::MapEntry) {
+      transforms::loop_interchange(state, node.id, {2, 0, 1});
+      break;
+    }
+  }
+  if (variant == HdiffVariant::Reordered) return program;
+
+  // Tuning step 3 (Fig 8c): post-pad each row of in_field to a cache-line
+  // multiple so rows never share lines.
+  transforms::pad_innermost_stride(program, "in_field",
+                                   pad_multiple_elements);
+  return program;
+}
+
+SymbolMap hdiff_local() { return SymbolMap{{"I", 8}, {"J", 8}, {"K", 5}}; }
+
+SymbolMap hdiff_full() {
+  return SymbolMap{{"I", 256}, {"J", 256}, {"K", 160}};
+}
+
+}  // namespace dmv::workloads

@@ -1,0 +1,239 @@
+#include <cstdint>
+#include <vector>
+
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads::kernels {
+
+namespace {
+
+// Deterministic filler in [-1, 1] (xorshift-based, no libc rand state).
+double synth(std::uint64_t seed) {
+  seed ^= seed << 13;
+  seed ^= seed >> 7;
+  seed ^= seed << 17;
+  return static_cast<double>(seed % 20001) / 10000.0 - 1.0;
+}
+
+}  // namespace
+
+HdiffData make_hdiff_data(std::int64_t I, std::int64_t J, std::int64_t K) {
+  HdiffData data;
+  data.I = I;
+  data.J = J;
+  data.K = K;
+  data.in_field.resize((I + 4) * (J + 4) * K);
+  data.coeff.resize(I * J * K);
+  data.out_field.assign(I * J * K, 0.0);
+  for (std::size_t i = 0; i < data.in_field.size(); ++i) {
+    data.in_field[i] = synth(i + 1);
+  }
+  for (std::size_t i = 0; i < data.coeff.size(); ++i) {
+    data.coeff[i] = 0.025 + 0.005 * synth(i + 7919);
+  }
+  return data;
+}
+
+void hdiff_baseline(HdiffData& data) {
+  const std::int64_t I = data.I, J = data.J, K = data.K;
+  const std::int64_t JK = (J + 4) * K;
+  const double* in = data.in_field.data();
+  auto at_in = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return in[i * JK + j * K + k];
+  };
+
+  // Pass 1: materialize the Laplacian [I+2, J+2, K] (NumPy style).
+  std::vector<double> lap((I + 2) * (J + 2) * K);
+  for (std::int64_t a = 0; a < I + 2; ++a) {
+    for (std::int64_t b = 0; b < J + 2; ++b) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        lap[(a * (J + 2) + b) * K + k] =
+            4.0 * at_in(a + 1, b + 1, k) -
+            (at_in(a + 2, b + 1, k) + at_in(a, b + 1, k) +
+             at_in(a + 1, b + 2, k) + at_in(a + 1, b, k));
+      }
+    }
+  }
+  auto at_lap = [&](std::int64_t a, std::int64_t b, std::int64_t k) {
+    return lap[(a * (J + 2) + b) * K + k];
+  };
+
+  // Pass 2: flux in i, materialized [I+1, J, K].
+  std::vector<double> flx((I + 1) * J * K);
+  for (std::int64_t a = 0; a < I + 1; ++a) {
+    for (std::int64_t b = 0; b < J; ++b) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        double res = at_lap(a + 1, b + 1, k) - at_lap(a, b + 1, k);
+        if (res * (at_in(a + 2, b + 2, k) - at_in(a + 1, b + 2, k)) > 0) {
+          res = 0;
+        }
+        flx[(a * J + b) * K + k] = res;
+      }
+    }
+  }
+
+  // Pass 3: flux in j, materialized [I, J+1, K].
+  std::vector<double> fly(I * (J + 1) * K);
+  for (std::int64_t a = 0; a < I; ++a) {
+    for (std::int64_t b = 0; b < J + 1; ++b) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        double res = at_lap(a + 1, b + 1, k) - at_lap(a + 1, b, k);
+        if (res * (at_in(a + 2, b + 2, k) - at_in(a + 2, b + 1, k)) > 0) {
+          res = 0;
+        }
+        fly[(a * (J + 1) + b) * K + k] = res;
+      }
+    }
+  }
+
+  // Pass 4: combine.
+  for (std::int64_t i = 0; i < I; ++i) {
+    for (std::int64_t j = 0; j < J; ++j) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        data.out_field[(i * J + j) * K + k] =
+            at_in(i + 2, j + 2, k) -
+            data.coeff[(i * J + j) * K + k] *
+                (flx[((i + 1) * J + j) * K + k] - flx[(i * J + j) * K + k] +
+                 fly[(i * (J + 1) + j + 1) * K + k] -
+                 fly[(i * (J + 1) + j) * K + k]);
+      }
+    }
+  }
+}
+
+void hdiff_fused(HdiffData& data) {
+  const std::int64_t I = data.I, J = data.J, K = data.K;
+  const std::int64_t JK = (J + 4) * K;
+  const double* in = data.in_field.data();
+  auto at_in = [&](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return in[i * JK + j * K + k];
+  };
+  auto lap_at = [&](std::int64_t a, std::int64_t b, std::int64_t k) {
+    return 4.0 * at_in(a + 1, b + 1, k) -
+           (at_in(a + 2, b + 1, k) + at_in(a, b + 1, k) +
+            at_in(a + 1, b + 2, k) + at_in(a + 1, b, k));
+  };
+
+  for (std::int64_t i = 0; i < I; ++i) {
+    for (std::int64_t j = 0; j < J; ++j) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        const double lap_c = lap_at(i + 1, j + 1, k);
+        const double lap_n = lap_at(i, j + 1, k);
+        const double lap_s = lap_at(i + 2, j + 1, k);
+        const double lap_w = lap_at(i + 1, j, k);
+        const double lap_e = lap_at(i + 1, j + 2, k);
+
+        double flx1 = lap_s - lap_c;
+        if (flx1 * (at_in(i + 3, j + 2, k) - at_in(i + 2, j + 2, k)) > 0) {
+          flx1 = 0;
+        }
+        double flx0 = lap_c - lap_n;
+        if (flx0 * (at_in(i + 2, j + 2, k) - at_in(i + 1, j + 2, k)) > 0) {
+          flx0 = 0;
+        }
+        double fly1 = lap_e - lap_c;
+        if (fly1 * (at_in(i + 2, j + 3, k) - at_in(i + 2, j + 2, k)) > 0) {
+          fly1 = 0;
+        }
+        double fly0 = lap_c - lap_w;
+        if (fly0 * (at_in(i + 2, j + 2, k) - at_in(i + 2, j + 1, k)) > 0) {
+          fly0 = 0;
+        }
+        data.out_field[(i * J + j) * K + k] =
+            at_in(i + 2, j + 2, k) -
+            data.coeff[(i * J + j) * K + k] *
+                (flx1 - flx0 + fly1 - fly0);
+      }
+    }
+  }
+}
+
+HdiffTunedData make_hdiff_tuned_data(const HdiffData& data,
+                                     std::int64_t pad_elements) {
+  const std::int64_t I = data.I, J = data.J, K = data.K;
+  HdiffTunedData tuned;
+  tuned.I = I;
+  tuned.J = J;
+  tuned.K = K;
+  tuned.Jp = (J + 4 + pad_elements - 1) / pad_elements * pad_elements;
+  tuned.in_field.assign(K * (I + 4) * tuned.Jp, 0.0);
+  {
+    const std::int64_t JK = (J + 4) * K;
+    for (std::int64_t i = 0; i < I + 4; ++i) {
+      for (std::int64_t j = 0; j < J + 4; ++j) {
+        const double* column = &data.in_field[i * JK + j * K];
+        for (std::int64_t k = 0; k < K; ++k) {
+          tuned.in_field[(k * (I + 4) + i) * tuned.Jp + j] = column[k];
+        }
+      }
+    }
+  }
+  tuned.coeff.resize(K * I * J);
+  for (std::int64_t i = 0; i < I; ++i) {
+    for (std::int64_t j = 0; j < J; ++j) {
+      for (std::int64_t k = 0; k < K; ++k) {
+        tuned.coeff[(k * I + i) * J + j] = data.coeff[(i * J + j) * K + k];
+      }
+    }
+  }
+  tuned.out_field.assign(K * I * J, 0.0);
+  return tuned;
+}
+
+void hdiff_tuned_kernel(HdiffTunedData& data) {
+  const std::int64_t I = data.I, J = data.J, K = data.K, Jp = data.Jp;
+  std::vector<double>& tout = data.out_field;
+  const std::vector<double>& tcoeff = data.coeff;
+
+  for (std::int64_t k = 0; k < K; ++k) {
+    const double* slice = &data.in_field[k * (I + 4) * Jp];
+    auto at_in = [&](std::int64_t i, std::int64_t j) {
+      return slice[i * Jp + j];
+    };
+    auto lap_at = [&](std::int64_t a, std::int64_t b) {
+      return 4.0 * at_in(a + 1, b + 1) -
+             (at_in(a + 2, b + 1) + at_in(a, b + 1) + at_in(a + 1, b + 2) +
+              at_in(a + 1, b));
+    };
+    for (std::int64_t i = 0; i < I; ++i) {
+      double* out_row = &tout[(k * I + i) * J];
+      const double* coeff_row = &tcoeff[(k * I + i) * J];
+      for (std::int64_t j = 0; j < J; ++j) {
+        const double lap_c = lap_at(i + 1, j + 1);
+        const double lap_n = lap_at(i, j + 1);
+        const double lap_s = lap_at(i + 2, j + 1);
+        const double lap_w = lap_at(i + 1, j);
+        const double lap_e = lap_at(i + 1, j + 2);
+
+        double flx1 = lap_s - lap_c;
+        if (flx1 * (at_in(i + 3, j + 2) - at_in(i + 2, j + 2)) > 0) flx1 = 0;
+        double flx0 = lap_c - lap_n;
+        if (flx0 * (at_in(i + 2, j + 2) - at_in(i + 1, j + 2)) > 0) flx0 = 0;
+        double fly1 = lap_e - lap_c;
+        if (fly1 * (at_in(i + 2, j + 3) - at_in(i + 2, j + 2)) > 0) fly1 = 0;
+        double fly0 = lap_c - lap_w;
+        if (fly0 * (at_in(i + 2, j + 2) - at_in(i + 2, j + 1)) > 0) fly0 = 0;
+
+        out_row[j] = at_in(i + 2, j + 2) -
+                     coeff_row[j] * (flx1 - flx0 + fly1 - fly0);
+      }
+    }
+  }
+}
+
+void hdiff_tuned(HdiffData& data, std::int64_t pad_elements) {
+  HdiffTunedData tuned = make_hdiff_tuned_data(data, pad_elements);
+  hdiff_tuned_kernel(tuned);
+  // Transpose the result back to the caller's [I, J, K] layout.
+  const std::int64_t I = data.I, J = data.J, K = data.K;
+  for (std::int64_t k = 0; k < K; ++k) {
+    for (std::int64_t i = 0; i < I; ++i) {
+      for (std::int64_t j = 0; j < J; ++j) {
+        data.out_field[(i * J + j) * K + k] =
+            tuned.out_field[(k * I + i) * J + j];
+      }
+    }
+  }
+}
+
+}  // namespace dmv::workloads::kernels

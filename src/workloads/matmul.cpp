@@ -1,0 +1,26 @@
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads {
+
+Sdfg matmul(bool b_column_major) {
+  builder::ProgramBuilder program("matmul");
+  program.symbols({"M", "K", "N"});
+  // Fig 5 uses 4-byte values.
+  program.array("A", {"M", "K"}, /*element_size=*/4);
+  ir::DataDescriptor& b = program.array("B", {"K", "N"}, /*element_size=*/4);
+  if (b_column_major) {
+    b.strides = ir::DataDescriptor::column_major_strides(b.shape);
+  }
+  program.array("C", {"M", "N"}, /*element_size=*/4);
+  program.state("compute");
+  program.mapped_tasklet(
+      "gemm", {{"i", "0:M-1"}, {"j", "0:N-1"}, {"k", "0:K-1"}},
+      {{"a", "A", "i, k"}, {"b", "B", "k, j"}}, "c = a * b",
+      {{"c", "C", "i, j", ir::Wcr::Sum}});
+  return program.take();
+}
+
+SymbolMap matmul_fig5() { return SymbolMap{{"M", 9}, {"K", 10}, {"N", 15}}; }
+
+}  // namespace dmv::workloads

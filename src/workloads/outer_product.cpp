@@ -1,0 +1,22 @@
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads {
+
+Sdfg outer_product() {
+  builder::ProgramBuilder program("outer_product");
+  program.symbols({"M", "N"});
+  program.array("A", {"M"});
+  program.array("B", {"N"});
+  program.array("C", {"M", "N"});
+  program.state("compute");
+  program.mapped_tasklet(
+      "outer", {{"i", "0:M-1"}, {"j", "0:N-1"}},
+      {{"a", "A", "i"}, {"b", "B", "j"}}, "c = a * b",
+      {{"c", "C", "i, j"}});
+  return program.take();
+}
+
+SymbolMap outer_product_fig3() { return SymbolMap{{"M", 3}, {"N", 4}}; }
+
+}  // namespace dmv::workloads

@@ -1,0 +1,226 @@
+#include "dmv/builder/program_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dmv/ir/validate.hpp"
+#include "dmv/symbolic/parser.hpp"
+
+namespace dmv::builder {
+namespace {
+
+using ir::NodeKind;
+
+TEST(PropagateSubset, WidensOverParams) {
+  Subset per_iteration = Subset::parse("i, j + 1, 0:K-1");
+  std::vector<std::string> params{"i", "j"};
+  std::vector<Range> ranges{
+      Range{symbolic::parse("0"), symbolic::parse("N-1"), 1},
+      Range{symbolic::parse("2"), symbolic::parse("M-1"), 1}};
+  Subset widened = propagate_subset(per_iteration, params, ranges);
+  EXPECT_EQ(widened.to_string(), "0:N - 1, 3:M, 0:K - 1");
+}
+
+TEST(PropagateSubset, ConstantsUntouched) {
+  Subset s = propagate_subset(Subset::parse("5, i"), {"i"},
+                              {Range{0, 9, 1}});
+  EXPECT_EQ(s.to_string(), "5, 0:9");
+}
+
+TEST(ProgramBuilder, MappedTaskletStructure) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("double", {{"i", "0:N-1"}}, {{"v", "A", "i"}},
+                   "o = v * 2", {{"o", "B", "i"}});
+  ir::Sdfg sdfg = p.take();
+
+  const ir::State& state = sdfg.states()[0];
+  int accesses = 0, tasklets = 0, entries = 0, exits = 0;
+  for (const ir::Node& node : state.nodes()) {
+    switch (node.kind) {
+      case NodeKind::Access:
+        ++accesses;
+        break;
+      case NodeKind::Tasklet:
+        ++tasklets;
+        break;
+      case NodeKind::MapEntry:
+        ++entries;
+        break;
+      case NodeKind::MapExit:
+        ++exits;
+        break;
+    }
+  }
+  EXPECT_EQ(accesses, 2);
+  EXPECT_EQ(tasklets, 1);
+  EXPECT_EQ(entries, 1);
+  EXPECT_EQ(exits, 1);
+  EXPECT_EQ(state.edges().size(), 4u);
+}
+
+TEST(ProgramBuilder, OuterMemletsArePropagated) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N + 2"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("shift", {{"i", "0:N-1"}}, {{"v", "A", "i + 2"}},
+                   "o = v", {{"o", "B", "i"}});
+  ir::Sdfg sdfg = p.take();
+  const ir::State& state = sdfg.states()[0];
+
+  // The access -> entry edge covers [2, N+1] with volume N.
+  bool found = false;
+  for (const ir::Edge& edge : state.edges()) {
+    if (state.node(edge.src).kind == NodeKind::Access) {
+      found = true;
+      EXPECT_EQ(edge.memlet.subset.to_string(), "2:1 + N");
+      EXPECT_EQ(edge.memlet.effective_volume().evaluate({{"N", 6}}), 6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProgramBuilder, WcrOnOutput) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N", "N"});
+  p.array("s", {"1"});
+  p.state("s");
+  p.mapped_tasklet("reduce", {{"i", "0:N-1"}, {"j", "0:N-1"}},
+                   {{"v", "A", "i, j"}}, "o = v",
+                   {{"o", "s", "0", ir::Wcr::Sum}});
+  ir::Sdfg sdfg = p.take();
+  int wcr_edges = 0;
+  for (const ir::Edge& edge : sdfg.states()[0].edges()) {
+    if (edge.memlet.wcr == ir::Wcr::Sum) ++wcr_edges;
+  }
+  EXPECT_EQ(wcr_edges, 2);  // Inner and propagated outer edge.
+}
+
+TEST(ProgramBuilder, ChainSharesOneMap) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  ChainStage stage1;
+  stage1.label = "square";
+  stage1.array_inputs = {{"v", "A", "i"}};
+  stage1.code = "t = v * v";
+  stage1.chain_outputs = {"t"};
+  ChainStage stage2;
+  stage2.label = "offset";
+  stage2.chain_inputs = {"t"};
+  stage2.code = "o = t + 1";
+  stage2.array_outputs = {{"o", "B", "i"}};
+  p.mapped_chain("fused", {{"i", "0:N-1"}}, {stage1, stage2});
+  ir::Sdfg sdfg = p.take();
+  const ir::State& state = sdfg.states()[0];
+
+  int entries = 0, tasklets = 0, empty_edges = 0;
+  for (const ir::Node& node : state.nodes()) {
+    if (node.kind == NodeKind::MapEntry) ++entries;
+    if (node.kind == NodeKind::Tasklet) ++tasklets;
+  }
+  for (const ir::Edge& edge : state.edges()) {
+    if (edge.memlet.is_empty()) ++empty_edges;
+  }
+  EXPECT_EQ(entries, 1);
+  EXPECT_EQ(tasklets, 2);
+  // The register handoff between the two fused stages.
+  EXPECT_EQ(empty_edges, 1);
+}
+
+TEST(ProgramBuilder, ChainRejectsUnknownValue) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.state("s");
+  ChainStage stage;
+  stage.label = "bad";
+  stage.chain_inputs = {"ghost"};
+  stage.code = "o = ghost";
+  stage.array_outputs = {{"o", "A", "i"}};
+  EXPECT_THROW(p.mapped_chain("m", {{"i", "0:N-1"}}, {stage}),
+               std::invalid_argument);
+}
+
+TEST(ProgramBuilder, RejectsMultiDimMapRange) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.state("s");
+  EXPECT_THROW(p.mapped_tasklet("m", {{"i", "0:N-1, 0:N-1"}},
+                                {{"v", "A", "i"}}, "o = v",
+                                {{"o", "A", "i"}}),
+               std::invalid_argument);
+}
+
+TEST(ProgramBuilder, CopyEdge) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.copy("A", "0:N-1", "B", "0:N-1");
+  ir::Sdfg sdfg = p.take();
+  const ir::State& state = sdfg.states()[0];
+  ASSERT_EQ(state.edges().size(), 1u);
+  EXPECT_EQ(state.edges()[0].memlet.data, "A");
+  EXPECT_FALSE(state.edges()[0].memlet.other_subset.ranges.empty());
+}
+
+TEST(ProgramBuilder, CopyRejectsVolumeMismatch) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  EXPECT_THROW(p.copy("A", "0:N-1", "B", "0:N-2"), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, ReusesAccessNodesForChains) {
+  // Producer writes T, consumer reads T: one shared access node, giving
+  // the exit -> access -> entry chain the fusion matcher needs.
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.transient("T", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("first", {{"i", "0:N-1"}}, {{"v", "A", "i"}},
+                   "o = v + 1", {{"o", "T", "i"}});
+  p.mapped_tasklet("second", {{"i", "0:N-1"}}, {{"v", "T", "i"}},
+                   "o = v * 2", {{"o", "B", "i"}});
+  ir::Sdfg sdfg = p.take();
+  int t_nodes = 0;
+  for (const ir::Node& node : sdfg.states()[0].nodes()) {
+    if (node.kind == NodeKind::Access && node.data == "T") ++t_nodes;
+  }
+  EXPECT_EQ(t_nodes, 1);
+}
+
+TEST(ProgramBuilder, TakeValidates) {
+  ProgramBuilder p("prog");
+  p.state("s");
+  // Access to an undeclared array fails validation at take().
+  p.sdfg().states()[0].add_access("ghost");
+  EXPECT_THROW(p.take(), std::runtime_error);
+}
+
+TEST(ProgramBuilder, DefaultStateCreatedOnDemand) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.mapped_tasklet("m", {{"i", "0:N-1"}}, {{"v", "A", "i"}}, "o = v",
+                   {{"o", "A", "i"}});
+  EXPECT_EQ(p.sdfg().states().size(), 1u);
+  EXPECT_EQ(p.sdfg().states()[0].name(), "main");
+}
+
+}  // namespace
+}  // namespace dmv::builder

@@ -1,0 +1,152 @@
+#include "dmv/ir/json_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dmv/analysis/analysis.hpp"
+#include "dmv/exec/interpreter.hpp"
+#include "dmv/ir/serialize.hpp"
+#include "dmv/ir/validate.hpp"
+#include "dmv/sim/sim.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::ir {
+namespace {
+
+void expect_structurally_equal(const Sdfg& a, const Sdfg& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.symbols(), b.symbols());
+  ASSERT_EQ(a.arrays().size(), b.arrays().size());
+  for (const auto& [name, descriptor] : a.arrays()) {
+    ASSERT_TRUE(b.has_array(name));
+    const DataDescriptor& other = b.array(name);
+    ASSERT_EQ(descriptor.rank(), other.rank());
+    for (int d = 0; d < descriptor.rank(); ++d) {
+      EXPECT_TRUE(descriptor.shape[d].equals(other.shape[d]));
+      EXPECT_TRUE(descriptor.strides[d].equals(other.strides[d]));
+    }
+    EXPECT_EQ(descriptor.element_size, other.element_size);
+    EXPECT_EQ(descriptor.transient, other.transient);
+  }
+  ASSERT_EQ(a.states().size(), b.states().size());
+  for (std::size_t s = 0; s < a.states().size(); ++s) {
+    const State& sa = a.states()[s];
+    const State& sb = b.states()[s];
+    ASSERT_EQ(sa.num_nodes(), sb.num_nodes());
+    for (std::size_t n = 0; n < sa.num_nodes(); ++n) {
+      const Node& na = sa.node(static_cast<NodeId>(n));
+      const Node& nb = sb.node(static_cast<NodeId>(n));
+      EXPECT_EQ(na.kind, nb.kind);
+      EXPECT_EQ(na.label, nb.label);
+      EXPECT_EQ(na.data, nb.data);
+      EXPECT_EQ(na.paired, nb.paired);
+      EXPECT_EQ(na.scope_parent, nb.scope_parent);
+      EXPECT_EQ(na.map.params, nb.map.params);
+    }
+    ASSERT_EQ(sa.edges().size(), sb.edges().size());
+    for (std::size_t e = 0; e < sa.edges().size(); ++e) {
+      EXPECT_EQ(sa.edges()[e].src, sb.edges()[e].src);
+      EXPECT_EQ(sa.edges()[e].dst, sb.edges()[e].dst);
+      EXPECT_EQ(sa.edges()[e].memlet.data, sb.edges()[e].memlet.data);
+      EXPECT_EQ(sa.edges()[e].memlet.subset.to_string(),
+                sb.edges()[e].memlet.subset.to_string());
+      EXPECT_EQ(sa.edges()[e].memlet.wcr, sb.edges()[e].memlet.wcr);
+    }
+  }
+}
+
+TEST(JsonRoundTrip, Matmul) {
+  Sdfg original = workloads::matmul();
+  Sdfg restored = from_json(to_json(original));
+  expect_structurally_equal(original, restored);
+  EXPECT_NO_THROW(validate_or_throw(restored));
+}
+
+TEST(JsonRoundTrip, HdiffAllVariants) {
+  for (auto variant :
+       {workloads::HdiffVariant::Baseline, workloads::HdiffVariant::Padded}) {
+    Sdfg original = workloads::hdiff(variant);
+    Sdfg restored = from_json(to_json(original));
+    expect_structurally_equal(original, restored);
+  }
+}
+
+TEST(JsonRoundTrip, BertSurvivesFusionThenSerialization) {
+  Sdfg original = workloads::bert_encoder(workloads::BertStage::Fused2);
+  Sdfg restored = from_json(to_json(original));
+  expect_structurally_equal(original, restored);
+  EXPECT_NO_THROW(validate_or_throw(restored));
+}
+
+TEST(JsonRoundTrip, AnalysesAgree) {
+  Sdfg original = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  Sdfg restored = from_json(to_json(original));
+  const symbolic::SymbolMap params = workloads::hdiff_local();
+  EXPECT_EQ(analysis::total_movement_bytes(original).evaluate(params),
+            analysis::total_movement_bytes(restored).evaluate(params));
+  EXPECT_EQ(analysis::total_operations(original).evaluate(params),
+            analysis::total_operations(restored).evaluate(params));
+  // Simulation on the restored graph produces the identical trace.
+  sim::AccessTrace a = sim::simulate(original, params);
+  sim::AccessTrace b = sim::simulate(restored, params);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].flat, b.events[i].flat);
+    EXPECT_EQ(a.events[i].container, b.events[i].container);
+  }
+}
+
+TEST(JsonRoundTrip, InterpreterAgrees) {
+  Sdfg original = workloads::outer_product();
+  Sdfg restored = from_json(to_json(original));
+  const symbolic::SymbolMap params = workloads::outer_product_fig3();
+  exec::Buffers buffers_a(original, params);
+  exec::Buffers buffers_b(restored, params);
+  buffers_a.set_logical("A", {1, 2, 3});
+  buffers_a.set_logical("B", {4, 5, 6, 7});
+  buffers_b.set_logical("A", {1, 2, 3});
+  buffers_b.set_logical("B", {4, 5, 6, 7});
+  exec::run(original, params, buffers_a);
+  exec::run(restored, params, buffers_b);
+  EXPECT_EQ(buffers_a.logical("C"), buffers_b.logical("C"));
+}
+
+TEST(JsonReader, RejectsMalformedJson) {
+  EXPECT_THROW(from_json(""), JsonError);
+  EXPECT_THROW(from_json("{"), JsonError);
+  EXPECT_THROW(from_json("{\"name\": }"), JsonError);
+  EXPECT_THROW(from_json("[1, 2"), JsonError);
+  EXPECT_THROW(from_json("{\"name\": \"x\"} trailing"), JsonError);
+  EXPECT_THROW(from_json("{\"name\": \"unterminated}"), JsonError);
+}
+
+TEST(JsonReader, RejectsWrongSchema) {
+  EXPECT_THROW(from_json("{\"title\": \"no name\"}"), JsonError);
+  EXPECT_THROW(from_json("{\"name\": \"p\", \"symbols\": 3}"), JsonError);
+  EXPECT_THROW(
+      from_json("{\"name\": \"p\", \"symbols\": [], \"containers\": "
+                "[{\"name\": \"A\"}], \"states\": []}"),
+      JsonError);
+}
+
+TEST(JsonReader, ParsesEscapes) {
+  Sdfg sdfg("quote\"backslash\\");
+  Sdfg restored = from_json(to_json(sdfg));
+  EXPECT_EQ(restored.name(), "quote\"backslash\\");
+}
+
+TEST(JsonReader, BadExpressionReportsCleanly) {
+  const char* text =
+      "{\"name\": \"p\", \"symbols\": [], \"containers\": [{\"name\": "
+      "\"A\", \"shape\": [\"$$$\"], \"strides\": [\"1\"], "
+      "\"element_size\": 8, \"transient\": false}], \"states\": []}";
+  try {
+    from_json(text);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("bad expression"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dmv::ir

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/sim/sim.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::sim {
+namespace {
+
+using builder::ProgramBuilder;
+
+// Builds a synthetic trace over one 1-D container from a flat index
+// sequence, so distance algorithms can be tested on known streams.
+AccessTrace synthetic_trace(std::int64_t elements,
+                            const std::vector<std::int64_t>& sequence,
+                            int element_size = 8) {
+  AccessTrace trace;
+  ConcreteLayout layout;
+  layout.name = "A";
+  layout.shape = {elements};
+  layout.strides = {1};
+  layout.element_size = element_size;
+  trace.containers = {"A"};
+  trace.layouts = {layout};
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    AccessEvent event;
+    event.container = 0;
+    event.flat = sequence[i];
+    event.timestep = static_cast<std::int64_t>(i);
+    event.execution = static_cast<std::int64_t>(i);
+    trace.events.push_back(event);
+  }
+  trace.executions = static_cast<std::int64_t>(sequence.size());
+  return trace;
+}
+
+TEST(StackDistance, FirstAccessIsCold) {
+  AccessTrace trace = synthetic_trace(8, {0, 1, 2});
+  // Element size 8, line 8: each element its own line.
+  StackDistanceResult result = stack_distances(trace, 8);
+  for (std::int64_t d : result.distances) {
+    EXPECT_EQ(d, kInfiniteDistance);
+  }
+}
+
+TEST(StackDistance, ImmediateReuseIsZero) {
+  AccessTrace trace = synthetic_trace(8, {3, 3, 3});
+  StackDistanceResult result = stack_distances(trace, 8);
+  EXPECT_EQ(result.distances[1], 0);
+  EXPECT_EQ(result.distances[2], 0);
+}
+
+TEST(StackDistance, ClassicSequence) {
+  // Stream a b c a: the re-access to a has seen 2 distinct lines since.
+  AccessTrace trace = synthetic_trace(8, {0, 1, 2, 0});
+  StackDistanceResult result = stack_distances(trace, 8);
+  EXPECT_EQ(result.distances[3], 2);
+}
+
+TEST(StackDistance, RepeatsDoNotInflateDistance) {
+  // a b b b a: only ONE distinct line between the two a's.
+  AccessTrace trace = synthetic_trace(8, {0, 1, 1, 1, 0});
+  StackDistanceResult result = stack_distances(trace, 8);
+  EXPECT_EQ(result.distances[4], 1);
+}
+
+TEST(StackDistance, LineGranularitySharing) {
+  // 8-byte elements, 64-byte lines: elements 0..7 share line 0. An
+  // access to element 1 right after element 0 is a line re-reference
+  // with distance 0 (the §V-E cache-line granularity rule).
+  AccessTrace trace = synthetic_trace(16, {0, 1, 8, 0});
+  StackDistanceResult result = stack_distances(trace, 64);
+  EXPECT_EQ(result.distances[0], kInfiniteDistance);
+  EXPECT_EQ(result.distances[1], 0);
+  EXPECT_EQ(result.distances[2], kInfiniteDistance);
+  EXPECT_EQ(result.distances[3], 1);
+}
+
+TEST(StackDistance, NaiveMatchesFenwickOnRandomStreams) {
+  std::mt19937 rng(42);
+  for (int round = 0; round < 10; ++round) {
+    std::uniform_int_distribution<std::int64_t> element(0, 40);
+    std::vector<std::int64_t> sequence(300);
+    for (auto& s : sequence) s = element(rng);
+    AccessTrace trace = synthetic_trace(48, sequence);
+    for (int line : {8, 16, 64}) {
+      StackDistanceResult fast = stack_distances(trace, line);
+      StackDistanceResult naive = stack_distances_naive(trace, line);
+      EXPECT_EQ(fast.distances, naive.distances)
+          << "round " << round << " line " << line;
+    }
+  }
+}
+
+TEST(StackDistance, NaiveMatchesFenwickOnRealWorkload) {
+  ir::Sdfg sdfg = workloads::matmul();
+  AccessTrace trace = simulate(sdfg, workloads::matmul_fig5());
+  for (int line : {32, 64}) {
+    EXPECT_EQ(stack_distances(trace, line).distances,
+              stack_distances_naive(trace, line).distances);
+  }
+}
+
+TEST(ElementStats, MinMedianMaxAndCold) {
+  // Element 0: accesses at distances inf, 0, 2.
+  AccessTrace trace = synthetic_trace(8, {0, 0, 1, 2, 0});
+  StackDistanceResult result = stack_distances(trace, 8);
+  ElementDistanceStats stats = element_distance_stats(trace, result, 0);
+  EXPECT_EQ(stats.cold_count[0], 1);
+  EXPECT_EQ(stats.min[0], 0);
+  EXPECT_EQ(stats.max[0], 2);
+  EXPECT_EQ(stats.median[0], 2);  // Upper median of {0, 2}.
+  // Element 3 never accessed: all stats stay infinite, no cold count.
+  EXPECT_EQ(stats.cold_count[3], 0);
+  EXPECT_EQ(stats.min[3], kInfiniteDistance);
+}
+
+TEST(ElementStats, MatmulFig5bColdMissAccounting) {
+  // Fig 5b detail: the per-element histogram lists cold misses. Every
+  // cache line of A is first touched through exactly one of its
+  // elements, so the number of elements reporting one cold miss equals
+  // the number of lines A spans, and a line-leading element (A[3,2] at
+  // 32-byte lines with 4-byte values) lists exactly one.
+  ir::Sdfg sdfg = workloads::matmul();
+  AccessTrace trace = simulate(sdfg, workloads::matmul_fig5());
+  StackDistanceResult result = stack_distances(trace, 32);
+  const int a = trace.container_id("A");
+  ElementDistanceStats stats = element_distance_stats(trace, result, a);
+
+  std::int64_t cold_elements = 0;
+  for (std::int64_t cold : stats.cold_count) {
+    EXPECT_LE(cold, 1);  // A line can only be first-touched once.
+    cold_elements += cold;
+  }
+  EXPECT_EQ(cold_elements, layout::lines_spanned(trace.layouts[a], 32));
+
+  const std::int64_t line_leader =
+      trace.layouts[a].flat_index(std::vector<std::int64_t>{3, 2});
+  DistanceHistogram histogram =
+      distance_histogram(trace, result, a, line_leader);
+  EXPECT_EQ(histogram.cold_misses, 1);
+  EXPECT_FALSE(histogram.distances.empty());
+}
+
+TEST(Histogram, ContainerWideAggregation) {
+  AccessTrace trace = synthetic_trace(8, {0, 1, 0, 1, 2});
+  StackDistanceResult result = stack_distances(trace, 8);
+  DistanceHistogram histogram = distance_histogram(trace, result, 0);
+  EXPECT_EQ(histogram.cold_misses, 3);
+  EXPECT_EQ(histogram.distances.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(histogram.distances.begin(),
+                             histogram.distances.end()));
+}
+
+TEST(StackDistance, PaddingChangesLineMapping) {
+  // With padded strides the same logical accesses hit different lines:
+  // two row-adjacent elements share a line unpadded but not padded.
+  ProgramBuilder p("prog");
+  p.symbols({"R", "C"});
+  p.array("A", {"R", "C"});
+  p.array("B", {"R", "C"});
+  p.state("s");
+  p.mapped_tasklet("id", {{"r", "0:R-1"}, {"c", "0:C-1"}},
+                   {{"v", "A", "r, c"}}, "o = v", {{"o", "B", "r, c"}});
+  ir::Sdfg sdfg = p.take();
+  symbolic::SymbolMap env{{"R", 4}, {"C", 12}};
+
+  AccessTrace unpadded = simulate(sdfg, env);
+  sdfg.array("A").strides = {symbolic::Expr(16), symbolic::Expr(1)};
+  AccessTrace padded = simulate(sdfg, env);
+
+  const int a = unpadded.container_id("A");
+  auto lines = [&](const AccessTrace& trace) {
+    std::set<std::int64_t> distinct;
+    for (const AccessEvent& event : trace.events) {
+      if (event.container != a) continue;
+      const ConcreteLayout& layout = trace.layouts[a];
+      distinct.insert(layout.byte_address(layout.unflatten(event.flat)) /
+                      64);
+    }
+    return distinct.size();
+  };
+  EXPECT_LT(lines(unpadded), lines(padded));
+}
+
+}  // namespace
+}  // namespace dmv::sim

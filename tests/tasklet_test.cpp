@@ -1,0 +1,148 @@
+#include "dmv/ir/tasklet_ast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmv::ir {
+namespace {
+
+TEST(TaskletParse, SimpleAssignment) {
+  TaskletAst ast = parse_tasklet("c = a * b");
+  ASSERT_EQ(ast.statements.size(), 1u);
+  EXPECT_EQ(ast.statements[0].target, "c");
+  EXPECT_EQ(ast.read_connectors(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(ast.written_connectors(), std::vector<std::string>{"c"});
+}
+
+TEST(TaskletParse, MultipleStatements) {
+  TaskletAst ast = parse_tasklet("t = a + b; o = t * t");
+  ASSERT_EQ(ast.statements.size(), 2u);
+  // t is a local: assigned before read, so not an input.
+  EXPECT_EQ(ast.read_connectors(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(ast.written_connectors(),
+            (std::vector<std::string>{"t", "o"}));
+}
+
+TEST(TaskletParse, NewlineSeparated) {
+  TaskletAst ast = parse_tasklet("x = a\ny = x + 1\n");
+  EXPECT_EQ(ast.statements.size(), 2u);
+}
+
+TEST(TaskletParse, Numbers) {
+  TaskletAst ast = parse_tasklet("o = 0.5 * v + 1e-3 - 2.5e2");
+  std::map<std::string, double> values{{"v", 2.0}};
+  ast.execute(values);
+  EXPECT_DOUBLE_EQ(values["o"], 0.5 * 2.0 + 1e-3 - 2.5e2);
+}
+
+TEST(TaskletParse, Errors) {
+  EXPECT_THROW(parse_tasklet(""), TaskletParseError);
+  EXPECT_THROW(parse_tasklet("a +"), TaskletParseError);
+  EXPECT_THROW(parse_tasklet("= 3"), TaskletParseError);
+  EXPECT_THROW(parse_tasklet("o = foo(1)"), TaskletParseError);
+  EXPECT_THROW(parse_tasklet("o = exp(1, 2)"), TaskletParseError);
+  EXPECT_THROW(parse_tasklet("o = (1"), TaskletParseError);
+}
+
+TEST(TaskletExecute, Arithmetic) {
+  std::map<std::string, double> values{{"a", 6.0}, {"b", 4.0}};
+  parse_tasklet("o = a / b - a * b + (a - b)").execute(values);
+  EXPECT_DOUBLE_EQ(values["o"], 6.0 / 4.0 - 24.0 + 2.0);
+}
+
+TEST(TaskletExecute, UnaryMinus) {
+  std::map<std::string, double> values{{"a", 3.0}};
+  parse_tasklet("o = -a * -2").execute(values);
+  EXPECT_DOUBLE_EQ(values["o"], 6.0);
+}
+
+TEST(TaskletExecute, Intrinsics) {
+  std::map<std::string, double> values{{"x", 0.7}};
+  parse_tasklet(
+      "a = exp(x); b = log(a); c = sqrt(x); d = tanh(x); e = erf(x); "
+      "f = abs(-x); g = min(x, 0.5); h = max(x, 0.5)")
+      .execute(values);
+  EXPECT_DOUBLE_EQ(values["a"], std::exp(0.7));
+  EXPECT_NEAR(values["b"], 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(values["c"], std::sqrt(0.7));
+  EXPECT_DOUBLE_EQ(values["d"], std::tanh(0.7));
+  EXPECT_DOUBLE_EQ(values["e"], std::erf(0.7));
+  EXPECT_DOUBLE_EQ(values["f"], 0.7);
+  EXPECT_DOUBLE_EQ(values["g"], 0.5);
+  EXPECT_DOUBLE_EQ(values["h"], 0.7);
+}
+
+TEST(TaskletExecute, ComparisonAndSelect) {
+  std::map<std::string, double> values{{"a", 2.0}, {"b", 5.0}};
+  parse_tasklet("c = a < b; d = a > b; o = select(c, a, b)")
+      .execute(values);
+  EXPECT_DOUBLE_EQ(values["c"], 1.0);
+  EXPECT_DOUBLE_EQ(values["d"], 0.0);
+  EXPECT_DOUBLE_EQ(values["o"], 2.0);
+}
+
+TEST(TaskletExecute, SelectFalseBranch) {
+  std::map<std::string, double> values{{"a", 9.0}, {"b", 5.0}};
+  parse_tasklet("o = select(a < b, a, b)").execute(values);
+  EXPECT_DOUBLE_EQ(values["o"], 5.0);
+}
+
+TEST(TaskletExecute, UndefinedConnectorThrows) {
+  std::map<std::string, double> values;
+  EXPECT_THROW(parse_tasklet("o = ghost + 1").execute(values),
+               TaskletParseError);
+}
+
+TEST(TaskletOpCount, CountsByCategory) {
+  OpCount count =
+      parse_tasklet("o = a * b + c / d - exp(e)").count_operations();
+  EXPECT_EQ(count.adds, 2);  // + and -
+  EXPECT_EQ(count.muls, 1);
+  EXPECT_EQ(count.divs, 1);
+  EXPECT_EQ(count.special, 1);
+  EXPECT_EQ(count.total(), 5);
+}
+
+TEST(TaskletOpCount, NegAndComparisons) {
+  OpCount count = parse_tasklet("o = -a; p = a < b").count_operations();
+  EXPECT_EQ(count.adds, 1);
+  EXPECT_EQ(count.comparisons, 1);
+}
+
+TEST(TaskletOpCount, Accumulates) {
+  OpCount a = parse_tasklet("o = a + b").count_operations();
+  OpCount b = parse_tasklet("o = a * b").count_operations();
+  a += b;
+  EXPECT_EQ(a.adds, 1);
+  EXPECT_EQ(a.muls, 1);
+  EXPECT_EQ(a.total(), 2);
+}
+
+TEST(TaskletOpCount, HdiffStencilShape) {
+  // The fused hdiff tasklet: 5 Laplacians (4 adds + 1 mul each), flux
+  // limiting, and the final combination.
+  const char* code =
+      "lap_c = 4.0*i2j2 - (i3j2 + i1j2 + i2j3 + i2j1)\n"
+      "flx1 = lap_c - i2j2\n"
+      "flx1 = select(flx1 * (i3j2 - i2j2) > 0, 0, flx1)\n"
+      "o = i2j2 - c * flx1";
+  OpCount count = parse_tasklet(code).count_operations();
+  EXPECT_GT(count.adds, 0);
+  EXPECT_GT(count.muls, 0);
+  EXPECT_EQ(count.comparisons, 1);
+  EXPECT_EQ(count.special, 1);
+}
+
+TEST(TaskletAst, SourcePreserved) {
+  TaskletAst ast = parse_tasklet("o = a + 1");
+  EXPECT_EQ(ast.source, "o = a + 1");
+}
+
+TEST(TaskletAst, ConnectorReadOnceListedOnce) {
+  TaskletAst ast = parse_tasklet("o = a + a * a");
+  EXPECT_EQ(ast.read_connectors(), std::vector<std::string>{"a"});
+}
+
+}  // namespace
+}  // namespace dmv::ir

@@ -1,0 +1,114 @@
+#include "dmv/sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::sim {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  ir::Sdfg sdfg = workloads::matmul();
+  AccessTrace original = simulate(sdfg, workloads::matmul_fig5());
+  AccessTrace restored = trace_from_string(trace_to_string(original));
+
+  ASSERT_EQ(restored.containers, original.containers);
+  ASSERT_EQ(restored.layouts.size(), original.layouts.size());
+  for (std::size_t c = 0; c < original.layouts.size(); ++c) {
+    EXPECT_EQ(restored.layouts[c].shape, original.layouts[c].shape);
+    EXPECT_EQ(restored.layouts[c].strides, original.layouts[c].strides);
+    EXPECT_EQ(restored.layouts[c].element_size,
+              original.layouts[c].element_size);
+    EXPECT_EQ(restored.layouts[c].base_address,
+              original.layouts[c].base_address);
+  }
+  ASSERT_EQ(restored.events.size(), original.events.size());
+  for (std::size_t i = 0; i < original.events.size(); ++i) {
+    EXPECT_EQ(restored.events[i].container, original.events[i].container);
+    EXPECT_EQ(restored.events[i].flat, original.events[i].flat);
+    EXPECT_EQ(restored.events[i].is_write, original.events[i].is_write);
+    EXPECT_EQ(restored.events[i].execution, original.events[i].execution);
+  }
+}
+
+TEST(TraceIo, AnalysesAgreeOnRestoredTrace) {
+  // The whole point of the import path (§VIII-d): an external trace runs
+  // through the same analyses with identical results.
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  AccessTrace original = simulate(sdfg, workloads::hdiff_local());
+  AccessTrace restored = trace_from_string(trace_to_string(original));
+
+  EXPECT_EQ(stack_distances(original, 64).distances,
+            stack_distances(restored, 64).distances);
+  StackDistanceResult distances = stack_distances(restored, 64);
+  EXPECT_EQ(classify_misses(original, stack_distances(original, 64), 8)
+                .total.misses(),
+            classify_misses(restored, distances, 8).total.misses());
+}
+
+TEST(TraceIo, HandWrittenExternalTrace) {
+  // The format an instrumentation tool would emit directly.
+  const char* text =
+      "dmvtrace 1\n"
+      "container buffer 4 0 4 4 ; 4 1\n"
+      "events\n"
+      "0 0 0 r 0 -1\n"
+      "1 0 5 w 0 -1\n"
+      "2 0 0 r 1 -1\n";
+  AccessTrace trace = trace_from_string(text);
+  ASSERT_EQ(trace.containers.size(), 1u);
+  EXPECT_EQ(trace.layouts[0].shape, (std::vector<std::int64_t>{4, 4}));
+  ASSERT_EQ(trace.events.size(), 3u);
+  EXPECT_TRUE(trace.events[1].is_write);
+  EXPECT_EQ(trace.executions, 2);
+  AccessCounts counts = count_accesses(trace);
+  EXPECT_EQ(counts.reads[0][0], 2);
+  EXPECT_EQ(counts.writes[0][5], 1);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(trace_from_string(""), std::runtime_error);
+  EXPECT_THROW(trace_from_string("wrong magic\n"), std::runtime_error);
+  EXPECT_THROW(trace_from_string("dmvtrace 1\nnonsense\n"),
+               std::runtime_error);
+  // Missing events section.
+  EXPECT_THROW(
+      trace_from_string("dmvtrace 1\ncontainer a 8 0 4 ; 1\n"),
+      std::runtime_error);
+  // Event referencing an unknown container.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a 8 0 4 ; 1\n"
+                                 "events\n"
+                                 "0 3 0 r 0 -1\n"),
+               std::runtime_error);
+  // Element out of range.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a 8 0 4 ; 1\n"
+                                 "events\n"
+                                 "0 0 9 r 0 -1\n"),
+               std::runtime_error);
+  // Bad access mode.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a 8 0 4 ; 1\n"
+                                 "events\n"
+                                 "0 0 1 x 0 -1\n"),
+               std::runtime_error);
+  // Shape/stride rank mismatch.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a 8 0 4 4 ; 1\n"
+                                 "events\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, ErrorsCarryLineNumbers) {
+  try {
+    trace_from_string("dmvtrace 1\ncontainer a 8 0 4 ; 1\nevents\nbroken\n");
+    FAIL() << "expected failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace dmv::sim

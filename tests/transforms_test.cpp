@@ -1,0 +1,319 @@
+#include "dmv/transforms/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dmv/analysis/analysis.hpp"
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/exec/interpreter.hpp"
+#include "dmv/ir/validate.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::transforms {
+namespace {
+
+using builder::ProgramBuilder;
+
+// Producer map writes transient T, consumer map reads it element-wise.
+ir::Sdfg fusible_pair() {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.transient("T", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("inc", {{"i", "0:N-1"}}, {{"v", "A", "i"}}, "o = v + 1",
+                   {{"o", "T", "i"}});
+  p.mapped_tasklet("dbl", {{"j", "0:N-1"}}, {{"v", "T", "j"}}, "o = v * 2",
+                   {{"o", "B", "j"}});
+  return p.take();
+}
+
+std::vector<double> run_program(ir::Sdfg& sdfg,
+                                const symbolic::SymbolMap& env,
+                                const std::string& input,
+                                const std::string& output) {
+  exec::Buffers buffers(sdfg, env);
+  std::vector<double> in_values(
+      buffers.layout(input).total_elements());
+  for (std::size_t i = 0; i < in_values.size(); ++i) {
+    in_values[i] = 0.5 * static_cast<double>(i) - 3.0;
+  }
+  buffers.set_logical(input, in_values);
+  exec::run(sdfg, env, buffers);
+  return buffers.logical(output);
+}
+
+TEST(MapFusion, FindsTheCandidate) {
+  ir::Sdfg sdfg = fusible_pair();
+  std::vector<FusionCandidate> candidates = find_fusion_candidates(sdfg);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].transient, "T");
+}
+
+TEST(MapFusion, ApplyRemovesTransientAndMap) {
+  ir::Sdfg sdfg = fusible_pair();
+  apply_map_fusion(sdfg, find_fusion_candidates(sdfg)[0]);
+  ir::validate_or_throw(sdfg);
+  EXPECT_FALSE(sdfg.has_array("T"));
+  int entries = 0;
+  for (const ir::Node& node : sdfg.states()[0].nodes()) {
+    if (node.kind == ir::NodeKind::MapEntry) ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(MapFusion, PreservesSemantics) {
+  ir::Sdfg original = fusible_pair();
+  ir::Sdfg fused = fusible_pair();
+  EXPECT_EQ(fuse_all(fused), 1);
+  symbolic::SymbolMap env{{"N", 11}};
+  EXPECT_EQ(run_program(original, env, "A", "B"),
+            run_program(fused, env, "A", "B"));
+}
+
+TEST(MapFusion, ParameterRenaming) {
+  // Consumer uses different parameter names; fusion renames its memlets.
+  ir::Sdfg sdfg = fusible_pair();
+  fuse_all(sdfg);
+  for (const ir::Edge& edge : sdfg.states()[0].edges()) {
+    if (edge.memlet.is_empty()) continue;
+    for (const std::string& symbol :
+         edge.memlet.subset.num_elements().free_symbols()) {
+      EXPECT_NE(symbol, "j") << "consumer param should be renamed to i";
+    }
+  }
+}
+
+TEST(MapFusion, RemovesTheDataMovement) {
+  // The point of the optimization in the paper: the transient's volume
+  // disappears from the program.
+  ir::Sdfg sdfg = fusible_pair();
+  auto volume = [&](const ir::Sdfg& graph) {
+    std::int64_t total = 0;
+    for (const ir::State& state : graph.states()) {
+      for (const ir::Edge& edge : state.edges()) {
+        if (edge.memlet.is_empty()) continue;
+        total += dmv::analysis::total_edge_elements(state, edge)
+                     .evaluate({{"N", 16}});
+      }
+    }
+    return total;
+  };
+  const std::int64_t before = volume(sdfg);
+  fuse_all(sdfg);
+  const std::int64_t after = volume(sdfg);
+  // T contributed 4 edges x 16 elements.
+  EXPECT_EQ(before - after, 64);
+}
+
+TEST(MapFusion, RejectsMismatchedRanges) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.transient("T", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("inc", {{"i", "0:N-1"}}, {{"v", "A", "i"}}, "o = v + 1",
+                   {{"o", "T", "i"}});
+  p.mapped_tasklet("half", {{"j", "0:N-2"}}, {{"v", "T", "j"}}, "o = v",
+                   {{"o", "B", "j"}});
+  ir::Sdfg sdfg = p.take();
+  EXPECT_TRUE(find_fusion_candidates(sdfg).empty());
+}
+
+TEST(MapFusion, RejectsNeighborAccess) {
+  // Consumer reads T[j+1]: not element-wise aligned, not fusible.
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N + 1"});
+  p.transient("T", {"N + 1"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("inc", {{"i", "0:N"}}, {{"v", "A", "i"}}, "o = v + 1",
+                   {{"o", "T", "i"}});
+  p.mapped_tasklet("shift", {{"i", "0:N-1"}}, {{"v", "T", "i + 1"}},
+                   "o = v", {{"o", "B", "i"}});
+  ir::Sdfg sdfg = p.take();
+  EXPECT_TRUE(find_fusion_candidates(sdfg).empty());
+}
+
+TEST(MapFusion, RejectsMultiConsumerTransient) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.transient("T", {"N"});
+  p.array("B", {"N"});
+  p.array("C", {"N"});
+  p.state("s");
+  p.mapped_tasklet("inc", {{"i", "0:N-1"}}, {{"v", "A", "i"}}, "o = v + 1",
+                   {{"o", "T", "i"}});
+  p.mapped_tasklet("use1", {{"i", "0:N-1"}}, {{"v", "T", "i"}}, "o = v",
+                   {{"o", "B", "i"}});
+  p.mapped_tasklet("use2", {{"i", "0:N-1"}}, {{"v", "T", "i"}}, "o = v",
+                   {{"o", "C", "i"}});
+  ir::Sdfg sdfg = p.take();
+  EXPECT_TRUE(find_fusion_candidates(sdfg).empty());
+}
+
+TEST(MapFusion, ChainFusesToFixpoint) {
+  ProgramBuilder p("prog");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.transient("T1", {"N"});
+  p.transient("T2", {"N"});
+  p.array("B", {"N"});
+  p.state("s");
+  p.mapped_tasklet("a", {{"i", "0:N-1"}}, {{"v", "A", "i"}}, "o = v + 1",
+                   {{"o", "T1", "i"}});
+  p.mapped_tasklet("b", {{"i", "0:N-1"}}, {{"v", "T1", "i"}}, "o = v * 3",
+                   {{"o", "T2", "i"}});
+  p.mapped_tasklet("c", {{"i", "0:N-1"}}, {{"v", "T2", "i"}}, "o = v - 2",
+                   {{"o", "B", "i"}});
+  ir::Sdfg original = p.take();
+  ir::Sdfg fused = original;
+  EXPECT_EQ(fuse_all(fused), 2);
+  ir::validate_or_throw(fused);
+  symbolic::SymbolMap env{{"N", 6}};
+  EXPECT_EQ(run_program(original, env, "A", "B"),
+            run_program(fused, env, "A", "B"));
+}
+
+TEST(LoopInterchange, PermutesParamsAndRanges) {
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  ir::State& state = sdfg.states()[0];
+  ir::NodeId entry = ir::kNoNode;
+  for (const ir::Node& node : state.nodes()) {
+    if (node.kind == ir::NodeKind::MapEntry) entry = node.id;
+  }
+  loop_interchange(state, entry, {2, 0, 1});
+  EXPECT_EQ(state.node(entry).map.params,
+            (std::vector<std::string>{"k", "i", "j"}));
+  ir::validate_or_throw(sdfg);
+}
+
+TEST(LoopInterchange, RejectsBadPermutation) {
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  ir::State& state = sdfg.states()[0];
+  ir::NodeId entry = ir::kNoNode;
+  for (const ir::Node& node : state.nodes()) {
+    if (node.kind == ir::NodeKind::MapEntry) entry = node.id;
+  }
+  EXPECT_THROW(loop_interchange(state, entry, {0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(loop_interchange(state, entry, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(loop_interchange(state, 0, {0}), std::invalid_argument);
+}
+
+TEST(PermuteDimensions, RewritesDescriptorAndMemlets) {
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  permute_dimensions(sdfg, "in_field", {2, 0, 1});
+  ir::validate_or_throw(sdfg);
+  const ir::DataDescriptor& d = sdfg.array("in_field");
+  symbolic::SymbolMap env{{"I", 8}, {"J", 8}, {"K", 5}};
+  EXPECT_EQ(d.shape[0].evaluate(env), 5);
+  EXPECT_EQ(d.shape[1].evaluate(env), 12);
+  // Memlets now lead with the k index.
+  for (const ir::Edge& edge : sdfg.states()[0].edges()) {
+    if (edge.memlet.data != "in_field") continue;
+    EXPECT_EQ(edge.memlet.subset.rank(), 3);
+    const auto symbols = edge.memlet.subset.ranges[0].begin.free_symbols();
+    if (!symbols.empty()) {
+      EXPECT_TRUE(symbols.contains("k") || symbols.contains("K"))
+          << edge.memlet.to_string();
+    }
+  }
+}
+
+TEST(PermuteDimensions, PreservesSemantics) {
+  ir::Sdfg original = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  ir::Sdfg permuted = workloads::hdiff(workloads::HdiffVariant::Reshaped);
+  symbolic::SymbolMap env = workloads::hdiff_local();
+
+  auto run_variant = [&](ir::Sdfg& graph) {
+    exec::Buffers buffers(graph, env);
+    // in_field has different LOGICAL shapes in the two variants, so fill
+    // by original coordinates.
+    const auto& layout = buffers.layout("in_field");
+    for (std::int64_t flat = 0; flat < layout.total_elements(); ++flat) {
+      auto idx = layout.unflatten(flat);
+      // Map to canonical (i, j, k) regardless of permutation.
+      std::int64_t i, j, k;
+      if (idx.size() == 3 && layout.shape[0] == 5) {  // [K, I+4, J+4]
+        k = idx[0];
+        i = idx[1];
+        j = idx[2];
+      } else {  // [I+4, J+4, K]
+        i = idx[0];
+        j = idx[1];
+        k = idx[2];
+      }
+      buffers.at("in_field", idx) =
+          std::sin(static_cast<double>(i * 100 + j * 10 + k));
+    }
+    std::vector<double> coefficients(
+        buffers.layout("coeff").total_elements(), 0.03);
+    buffers.set_logical("coeff", coefficients);
+    exec::run(graph, env, buffers);
+    return buffers.logical("out_field");
+  };
+
+  EXPECT_EQ(run_variant(original), run_variant(permuted));
+}
+
+TEST(PermuteDimensions, RejectsBadPermutation) {
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  EXPECT_THROW(permute_dimensions(sdfg, "in_field", {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(permute_dimensions(sdfg, "in_field", {0, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(StridePadding, PadsRowStride) {
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Reordered);
+  pad_innermost_stride(sdfg, "in_field", 8);
+  const ir::DataDescriptor& d = sdfg.array("in_field");
+  symbolic::SymbolMap env{{"I", 8}, {"J", 8}, {"K", 5}};
+  // [K, I+4, J+4] with rows of 12 padded to 16.
+  EXPECT_EQ(d.strides[2].evaluate(env), 1);
+  EXPECT_EQ(d.strides[1].evaluate(env), 16);
+  EXPECT_EQ(d.strides[0].evaluate(env), 16 * 12);
+  EXPECT_GT(d.allocated_elements().evaluate(env),
+            d.total_elements().evaluate(env));
+}
+
+TEST(StridePadding, PreservesSemantics) {
+  ir::Sdfg plain = workloads::hdiff(workloads::HdiffVariant::Reordered);
+  ir::Sdfg padded = workloads::hdiff(workloads::HdiffVariant::Padded);
+  symbolic::SymbolMap env = workloads::hdiff_local();
+  auto run_variant = [&](ir::Sdfg& graph) {
+    exec::Buffers buffers(graph, env);
+    std::vector<double> in(buffers.layout("in_field").total_elements());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = std::sin(static_cast<double>(i));
+    }
+    buffers.set_logical("in_field", in);
+    std::vector<double> coefficients(
+        buffers.layout("coeff").total_elements(), 0.03);
+    buffers.set_logical("coeff", coefficients);
+    exec::run(graph, env, buffers);
+    return buffers.logical("out_field");
+  };
+  EXPECT_EQ(run_variant(plain), run_variant(padded));
+}
+
+TEST(StridePadding, ArgumentChecks) {
+  ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  EXPECT_THROW(pad_innermost_stride(sdfg, "in_field", 0),
+               std::invalid_argument);
+  ProgramBuilder p("p");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  ir::Sdfg one_d = p.sdfg();
+  EXPECT_THROW(pad_innermost_stride(one_d, "A", 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmv::transforms

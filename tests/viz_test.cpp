@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "dmv/builder/program_builder.hpp"
+#include "dmv/viz/render.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::viz {
+namespace {
+
+TEST(HeatmapScale, LinearMinMax) {
+  HeatmapScale scale = HeatmapScale::fit({10, 20, 30}, ScalingPolicy::Linear);
+  EXPECT_DOUBLE_EQ(scale.normalize(10), 0.0);
+  EXPECT_DOUBLE_EQ(scale.normalize(20), 0.5);
+  EXPECT_DOUBLE_EQ(scale.normalize(30), 1.0);
+  EXPECT_DOUBLE_EQ(scale.normalize(40), 1.0);  // Clamped.
+}
+
+TEST(HeatmapScale, MeanCenteredSaturatesOutliers) {
+  // Fig 2 left: one huge outlier. Mean-centered puts the bulk of the
+  // distribution in the cool half and the outlier saturates red.
+  std::vector<double> values{1, 2, 3, 4, 1000};
+  HeatmapScale scale = HeatmapScale::fit(values, ScalingPolicy::MeanCentered);
+  EXPECT_NEAR(scale.center(), 202.0, 1e-9);
+  EXPECT_LT(scale.normalize(4), 0.05);
+  EXPECT_DOUBLE_EQ(scale.normalize(1000), 1.0);
+}
+
+TEST(HeatmapScale, MedianCenteredResistsOutliers) {
+  // Fig 2 right: the same data, median-centered: the bulk spreads over
+  // the scale instead of huddling at green.
+  std::vector<double> values{1, 2, 3, 4, 1000};
+  HeatmapScale scale =
+      HeatmapScale::fit(values, ScalingPolicy::MedianCentered);
+  EXPECT_DOUBLE_EQ(scale.center(), 3.0);
+  EXPECT_DOUBLE_EQ(scale.normalize(3), 0.5);
+  EXPECT_GT(scale.normalize(4), 0.5);
+  EXPECT_DOUBLE_EQ(scale.normalize(1000), 1.0);
+}
+
+TEST(HeatmapScale, HistogramGivesDistinctColors) {
+  // Fig 2 middle: every distinct observation gets its own position,
+  // independent of value gaps.
+  std::vector<double> values{1, 2, 2, 3, 1000};
+  HeatmapScale scale = HeatmapScale::fit(values, ScalingPolicy::Histogram);
+  EXPECT_EQ(scale.bucket_count(), 4u);
+  EXPECT_DOUBLE_EQ(scale.normalize(1), 0.0);
+  EXPECT_DOUBLE_EQ(scale.normalize(2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(scale.normalize(3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(scale.normalize(1000), 1.0);
+}
+
+TEST(HeatmapScale, ExponentialCompressesMagnitudes) {
+  HeatmapScale scale =
+      HeatmapScale::fit({1, 10, 100, 1000}, ScalingPolicy::Exponential);
+  EXPECT_NEAR(scale.normalize(10), 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(scale.normalize(100), 2.0 / 3.0, 0.01);
+}
+
+TEST(HeatmapScale, EmptyAndDegenerate) {
+  HeatmapScale empty = HeatmapScale::fit({}, ScalingPolicy::Linear);
+  EXPECT_DOUBLE_EQ(empty.normalize(5), 0.0);
+  HeatmapScale single = HeatmapScale::fit({7}, ScalingPolicy::Histogram);
+  EXPECT_DOUBLE_EQ(single.normalize(7), 0.0);
+  HeatmapScale zeros = HeatmapScale::fit({0, 0}, ScalingPolicy::MeanCentered);
+  EXPECT_DOUBLE_EQ(zeros.normalize(0), 0.0);
+}
+
+TEST(HeatmapScale, PolicyNames) {
+  EXPECT_EQ(to_string(ScalingPolicy::MeanCentered), "mean");
+  EXPECT_EQ(to_string(ScalingPolicy::Histogram), "histogram");
+}
+
+TEST(ColorMap, GreenYellowRedEndpoints) {
+  Rgb cold = sample_color(0.0, ColorScheme::GreenYellowRed);
+  Rgb mid = sample_color(0.5, ColorScheme::GreenYellowRed);
+  Rgb hot = sample_color(1.0, ColorScheme::GreenYellowRed);
+  EXPECT_GT(cold.g, cold.r);  // Green.
+  EXPECT_GT(mid.r, 200);      // Yellow: strong red+green.
+  EXPECT_GT(mid.g, 180);
+  EXPECT_GT(hot.r, hot.g);  // Red.
+  EXPECT_EQ(sample_color(-1.0, ColorScheme::GreenYellowRed).hex(),
+            cold.hex());
+  EXPECT_EQ(sample_color(2.0, ColorScheme::GreenYellowRed).hex(),
+            hot.hex());
+}
+
+TEST(ColorMap, ViridisMonotoneLuminance) {
+  double previous = -1;
+  for (double t = 0; t <= 1.0; t += 0.1) {
+    Rgb c = sample_color(t, ColorScheme::Viridis);
+    const double luminance = 0.2126 * c.r + 0.7152 * c.g + 0.0722 * c.b;
+    EXPECT_GT(luminance, previous);
+    previous = luminance;
+  }
+}
+
+TEST(ColorMap, HexFormat) {
+  EXPECT_EQ((Rgb{255, 0, 16}).hex(), "#ff0010");
+  EXPECT_EQ((Rgb{0, 0, 0}).hex(), "#000000");
+}
+
+TEST(GraphLayout, RespectsEdgeDirection) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  StateLayout layout = layout_state(sdfg.states()[0]);
+  EXPECT_EQ(layout.nodes.size(), sdfg.states()[0].num_nodes());
+  for (const EdgePath& edge : layout.edges) {
+    EXPECT_LT(edge.y1, edge.y2) << "edges must flow downward";
+  }
+  EXPECT_GT(layout.width, 0);
+  EXPECT_GT(layout.height, 0);
+}
+
+TEST(GraphLayout, NoOverlapWithinLayers) {
+  ir::Sdfg sdfg = workloads::bert_encoder(workloads::BertStage::Baseline);
+  StateLayout layout = layout_state(sdfg.states()[0]);
+  for (const NodeBox& a : layout.nodes) {
+    for (const NodeBox& b : layout.nodes) {
+      if (a.id >= b.id || a.y != b.y) continue;
+      const double gap = std::abs(a.x - b.x) -
+                         (a.width + b.width) / 2.0;
+      EXPECT_GT(gap, -1.0) << "nodes " << a.id << " and " << b.id;
+    }
+  }
+}
+
+TEST(GraphLayout, CollapsedScopeHidesBody) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  ir::State& state = sdfg.states()[0];
+  for (ir::Node& node : state.mutable_nodes()) {
+    if (node.kind == ir::NodeKind::MapEntry) node.map.collapsed = true;
+  }
+  StateLayout collapsed = layout_state(state);
+  StateLayout expanded =
+      layout_state(state, LayoutOptions{30, 50, /*respect=*/false});
+  EXPECT_LT(collapsed.nodes.size(), expanded.nodes.size());
+  // The tasklet is hidden; the map entry box remains.
+  for (const NodeBox& box : collapsed.nodes) {
+    EXPECT_NE(state.node(box.id).kind, ir::NodeKind::Tasklet);
+  }
+}
+
+TEST(GraphLayout, FindBox) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  StateLayout layout = layout_state(sdfg.states()[0]);
+  EXPECT_NE(layout.find(0), nullptr);
+  EXPECT_EQ(layout.find(999), nullptr);
+}
+
+TEST(RenderSvg, ContainsShapesAndHeat) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  GraphRenderOptions options;
+  options.edge_heat[0] = 1.0;
+  options.edge_label[0] = "12 B";
+  std::string svg = render_state_svg(sdfg.states()[0], options);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<ellipse"), std::string::npos);   // Access nodes.
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);   // Map trapezoids.
+  EXPECT_NE(svg.find("<rect"), std::string::npos);      // Tasklet.
+  EXPECT_NE(svg.find("12 B"), std::string::npos);       // Edge label.
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(RenderSvg, HeatColorsAppear) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  GraphRenderOptions options;
+  for (std::size_t e = 0; e < sdfg.states()[0].edges().size(); ++e) {
+    options.edge_heat[e] = 1.0;
+  }
+  std::string svg = render_state_svg(sdfg.states()[0], options);
+  const std::string hot = sample_color(1.0, options.scheme).hex();
+  EXPECT_NE(svg.find(hot), std::string::npos);
+}
+
+TEST(RenderTiles, GridGeometryAndContents) {
+  layout::ConcreteLayout layout;
+  layout.name = "C";
+  layout.shape = {3, 4};
+  layout.strides = {4, 1};
+  layout.element_size = 8;
+  std::vector<std::int64_t> counts{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  std::vector<double> heat(12, 0.5);
+  TileRenderOptions options;
+  options.counts = &counts;
+  options.heat = &heat;
+  options.highlighted = {5};
+  options.selected = {7};
+  std::string svg = render_tiles_svg(layout, options);
+  // 12 tiles, name label, a highlight fill, a selection stroke.
+  EXPECT_EQ(svg.find("#39b54a") == std::string::npos, false);
+  EXPECT_NE(svg.find(">C<"), std::string::npos);
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_EQ(rects, 12u);
+  EXPECT_NE(svg.find("accesses: 11"), std::string::npos);
+}
+
+TEST(RenderTiles, FourDimensionalNesting) {
+  // Fig 4a: the 4-D weight tensor renders every element exactly once.
+  layout::ConcreteLayout layout;
+  layout.name = "w";
+  layout.shape = {2, 3, 3, 3};
+  layout.strides = {27, 9, 3, 1};
+  layout.element_size = 8;
+  std::string svg = render_tiles_svg(layout);
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_EQ(rects, 54u);
+}
+
+TEST(RenderTiles, OneDimensional) {
+  layout::ConcreteLayout layout;
+  layout.name = "A";
+  layout.shape = {5};
+  layout.strides = {1};
+  layout.element_size = 8;
+  std::string svg = render_tiles_svg(layout);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(RenderHistogram, BarsAndColdMisses) {
+  HistogramRenderOptions options;
+  options.title = "reuse distances";
+  options.cold_misses = 1;
+  std::string svg =
+      render_histogram_svg({0, 0, 1, 2, 2, 2, 8}, options);
+  EXPECT_NE(svg.find("reuse distances"), std::string::npos);
+  EXPECT_NE(svg.find("1 cold miss"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+TEST(RenderHistogram, EmptyValuesStillValid) {
+  std::string svg = render_histogram_svg({});
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(AsciiHeatmap, RendersGrid) {
+  layout::ConcreteLayout layout;
+  layout.name = "A";
+  layout.shape = {2, 3};
+  layout.strides = {3, 1};
+  layout.element_size = 8;
+  std::vector<double> heat{0, 0.5, 1.0, 1.0, 0.5, 0};
+  std::string art = ascii_heatmap(layout, heat);
+  EXPECT_EQ(art, " +@\n@+ \n");
+}
+
+TEST(AsciiHeatmap, PrefixSelectsSlice) {
+  layout::ConcreteLayout layout;
+  layout.name = "A";
+  layout.shape = {2, 2, 2};
+  layout.strides = {4, 2, 1};
+  layout.element_size = 8;
+  std::vector<double> heat{0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(ascii_heatmap(layout, heat, {1}), "@@\n@@\n");
+  EXPECT_THROW(ascii_heatmap(layout, heat, {}), std::invalid_argument);
+  EXPECT_THROW(ascii_heatmap(layout, {0.0}, {1}), std::invalid_argument);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "10"});
+  table.add_row({"longer", "3"});
+  std::string out = table.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Outline, ListsHierarchy) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  std::string text = outline(sdfg);
+  EXPECT_NE(text.find("SDFG outer_product"), std::string::npos);
+  EXPECT_NE(text.find("<map> outer"), std::string::npos);
+  EXPECT_NE(text.find("[tasklet] outer"), std::string::npos);
+  EXPECT_NE(text.find("(access) C"), std::string::npos);
+}
+
+TEST(RenderSdfg, MultiStateComposition) {
+  // A two-state program renders as two labeled frames with a connector.
+  dmv::builder::ProgramBuilder p("two_states");
+  p.symbols({"N"});
+  p.array("A", {"N"});
+  p.transient("T", {"N"});
+  p.array("B", {"N"});
+  p.state("first");
+  p.mapped_tasklet("inc", {{"i", "0:N-1"}}, {{"v", "A", "i"}}, "o = v + 1",
+                   {{"o", "T", "i"}});
+  p.state("second");
+  p.mapped_tasklet("dbl", {{"i", "0:N-1"}}, {{"v", "T", "i"}}, "o = v * 2",
+                   {{"o", "B", "i"}});
+  ir::Sdfg sdfg = p.take();
+  std::string svg = render_sdfg_svg(sdfg);
+  EXPECT_NE(svg.find("SDFG two_states"), std::string::npos);
+  EXPECT_NE(svg.find("state first"), std::string::npos);
+  EXPECT_NE(svg.find("state second"), std::string::npos);
+  // Exactly one closing tag: the state bodies were inlined, not nested
+  // as complete documents.
+  EXPECT_EQ(svg.find("</svg>"), svg.rfind("</svg>"));
+}
+
+TEST(RenderSdfg, PerStateOptionsApply) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  GraphRenderOptions hot;
+  hot.edge_heat[0] = 1.0;
+  std::map<int, GraphRenderOptions> per_state{{0, hot}};
+  std::string svg = render_sdfg_svg(sdfg, per_state);
+  const std::string hot_hex =
+      sample_color(1.0, ColorScheme::GreenYellowRed).hex();
+  EXPECT_NE(svg.find(hot_hex), std::string::npos);
+}
+
+TEST(Minimap, ContainsViewportRectangle) {
+  ir::Sdfg sdfg = workloads::outer_product();
+  std::string svg = render_minimap_svg(sdfg.states()[0], 10, 20, 100, 80);
+  EXPECT_NE(svg.find("stroke=\"#1565c0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmv::viz

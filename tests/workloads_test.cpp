@@ -1,0 +1,231 @@
+#include "dmv/workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dmv/exec/interpreter.hpp"
+#include "dmv/ir/validate.hpp"
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::workloads {
+namespace {
+
+TEST(Workloads, AllGraphsValidate) {
+  EXPECT_NO_THROW(ir::validate_or_throw(outer_product()));
+  EXPECT_NO_THROW(ir::validate_or_throw(matmul(true)));
+  EXPECT_NO_THROW(ir::validate_or_throw(matmul(false)));
+  EXPECT_NO_THROW(ir::validate_or_throw(conv2d()));
+  for (auto variant : {HdiffVariant::Baseline, HdiffVariant::Reshaped,
+                       HdiffVariant::Reordered, HdiffVariant::Padded}) {
+    EXPECT_NO_THROW(ir::validate_or_throw(hdiff(variant)));
+  }
+  for (auto stage :
+       {BertStage::Baseline, BertStage::Fused1, BertStage::Fused2}) {
+    EXPECT_NO_THROW(ir::validate_or_throw(bert_encoder(stage)));
+  }
+}
+
+TEST(Workloads, MatmulBLayoutToggle) {
+  ir::Sdfg column = matmul(true);
+  ir::Sdfg row = matmul(false);
+  symbolic::SymbolMap env = matmul_fig5();
+  EXPECT_EQ(column.array("B").strides[0].evaluate(env), 1);
+  EXPECT_EQ(row.array("B").strides[1].evaluate(env), 1);
+}
+
+TEST(Workloads, Conv2dOutputShape) {
+  ir::Sdfg sdfg = conv2d();
+  symbolic::SymbolMap env = conv2d_fig4();
+  const ir::DataDescriptor& out = sdfg.array("output");
+  EXPECT_EQ(out.shape[0].evaluate(env), 2);
+  EXPECT_EQ(out.shape[1].evaluate(env), 6);
+  EXPECT_EQ(out.shape[2].evaluate(env), 6);
+}
+
+TEST(Workloads, HdiffVariantsComputeSameResult) {
+  // Every tuning step is semantics-preserving (the guarantee the tool's
+  // workflow relies on): identical logical outputs across all variants.
+  symbolic::SymbolMap env{{"I", 5}, {"J", 6}, {"K", 3}};
+  kernels::HdiffData data = kernels::make_hdiff_data(5, 6, 3);
+
+  std::vector<double> reference;
+  for (auto variant : {HdiffVariant::Baseline, HdiffVariant::Reshaped,
+                       HdiffVariant::Reordered, HdiffVariant::Padded}) {
+    ir::Sdfg sdfg = hdiff(variant);
+    exec::Buffers buffers(sdfg, env);
+    // in_field's logical layout differs after the reshape; fill through
+    // canonical (i, j, k) coordinates.
+    const auto& layout = buffers.layout("in_field");
+    const bool reshaped = layout.shape[0] == 3;
+    for (std::int64_t i = 0; i < 9; ++i) {
+      for (std::int64_t j = 0; j < 10; ++j) {
+        for (std::int64_t k = 0; k < 3; ++k) {
+          const double value = data.in_field[(i * 10 + j) * 3 + k];
+          if (reshaped) {
+            buffers.at("in_field", std::vector<std::int64_t>{k, i, j}) =
+                value;
+          } else {
+            buffers.at("in_field", std::vector<std::int64_t>{i, j, k}) =
+                value;
+          }
+        }
+      }
+    }
+    buffers.set_logical("coeff", data.coeff);
+    exec::run(sdfg, env, buffers);
+    std::vector<double> out = buffers.logical("out_field");
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference);
+    }
+  }
+}
+
+TEST(Workloads, HdiffKernelsAgree) {
+  kernels::HdiffData a = kernels::make_hdiff_data(12, 13, 7);
+  kernels::HdiffData b = kernels::make_hdiff_data(12, 13, 7);
+  kernels::HdiffData c = kernels::make_hdiff_data(12, 13, 7);
+  kernels::hdiff_baseline(a);
+  kernels::hdiff_fused(b);
+  kernels::hdiff_tuned(c);
+  for (std::size_t i = 0; i < a.out_field.size(); ++i) {
+    EXPECT_NEAR(a.out_field[i], b.out_field[i], 1e-12);
+    EXPECT_NEAR(a.out_field[i], c.out_field[i], 1e-12);
+  }
+}
+
+TEST(Workloads, HdiffTunedPaddingVariants) {
+  for (std::int64_t pad : {4, 8, 16}) {
+    kernels::HdiffData reference = kernels::make_hdiff_data(6, 9, 4);
+    kernels::HdiffData padded = kernels::make_hdiff_data(6, 9, 4);
+    kernels::hdiff_baseline(reference);
+    kernels::hdiff_tuned(padded, pad);
+    for (std::size_t i = 0; i < reference.out_field.size(); ++i) {
+      EXPECT_NEAR(reference.out_field[i], padded.out_field[i], 1e-12);
+    }
+  }
+}
+
+TEST(Workloads, HdiffIrMatchesKernel) {
+  const std::int64_t I = 4, J = 5, K = 2;
+  kernels::HdiffData data = kernels::make_hdiff_data(I, J, K);
+  kernels::hdiff_baseline(data);
+
+  ir::Sdfg sdfg = hdiff(HdiffVariant::Baseline);
+  symbolic::SymbolMap env{{"I", I}, {"J", J}, {"K", K}};
+  exec::Buffers buffers(sdfg, env);
+  buffers.set_logical("in_field", data.in_field);
+  buffers.set_logical("coeff", data.coeff);
+  exec::run(sdfg, env, buffers);
+  std::vector<double> out = buffers.logical("out_field");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], data.out_field[i], 1e-12);
+  }
+}
+
+TEST(Workloads, BertStagesShrinkTheGraph) {
+  int previous = 1 << 20;
+  for (auto stage :
+       {BertStage::Baseline, BertStage::Fused1, BertStage::Fused2}) {
+    ir::Sdfg sdfg = bert_encoder(stage);
+    int maps = 0;
+    for (const ir::Node& node : sdfg.states()[0].nodes()) {
+      if (node.kind == ir::NodeKind::MapEntry) ++maps;
+    }
+    EXPECT_LT(maps, previous);
+    previous = maps;
+  }
+}
+
+TEST(Workloads, BertStagesComputeSameResult) {
+  symbolic::SymbolMap env = bert_small();
+  std::vector<double> reference;
+  for (auto stage :
+       {BertStage::Baseline, BertStage::Fused1, BertStage::Fused2}) {
+    ir::Sdfg sdfg = bert_encoder(stage);
+    exec::Buffers buffers(sdfg, env);
+    for (const auto& [name, descriptor] : sdfg.arrays()) {
+      if (descriptor.transient || name == "out") continue;
+      std::vector<double> values(
+          buffers.layout(name).total_elements());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = 0.02 * std::sin(static_cast<double>(i) * 1.7 +
+                                    static_cast<double>(name.size()));
+      }
+      buffers.set_logical(name, values);
+    }
+    exec::run(sdfg, env, buffers);
+    std::vector<double> out = buffers.logical("out");
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference) << "stage differs";
+    }
+  }
+}
+
+TEST(Workloads, BertKernelStagesAgree) {
+  kernels::BertConfig config;
+  config.B = 1;
+  config.H = 2;
+  config.SM = 12;
+  config.I = 16;
+  config.emb = 24;
+  kernels::BertData a = kernels::make_bert_data(config);
+  kernels::BertData b = kernels::make_bert_data(config);
+  kernels::BertData c = kernels::make_bert_data(config);
+  kernels::bert_baseline(a);
+  kernels::bert_fused1(b);
+  kernels::bert_fused2(c);
+  for (std::size_t i = 0; i < a.out.size(); ++i) {
+    EXPECT_NEAR(a.out[i], b.out[i], 2e-4) << "fused1 at " << i;
+    EXPECT_NEAR(a.out[i], c.out[i], 2e-4) << "fused2 at " << i;
+  }
+}
+
+TEST(Workloads, BertLargeParametersMatchPaper) {
+  symbolic::SymbolMap env = bert_large();
+  EXPECT_EQ(env["B"], 8);
+  EXPECT_EQ(env["H"], 16);
+  EXPECT_EQ(env["I"], 1024);
+  EXPECT_EQ(env["SM"], 512);
+  EXPECT_EQ(env["emb"], 4096);
+  EXPECT_EQ(env["P"], 64);  // P = I / H.
+}
+
+TEST(Workloads, HdiffLocalIsScaledVersionOfFull) {
+  symbolic::SymbolMap local = hdiff_local();
+  symbolic::SymbolMap full = hdiff_full();
+  EXPECT_EQ(full["I"] / local["I"], 32);
+  EXPECT_EQ(full["J"] / local["J"], 32);
+  EXPECT_EQ(full["K"] / local["K"], 32);
+}
+
+TEST(Workloads, HdiffStencilTouches13Points) {
+  // Fig 8a: the hdiff iteration accesses 13 distinct in_field elements.
+  ir::Sdfg sdfg = hdiff(HdiffVariant::Baseline);
+  sim::AccessTrace trace = sim::simulate(sdfg, hdiff_local());
+  const int in = trace.container_id("in_field");
+  std::set<std::int64_t> first_iteration;
+  for (const sim::AccessEvent& event : trace.events) {
+    if (event.execution != 0 || event.container != in) continue;
+    first_iteration.insert(event.flat);
+  }
+  EXPECT_EQ(first_iteration.size(), 13u);
+}
+
+TEST(Workloads, MakersAreDeterministic) {
+  kernels::HdiffData a = kernels::make_hdiff_data(4, 4, 2);
+  kernels::HdiffData b = kernels::make_hdiff_data(4, 4, 2);
+  EXPECT_EQ(a.in_field, b.in_field);
+  EXPECT_EQ(a.coeff, b.coeff);
+  kernels::BertData x = kernels::make_bert_data({});
+  kernels::BertData y = kernels::make_bert_data({});
+  EXPECT_EQ(x.x, y.x);
+}
+
+}  // namespace
+}  // namespace dmv::workloads
