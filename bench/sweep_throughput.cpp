@@ -1,0 +1,225 @@
+// sweep_throughput: end-to-end latency of the interactive parameter
+// sweep — the paper's core loop (drag a slider, re-simulate the region,
+// recompute the derived metrics, redraw). For each workload we run a
+// slider sweep of several bindings; each binding executes the full
+// bind -> simulate -> stack distance -> access counts -> element
+// distance stats -> miss classification pipeline.
+//
+// Measured configurations:
+//   * serial, interpreted engine (options.compiled = false, threads = 1)
+//     — the pre-optimization baseline;
+//   * serial, compiled engine (CompiledExpr evaluation, threads = 1)
+//     — isolates the expression-compilation speedup;
+//   * compiled engine at 2 / 8 / hardware threads, sweep parallel
+//     across bindings — the interactive-rate configuration.
+//
+// Results go to stdout and to BENCH_sweep.json (machine readable).
+// Speedups are reported against the interpreted serial baseline; the
+// hardware thread count is recorded so a 1-core runner's numbers are
+// not mistaken for a scaling ceiling.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dmv/par/par.hpp"
+#include "dmv/sim/sim.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace {
+
+using dmv::sim::AccessTrace;
+using dmv::sim::SimulationOptions;
+using dmv::symbolic::SymbolMap;
+
+struct SweepCase {
+  std::string name;
+  dmv::ir::Sdfg sdfg;
+  std::vector<SymbolMap> bindings;  ///< The slider positions.
+};
+
+// Checksum keeps the pipeline honest (nothing optimized away) and lets
+// configurations cross-validate: every engine/thread count must agree.
+std::int64_t run_pipeline(const dmv::ir::Sdfg& sdfg, const SymbolMap& binding,
+                          const SimulationOptions& options) {
+  const AccessTrace trace = dmv::sim::simulate(sdfg, binding, options);
+  const auto distances = dmv::sim::stack_distances(trace, 64);
+  const auto counts = dmv::sim::count_accesses(trace);
+  const auto report = dmv::sim::classify_misses(trace, distances, 512);
+  std::int64_t checksum = report.total.misses() + trace.executions;
+  for (std::size_t c = 0; c < trace.layouts.size(); ++c) {
+    const auto stats = dmv::sim::element_distance_stats(
+        trace, distances, static_cast<int>(c));
+    for (std::int64_t cold : stats.cold_count) checksum += cold;
+    for (std::int64_t count : counts.reads[c]) checksum += count;
+  }
+  return checksum;
+}
+
+// The simulate stage in isolation: the only stage whose inner loop the
+// expression compiler touches, so its ratio is the CompiledExpr speedup
+// undiluted by the engine-independent metric passes.
+std::int64_t run_simulate_only(const SweepCase& sweep,
+                               const SimulationOptions& options) {
+  std::int64_t total = 0;
+  for (const SymbolMap& binding : sweep.bindings) {
+    const AccessTrace trace = dmv::sim::simulate(sweep.sdfg, binding, options);
+    total += trace.executions + static_cast<std::int64_t>(trace.events.size());
+  }
+  return total;
+}
+
+std::int64_t run_sweep(const SweepCase& sweep,
+                       const SimulationOptions& options) {
+  std::vector<std::int64_t> checksums(sweep.bindings.size());
+  // Parallel across bindings; the nested metric passes fall back to
+  // serial inside pool tasks, so each binding's pipeline stays on one
+  // thread while bindings spread over the pool.
+  dmv::par::parallel_for(
+      sweep.bindings.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          checksums[b] = run_pipeline(sweep.sdfg, sweep.bindings[b], options);
+        }
+      });
+  std::int64_t total = 0;
+  for (std::int64_t checksum : checksums) total += checksum;
+  return total;
+}
+
+struct Measurement {
+  double best_ms = 0;
+  std::int64_t checksum = 0;
+};
+
+template <typename Fn>
+Measurement measure(Fn&& fn, int repetitions) {
+  Measurement measurement;
+  measurement.best_ms = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    measurement.checksum = fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    measurement.best_ms = std::min(measurement.best_ms, ms);
+  }
+  return measurement;
+}
+
+}  // namespace
+
+int main() {
+  using dmv::workloads::HdiffVariant;
+
+  std::vector<SweepCase> cases;
+  {
+    std::vector<SymbolMap> bindings;
+    for (std::int64_t k : {8, 10, 12, 14, 16, 18}) {
+      bindings.push_back(SymbolMap{{"I", 24}, {"J", 24}, {"K", k}});
+    }
+    cases.push_back({"hdiff", dmv::workloads::hdiff(HdiffVariant::Baseline),
+                     std::move(bindings)});
+  }
+  {
+    std::vector<SymbolMap> bindings;
+    for (std::int64_t sm : {4, 6, 8, 10, 12, 14}) {
+      SymbolMap binding = dmv::workloads::bert_small();
+      binding["SM"] = sm;
+      bindings.push_back(std::move(binding));
+    }
+    cases.push_back({"bert",
+                     dmv::workloads::bert_encoder(dmv::workloads::BertStage::Fused2),
+                     std::move(bindings)});
+  }
+
+  const int hardware = dmv::par::hardware_threads();
+  const int repetitions = 5;
+  std::vector<int> thread_counts{1, 2, 8};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hardware) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hardware);
+  }
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\n  \"benchmark\": \"sweep_throughput\",\n";
+  json << "  \"hardware_threads\": " << hardware << ",\n";
+  json << "  \"repetitions\": " << repetitions << ",\n";
+  json << "  \"workloads\": [\n";
+
+  for (std::size_t w = 0; w < cases.size(); ++w) {
+    const SweepCase& sweep = cases[w];
+    SimulationOptions interpreted;
+    interpreted.compiled = false;
+    SimulationOptions compiled;
+    compiled.compiled = true;
+
+    dmv::par::set_num_threads(1);
+    const Measurement sim_interp =
+        measure([&] { return run_simulate_only(sweep, interpreted); },
+                repetitions);
+    const Measurement sim_compiled = measure(
+        [&] { return run_simulate_only(sweep, compiled); }, repetitions);
+    const Measurement serial_interp =
+        measure([&] { return run_sweep(sweep, interpreted); }, repetitions);
+    const Measurement serial_compiled =
+        measure([&] { return run_sweep(sweep, compiled); }, repetitions);
+    if (serial_interp.checksum != serial_compiled.checksum ||
+        sim_interp.checksum != sim_compiled.checksum) {
+      std::cerr << "FATAL: engine mismatch on " << sweep.name << "\n";
+      return 1;
+    }
+
+    const double simulate_speedup = sim_interp.best_ms / sim_compiled.best_ms;
+    const double compiled_speedup =
+        serial_interp.best_ms / serial_compiled.best_ms;
+    std::cout << sweep.name << ": simulate-only interpreted "
+              << sim_interp.best_ms << " ms, compiled " << sim_compiled.best_ms
+              << " ms  (CompiledExpr alone: " << simulate_speedup << "x)\n";
+    std::cout << "  pipeline: interpreted " << serial_interp.best_ms
+              << " ms, compiled " << serial_compiled.best_ms << " ms  ("
+              << compiled_speedup << "x end to end)\n";
+
+    json << "    {\n      \"name\": \"" << sweep.name << "\",\n";
+    json << "      \"bindings\": " << sweep.bindings.size() << ",\n";
+    json << "      \"simulate_interpreted_ms\": " << sim_interp.best_ms
+         << ",\n";
+    json << "      \"simulate_compiled_ms\": " << sim_compiled.best_ms
+         << ",\n";
+    json << "      \"compiled_speedup\": " << simulate_speedup << ",\n";
+    json << "      \"serial_interpreted_ms\": " << serial_interp.best_ms
+         << ",\n";
+    json << "      \"serial_compiled_ms\": " << serial_compiled.best_ms
+         << ",\n";
+    json << "      \"pipeline_compiled_speedup\": " << compiled_speedup
+         << ",\n";
+    json << "      \"threads\": [\n";
+
+    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+      const int threads = thread_counts[t];
+      dmv::par::set_num_threads(threads);
+      const Measurement parallel =
+          measure([&] { return run_sweep(sweep, compiled); }, repetitions);
+      if (parallel.checksum != serial_interp.checksum) {
+        std::cerr << "FATAL: parallel mismatch on " << sweep.name << " at "
+                  << threads << " threads\n";
+        return 1;
+      }
+      const double speedup = serial_interp.best_ms / parallel.best_ms;
+      std::cout << "  threads=" << threads << ": " << parallel.best_ms
+                << " ms  (" << speedup << "x vs interpreted serial)\n";
+      json << "        {\"threads\": " << threads
+           << ", \"ms\": " << parallel.best_ms
+           << ", \"speedup_vs_serial_interpreted\": " << speedup << "}"
+           << (t + 1 < thread_counts.size() ? "," : "") << "\n";
+    }
+    json << "      ]\n    }" << (w + 1 < cases.size() ? "," : "") << "\n";
+    dmv::par::set_num_threads(1);
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_sweep.json\n";
+  return 0;
+}

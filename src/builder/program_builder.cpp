@@ -1,0 +1,288 @@
+#include "dmv/builder/program_builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dmv/ir/validate.hpp"
+#include "dmv/symbolic/parser.hpp"
+
+namespace dmv::builder {
+
+namespace {
+
+using ir::Memlet;
+using ir::NodeId;
+using symbolic::Expr;
+
+Expr parse_expr(const std::string& text) { return symbolic::parse(text); }
+
+}  // namespace
+
+Subset propagate_subset(const Subset& per_iteration,
+                        const std::vector<std::string>& params,
+                        const std::vector<Range>& ranges) {
+  if (params.size() != ranges.size()) {
+    throw std::invalid_argument("propagate_subset: params/ranges mismatch");
+  }
+  std::map<std::string, Expr> lower;
+  std::map<std::string, Expr> upper;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    lower.emplace(params[p], ranges[p].begin);
+    upper.emplace(params[p], ranges[p].end);
+  }
+  Subset widened;
+  widened.ranges.reserve(per_iteration.ranges.size());
+  for (const Range& range : per_iteration.ranges) {
+    widened.ranges.push_back(Range{range.begin.substitute(lower),
+                                   range.end.substitute(upper),
+                                   range.step});
+  }
+  return widened;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) : sdfg_(std::move(name)) {}
+
+void ProgramBuilder::symbols(const std::vector<std::string>& names) {
+  for (const std::string& name : names) sdfg_.add_symbol(name);
+}
+
+ir::DataDescriptor& ProgramBuilder::array(
+    const std::string& name, const std::vector<std::string>& shape,
+    int element_size) {
+  std::vector<Expr> extents;
+  extents.reserve(shape.size());
+  for (const std::string& extent : shape) extents.push_back(parse_expr(extent));
+  return sdfg_.add_array(
+      ir::DataDescriptor::array(name, std::move(extents), element_size));
+}
+
+ir::DataDescriptor& ProgramBuilder::transient(
+    const std::string& name, const std::vector<std::string>& shape,
+    int element_size) {
+  ir::DataDescriptor& descriptor = array(name, shape, element_size);
+  descriptor.transient = true;
+  return descriptor;
+}
+
+ir::State& ProgramBuilder::state(std::string name) {
+  if (!scope_stack_.empty()) {
+    throw std::logic_error(
+        "ProgramBuilder: cannot open a state inside a map scope");
+  }
+  ir::State& state = sdfg_.add_state(std::move(name));
+  current_state_index_ = static_cast<int>(sdfg_.states().size()) - 1;
+  last_access_.clear();
+  return state;
+}
+
+ir::State& ProgramBuilder::current_state() {
+  if (current_state_index_ < 0) {
+    state("main");
+  }
+  return sdfg_.states()[current_state_index_];
+}
+
+void ProgramBuilder::require_array(const std::string& data) const {
+  if (!sdfg_.has_array(data)) {
+    throw std::invalid_argument("ProgramBuilder: unknown container '" + data +
+                                "'");
+  }
+}
+
+NodeId ProgramBuilder::read_node(const std::string& data) {
+  require_array(data);
+  auto it = last_access_.find(data);
+  if (it != last_access_.end()) return it->second;
+  const NodeId id = current_state().add_access(data);
+  last_access_[data] = id;
+  return id;
+}
+
+NodeId ProgramBuilder::write_node(const std::string& data) {
+  require_array(data);
+  // A write gets a fresh node unless the container has never been
+  // touched: reusing the read node would close an entry->...->exit->node
+  // cycle on read-modify-write maps. The fresh node becomes the one
+  // later reads reuse, producing the exit -> access -> entry chains the
+  // fusion matcher recognizes.
+  auto it = last_access_.find(data);
+  const ir::State& state = current_state();
+  if (it != last_access_.end()) {
+    const NodeId existing = it->second;
+    const bool untouched = state.in_edges(existing).empty() &&
+                           state.out_edges(existing).empty();
+    if (untouched) return existing;
+  }
+  const NodeId id = current_state().add_access(data);
+  last_access_[data] = id;
+  return id;
+}
+
+std::pair<std::vector<std::string>, std::vector<Range>>
+ProgramBuilder::parse_map_ranges(const std::vector<MapRange>& ranges) {
+  std::vector<std::string> params;
+  std::vector<Range> parsed;
+  params.reserve(ranges.size());
+  parsed.reserve(ranges.size());
+  for (const MapRange& range : ranges) {
+    Subset subset = Subset::parse(range.range);
+    if (subset.ranges.size() != 1) {
+      throw std::invalid_argument("ProgramBuilder: map range '" +
+                                  range.range +
+                                  "' must be a single dimension");
+    }
+    params.push_back(range.param);
+    parsed.push_back(subset.ranges[0]);
+  }
+  return {std::move(params), std::move(parsed)};
+}
+
+void ProgramBuilder::begin_map(const std::string& label,
+                               const std::vector<MapRange>& ranges) {
+  auto [params, parsed] = parse_map_ranges(ranges);
+  ir::MapInfo info;
+  info.label = label;
+  info.params = params;
+  info.ranges = parsed;
+  const NodeId scope =
+      scope_stack_.empty() ? ir::kNoNode : scope_stack_.back().entry;
+  auto [entry, exit] = current_state().add_map(std::move(info), scope);
+  scope_stack_.push_back(
+      OpenMap{entry, exit, std::move(params), std::move(parsed)});
+}
+
+void ProgramBuilder::end_map() {
+  if (scope_stack_.empty()) {
+    throw std::logic_error("ProgramBuilder: end_map without begin_map");
+  }
+  scope_stack_.pop_back();
+}
+
+void ProgramBuilder::wire_input(const TaskletIo& io, NodeId tasklet) {
+  require_array(io.data);
+  ir::State& state = current_state();
+  // Innermost edge: per-iteration subset onto the tasklet connector.
+  Subset subset = Subset::parse(io.subset);
+  Memlet inner;
+  inner.data = io.data;
+  inner.subset = subset;
+  state.add_edge(scope_stack_.back().entry, tasklet, std::move(inner),
+                 "OUT_" + io.data, io.connector);
+  // Widen level by level toward the access node.
+  Subset widened = subset;
+  for (std::size_t level = scope_stack_.size(); level-- > 0;) {
+    const OpenMap& map = scope_stack_[level];
+    widened = propagate_subset(widened, map.params, map.ranges);
+    Memlet memlet;
+    memlet.data = io.data;
+    memlet.subset = widened;
+    const NodeId dst = map.entry;
+    const NodeId src =
+        level == 0 ? read_node(io.data) : scope_stack_[level - 1].entry;
+    state.add_edge(src, dst, std::move(memlet),
+                   level == 0 ? "" : "OUT_" + io.data, "IN_" + io.data);
+  }
+}
+
+void ProgramBuilder::wire_output(const TaskletIo& io, NodeId tasklet) {
+  require_array(io.data);
+  ir::State& state = current_state();
+  Subset subset = Subset::parse(io.subset);
+  Memlet inner;
+  inner.data = io.data;
+  inner.subset = subset;
+  inner.wcr = io.wcr;
+  state.add_edge(tasklet, scope_stack_.back().exit, std::move(inner),
+                 io.connector, "IN_" + io.data);
+  Subset widened = subset;
+  for (std::size_t level = scope_stack_.size(); level-- > 0;) {
+    const OpenMap& map = scope_stack_[level];
+    widened = propagate_subset(widened, map.params, map.ranges);
+    Memlet memlet;
+    memlet.data = io.data;
+    memlet.subset = widened;
+    memlet.wcr = io.wcr;
+    const NodeId src = map.exit;
+    const NodeId dst =
+        level == 0 ? write_node(io.data) : scope_stack_[level - 1].exit;
+    state.add_edge(src, dst, std::move(memlet), "OUT_" + io.data,
+                   level == 0 ? "" : "IN_" + io.data);
+  }
+}
+
+void ProgramBuilder::mapped_tasklet(const std::string& label,
+                                    const std::vector<MapRange>& ranges,
+                                    const std::vector<TaskletIo>& inputs,
+                                    const std::string& code,
+                                    const std::vector<TaskletIo>& outputs) {
+  ChainStage stage;
+  stage.label = label;
+  stage.array_inputs = inputs;
+  stage.code = code;
+  stage.array_outputs = outputs;
+  mapped_chain(label, ranges, {stage});
+}
+
+void ProgramBuilder::mapped_chain(const std::string& label,
+                                  const std::vector<MapRange>& ranges,
+                                  const std::vector<ChainStage>& stages) {
+  begin_map(label, ranges);
+  ir::State& state = current_state();
+  // Chain values produced so far: name -> (producer tasklet, connector).
+  std::map<std::string, NodeId> produced;
+  for (const ChainStage& stage : stages) {
+    const NodeId tasklet = state.add_tasklet(
+        stage.label, std::string_view(stage.code), scope_stack_.back().entry);
+    for (const TaskletIo& io : stage.array_inputs) {
+      wire_input(io, tasklet);
+    }
+    for (const std::string& name : stage.chain_inputs) {
+      auto it = produced.find(name);
+      if (it == produced.end()) {
+        throw std::invalid_argument(
+            "ProgramBuilder: chain input '" + name +
+            "' is not produced by an earlier stage");
+      }
+      state.add_edge(it->second, tasklet, Memlet::none(), name, name);
+    }
+    for (const TaskletIo& io : stage.array_outputs) {
+      wire_output(io, tasklet);
+    }
+    for (const std::string& name : stage.chain_outputs) {
+      produced[name] = tasklet;
+    }
+  }
+  end_map();
+}
+
+void ProgramBuilder::copy(const std::string& src,
+                          const std::string& src_subset,
+                          const std::string& dst,
+                          const std::string& dst_subset) {
+  require_array(src);
+  require_array(dst);
+  Memlet memlet;
+  memlet.data = src;
+  memlet.subset = Subset::parse(src_subset);
+  memlet.other_subset = Subset::parse(dst_subset);
+  if (!memlet.subset.num_elements().equals(
+          memlet.other_subset.num_elements())) {
+    throw std::invalid_argument(
+        "ProgramBuilder::copy: subset volumes differ (" +
+        memlet.subset.to_string() + " vs " + memlet.other_subset.to_string() +
+        ")");
+  }
+  const NodeId source = read_node(src);
+  const NodeId sink = write_node(dst);
+  current_state().add_edge(source, sink, std::move(memlet));
+}
+
+Sdfg ProgramBuilder::take() {
+  if (!scope_stack_.empty()) {
+    throw std::logic_error("ProgramBuilder: take() with an open map scope");
+  }
+  ir::validate_or_throw(sdfg_);
+  return std::move(sdfg_);
+}
+
+}  // namespace dmv::builder

@@ -1,0 +1,144 @@
+#pragma once
+
+// Fluent program construction: the "frontend" substitute.
+//
+// The paper's workloads arrive as DaCe Python programs; this reproduction
+// builds the equivalent SDFGs programmatically. `ProgramBuilder` offers
+// the handful of idioms every workload needs — declare symbols and
+// arrays, open a state, drop a mapped tasklet — and takes care of the
+// structural bookkeeping the IR demands: access-node reuse (so
+// producer/consumer chains share one node, giving map fusion its
+// exit -> access -> entry pattern), per-level memlet propagation through
+// nested map scopes, and connector naming (IN_x / OUT_x on map
+// boundaries, plain connector names on tasklets).
+
+#include <string>
+#include <vector>
+
+#include "dmv/ir/sdfg.hpp"
+
+namespace dmv::builder {
+
+using ir::Range;
+using ir::Sdfg;
+using ir::Subset;
+
+/// One map dimension: parameter name plus its inclusive range, written
+/// in subset syntax ("0:N-1", "0:N-1:2").
+struct MapRange {
+  std::string param;
+  std::string range;
+};
+
+/// One tasklet input or output: connector name, container, and the
+/// per-iteration subset (in map parameters), e.g. {"a", "A", "i, k"}.
+struct TaskletIo {
+  std::string connector;
+  std::string data;
+  std::string subset;
+  ir::Wcr wcr = ir::Wcr::None;
+};
+
+/// One stage of a fused multi-tasklet map body (`mapped_chain`). Values
+/// listed in `chain_outputs` travel to later stages' `chain_inputs` over
+/// register (empty-memlet) edges instead of memory.
+struct ChainStage {
+  std::string label;
+  std::vector<TaskletIo> array_inputs;
+  std::vector<std::string> chain_inputs;
+  std::string code;
+  std::vector<TaskletIo> array_outputs;
+  std::vector<std::string> chain_outputs;
+};
+
+/// Widens a per-iteration subset over the given map parameters: each
+/// parameter is replaced by its range's begin in lower bounds and its
+/// range's end in upper bounds (exact for the monotonic affine indices
+/// the workloads use). Dimensions not mentioning a parameter pass
+/// through unchanged.
+Subset propagate_subset(const Subset& per_iteration,
+                        const std::vector<std::string>& params,
+                        const std::vector<Range>& ranges);
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  /// Declares free program symbols (input parameters).
+  void symbols(const std::vector<std::string>& names);
+
+  /// Declares a row-major array; extents are parsed expressions.
+  ir::DataDescriptor& array(const std::string& name,
+                            const std::vector<std::string>& shape,
+                            int element_size = 8);
+  /// Declares a program-internal temporary.
+  ir::DataDescriptor& transient(const std::string& name,
+                                const std::vector<std::string>& shape,
+                                int element_size = 8);
+
+  /// Opens a new state; subsequent graph operations build into it.
+  /// Throws std::logic_error while a map scope is open.
+  ir::State& state(std::string name);
+
+  /// Opens a map scope; nested mapped_tasklet calls build inside it and
+  /// their outer memlets are propagated through every open level.
+  void begin_map(const std::string& label,
+                 const std::vector<MapRange>& ranges);
+  /// Closes the innermost open map scope.
+  void end_map();
+
+  /// The workhorse: a map over `ranges` containing one tasklet, with
+  /// access nodes and propagated memlets wired at every scope level.
+  void mapped_tasklet(const std::string& label,
+                      const std::vector<MapRange>& ranges,
+                      const std::vector<TaskletIo>& inputs,
+                      const std::string& code,
+                      const std::vector<TaskletIo>& outputs);
+
+  /// A map containing several tasklets connected by register handoffs.
+  void mapped_chain(const std::string& label,
+                    const std::vector<MapRange>& ranges,
+                    const std::vector<ChainStage>& stages);
+
+  /// Access -> access copy edge. Subset element counts must agree.
+  void copy(const std::string& src, const std::string& src_subset,
+            const std::string& dst, const std::string& dst_subset);
+
+  /// The SDFG under construction (mutable; for surgical test setups).
+  Sdfg& sdfg() { return sdfg_; }
+
+  /// Validates and returns the finished program.
+  /// Throws std::logic_error if a map scope is open, std::runtime_error
+  /// on validation failure.
+  Sdfg take();
+
+ private:
+  struct OpenMap {
+    ir::NodeId entry = ir::kNoNode;
+    ir::NodeId exit = ir::kNoNode;
+    std::vector<std::string> params;
+    std::vector<Range> ranges;
+  };
+
+  ir::State& current_state();
+  ir::NodeId read_node(const std::string& data);
+  ir::NodeId write_node(const std::string& data);
+  void require_array(const std::string& data) const;
+  static std::pair<std::vector<std::string>, std::vector<Range>>
+  parse_map_ranges(const std::vector<MapRange>& ranges);
+
+  /// Routes one tasklet input/output through every open map level,
+  /// widening the memlet at each boundary.
+  void wire_input(const TaskletIo& io, ir::NodeId tasklet);
+  void wire_output(const TaskletIo& io, ir::NodeId tasklet);
+
+  Sdfg sdfg_;
+  int current_state_index_ = -1;
+  std::vector<OpenMap> scope_stack_;
+  /// Latest access node per container in the current state. Reads reuse
+  /// it; writes allocate a fresh node (keeping the graph acyclic for
+  /// read-modify-write patterns) which subsequent reads then pick up.
+  std::map<std::string, ir::NodeId> last_access_;
+};
+
+}  // namespace dmv::builder

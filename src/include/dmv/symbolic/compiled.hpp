@@ -1,0 +1,112 @@
+#pragma once
+
+// Compiled expression evaluation.
+//
+// `Expr::evaluate` walks a shared-pointer tree and resolves every symbol
+// through a `std::map<std::string, int64_t>` — fine for one-off queries,
+// ruinous inside the simulator's innermost loops, where the same handful
+// of bound expressions is re-evaluated millions of times as parameters
+// advance. `CompiledExpr` flattens an `Expr` once into a postfix opcode
+// array with symbols resolved to integer SLOTS against a `SymbolTable`;
+// evaluation is then a single pass over a contiguous array with an
+// array-indexed environment — no hashing, no string compares, no
+// allocation.
+//
+// Semantics are bit-identical to `Expr::evaluate`: the same
+// floor/ceil/mod/pow helpers, the same std::domain_error conditions, and
+// `UnboundSymbolError` for symbols whose slot the caller never bound
+// (checked per evaluation via a per-slot bound mask the caller owns).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dmv/symbolic/expr.hpp"
+
+namespace dmv::symbolic {
+
+/// Interns symbol names to dense slots. One table is shared by every
+/// expression compiled for the same evaluation context, so a single
+/// `slots`-sized array serves as the environment for all of them.
+class SymbolTable {
+ public:
+  /// Slot of `name`, interning it if new.
+  int intern(const std::string& name);
+  /// Slot of `name`, or -1 if never interned.
+  int lookup(const std::string& name) const;
+
+  std::size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Builds a slot-indexed environment from a SymbolMap: values for
+  /// bound slots, and a parallel mask of which slots are bound. Symbols
+  /// in `symbols` without a slot are ignored (they were never needed).
+  void bind(const SymbolMap& symbols, std::vector<std::int64_t>& values,
+            std::vector<char>& bound) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, int> slots_;
+};
+
+/// An `Expr` flattened to postfix form over a `SymbolTable`.
+class CompiledExpr {
+ public:
+  /// Default: the constant 0.
+  CompiledExpr();
+
+  /// Flattens `expr`, interning its symbols into `table`.
+  static CompiledExpr compile(const Expr& expr, SymbolTable& table);
+
+  /// Evaluates against a slot-indexed environment (values for at least
+  /// `table.size()` slots at compile time). The caller guarantees every
+  /// slot this expression references is bound; use the `bound`-mask
+  /// overload when that is not statically known.
+  std::int64_t evaluate(const std::int64_t* values) const;
+  std::int64_t evaluate(const std::vector<std::int64_t>& values) const {
+    return evaluate(values.data());
+  }
+
+  /// Like evaluate, but throws UnboundSymbolError (matching
+  /// Expr::evaluate) if a referenced slot is not marked bound. Pass the
+  /// table's names() to report the symbol by name.
+  std::int64_t evaluate(const std::int64_t* values, const char* bound,
+                        const std::vector<std::string>* names = nullptr) const;
+
+  /// True if the expression is a single constant.
+  bool is_constant() const;
+  /// Precondition: is_constant().
+  std::int64_t constant_value() const;
+
+  /// Slots this expression reads (deduplicated, ascending). The basis of
+  /// loop-invariant hoisting: an expression is invariant w.r.t. a set of
+  /// slots if the intersection is empty.
+  const std::vector<int>& slots() const { return slots_; }
+  /// True if the expression reads any of the given slots.
+  bool reads_any(const std::vector<int>& query) const;
+
+ private:
+  enum class Op : std::uint8_t {
+    PushConst,
+    PushSlot,
+    Add,       ///< n-ary: pops `arg`, pushes sum.
+    Mul,       ///< n-ary: pops `arg`, pushes product.
+    FloorDiv,
+    CeilDiv,
+    Mod,
+    Min,
+    Max,
+    Pow,
+  };
+  struct Inst {
+    Op op;
+    std::int64_t arg = 0;  ///< Constant, slot, or n-ary operand count.
+  };
+
+  std::vector<Inst> code_;
+  std::vector<int> slots_;
+  int max_stack_ = 1;
+};
+
+}  // namespace dmv::symbolic

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "dmv/sim/sim.hpp"
@@ -12,6 +13,8 @@ using ir::Node;
 using ir::NodeId;
 using ir::NodeKind;
 using ir::Subset;
+using symbolic::CompiledExpr;
+using symbolic::SymbolTable;
 
 // Enumerates the concrete element index tuples of an evaluated subset in
 // row-major order.
@@ -59,13 +62,258 @@ class Simulator {
         out_adjacency_[edge.src].push_back(&edge);
         in_adjacency_[edge.dst].push_back(&edge);
       }
-      execute_scope(state, ir::kNoNode, symbols_);
+      if (options_.compiled) {
+        compile_state(state);
+        execute_scope_compiled(state, ir::kNoNode);
+      } else {
+        execute_scope(state, ir::kNoNode, symbols_);
+      }
     }
     trace_.executions = execution_;
     return std::move(trace_);
   }
 
  private:
+  // -- Compiled execution engine -------------------------------------
+  //
+  // All map bounds and memlet subsets of a state are flattened ONCE to
+  // CompiledExpr over a single slot table; iteration then runs against a
+  // flat int64 environment with no SymbolMap copies and no per-element
+  // allocation. Traversal order is identical to the interpreted engine,
+  // so the emitted trace is bit-identical.
+
+  struct CompiledRange {
+    CompiledExpr begin, end, step;
+  };
+  struct CompiledSubset {
+    std::vector<CompiledRange> ranges;
+    int container = -1;
+  };
+  struct CompiledEdge {
+    CompiledSubset subset;
+    CompiledSubset other;  ///< other_subset; used by copy edges.
+    bool has_other = false;
+  };
+  struct CompiledMap {
+    std::vector<int> param_slots;
+    std::vector<CompiledRange> bounds;
+  };
+
+  CompiledRange compile_range(const ir::Range& range) {
+    CompiledRange compiled;
+    compiled.begin = CompiledExpr::compile(range.begin, table_);
+    compiled.end = CompiledExpr::compile(range.end, table_);
+    compiled.step = CompiledExpr::compile(range.step, table_);
+    return compiled;
+  }
+
+  CompiledSubset compile_subset(const Subset& subset,
+                                const std::string& data) {
+    CompiledSubset compiled;
+    compiled.ranges.reserve(subset.ranges.size());
+    for (const ir::Range& range : subset.ranges) {
+      compiled.ranges.push_back(compile_range(range));
+    }
+    compiled.container = container_ids_.at(data);
+    return compiled;
+  }
+
+  void compile_state(const State& state) {
+    table_ = SymbolTable();
+    compiled_maps_.assign(state.num_nodes(), {});
+    compiled_edges_.assign(state.edges().size(), {});
+    for (const Node& node : state.nodes()) {
+      if (node.kind != NodeKind::MapEntry) continue;
+      CompiledMap& map = compiled_maps_[node.id];
+      map.param_slots.reserve(node.map.params.size());
+      for (const std::string& param : node.map.params) {
+        map.param_slots.push_back(table_.intern(param));
+      }
+      map.bounds.reserve(node.map.ranges.size());
+      for (const ir::Range& range : node.map.ranges) {
+        map.bounds.push_back(compile_range(range));
+      }
+    }
+    for (std::size_t e = 0; e < state.edges().size(); ++e) {
+      const Edge& edge = state.edges()[e];
+      if (edge.memlet.is_empty()) continue;
+      CompiledEdge& compiled = compiled_edges_[e];
+      compiled.subset = compile_subset(edge.memlet.subset, edge.memlet.data);
+      const Node& dst = state.node(edge.dst);
+      if (!edge.memlet.other_subset.ranges.empty() &&
+          dst.kind == NodeKind::Access) {
+        compiled.other =
+            compile_subset(edge.memlet.other_subset, dst.data);
+        compiled.has_other = true;
+      }
+    }
+    table_.bind(symbols_, env_values_, env_bound_);
+  }
+
+  std::size_t edge_index(const State& state, const Edge* edge) const {
+    return static_cast<std::size_t>(edge - state.edges().data());
+  }
+
+  std::int64_t eval(const CompiledExpr& expr) {
+    return expr.evaluate(env_values_.data(), env_bound_.data(),
+                         &table_.names());
+  }
+
+  void execute_scope_compiled(const State& state, NodeId scope) {
+    for (NodeId id : order_) {
+      const Node& node = state.node(id);
+      if (node.scope_parent != scope) continue;
+      switch (node.kind) {
+        case NodeKind::MapEntry:
+          execute_map_compiled(state, node);
+          break;
+        case NodeKind::Tasklet:
+          execute_tasklet_compiled(state, node);
+          break;
+        case NodeKind::Access:
+          execute_copies_compiled(state, node);
+          break;
+        case NodeKind::MapExit:
+          break;  // Writes are emitted at the producing tasklet.
+      }
+    }
+  }
+
+  void execute_map_compiled(const State& state, const Node& node) {
+    const CompiledMap& map = compiled_maps_[node.id];
+    // Save the parameter slots' outer bindings: a nested map may reuse a
+    // parameter name, and the outer value must survive the inner scope
+    // (the interpreted engine gets this from its per-scope env copies).
+    std::vector<std::pair<std::int64_t, char>> saved;
+    saved.reserve(map.param_slots.size());
+    for (int slot : map.param_slots) {
+      saved.emplace_back(env_values_[slot], env_bound_[slot]);
+    }
+    iterate_map_compiled(state, node, map, 0);
+    for (std::size_t p = 0; p < map.param_slots.size(); ++p) {
+      env_values_[map.param_slots[p]] = saved[p].first;
+      env_bound_[map.param_slots[p]] = saved[p].second;
+    }
+  }
+
+  void iterate_map_compiled(const State& state, const Node& node,
+                            const CompiledMap& map, std::size_t dim) {
+    if (dim == map.bounds.size()) {
+      execute_scope_compiled(state, node.id);
+      return;
+    }
+    // This and inner parameters are out of scope while evaluating this
+    // dimension's bounds (matches the interpreted env, which only holds
+    // outer parameters here).
+    for (std::size_t q = dim; q < map.param_slots.size(); ++q) {
+      env_bound_[map.param_slots[q]] = 0;
+    }
+    const std::int64_t begin = eval(map.bounds[dim].begin);
+    const std::int64_t end = eval(map.bounds[dim].end);
+    const std::int64_t step = eval(map.bounds[dim].step);
+    if (step <= 0) {
+      throw std::invalid_argument("IterationSpace: non-positive step");
+    }
+    const int slot = map.param_slots[dim];
+    for (std::int64_t v = begin; v <= end; v += step) {
+      env_values_[slot] = v;
+      env_bound_[slot] = 1;
+      iterate_map_compiled(state, node, map, dim + 1);
+    }
+  }
+
+  // Evaluates a compiled subset's bounds into scratch and emits every
+  // element directly — the allocation-free analogue of subset_elements.
+  template <typename PerElement>
+  void enumerate_subset(const CompiledSubset& subset, PerElement&& emit_at) {
+    auto& bounds = bounds_scratch_;
+    bounds.clear();
+    for (const CompiledRange& range : subset.ranges) {
+      bounds.push_back(
+          {eval(range.begin), eval(range.end), eval(range.step)});
+    }
+    layout::Index& cursor = cursor_scratch_;
+    cursor.assign(bounds.size(), 0);
+    for (std::size_t d = 0; d < bounds.size(); ++d) cursor[d] = bounds[d][0];
+    if (bounds.empty()) {
+      emit_at(cursor);
+      return;
+    }
+    for (;;) {
+      emit_at(cursor);
+      int d = static_cast<int>(bounds.size()) - 1;
+      for (; d >= 0; --d) {
+        cursor[d] += bounds[d][2];
+        if (cursor[d] <= bounds[d][1]) break;
+        cursor[d] = bounds[d][0];
+      }
+      if (d < 0) break;
+    }
+  }
+
+  void emit_subset_compiled(const State& state, const Edge* edge,
+                            bool is_write, NodeId tasklet) {
+    const CompiledEdge& compiled =
+        compiled_edges_[edge_index(state, edge)];
+    const bool wcr_read = is_write && edge->memlet.wcr != ir::Wcr::None &&
+                          options_.wcr_reads;
+    const int container = compiled.subset.container;
+    enumerate_subset(compiled.subset, [&](const layout::Index& element) {
+      if (wcr_read) emit(container, element, /*is_write=*/false, tasklet);
+      emit(container, element, is_write, tasklet);
+    });
+  }
+
+  void execute_tasklet_compiled(const State& state, const Node& node) {
+    for (const Edge* edge : in_adjacency_[node.id]) {
+      if (edge->memlet.is_empty()) continue;
+      emit_subset_compiled(state, edge, /*is_write=*/false, node.id);
+    }
+    for (const Edge* edge : out_adjacency_[node.id]) {
+      if (edge->memlet.is_empty()) continue;
+      emit_subset_compiled(state, edge, /*is_write=*/true, node.id);
+    }
+    ++execution_;
+  }
+
+  void execute_copies_compiled(const State& state, const Node& node) {
+    for (const Edge* edge : out_adjacency_[node.id]) {
+      if (edge->memlet.is_empty()) continue;
+      const Node& dst = state.node(edge->dst);
+      if (dst.kind != NodeKind::Access) continue;
+      const CompiledEdge& compiled =
+          compiled_edges_[edge_index(state, edge)];
+      const CompiledSubset& src_subset = compiled.subset;
+      const CompiledSubset& dst_subset =
+          compiled.has_other ? compiled.other : compiled.subset;
+      const int dst_container = compiled.has_other
+                                    ? compiled.other.container
+                                    : container_ids_.at(dst.data);
+      // Enumerate both sides (copies are rare and top-level; the
+      // simplicity of materializing them beats a dual odometer).
+      std::vector<layout::Index> sources;
+      enumerate_subset(src_subset, [&](const layout::Index& element) {
+        sources.push_back(element);
+      });
+      std::vector<layout::Index> destinations;
+      enumerate_subset(dst_subset, [&](const layout::Index& element) {
+        destinations.push_back(element);
+      });
+      if (sources.size() != destinations.size()) {
+        throw std::logic_error("simulate: copy subset size mismatch on '" +
+                               edge->memlet.data + "'");
+      }
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        emit(src_subset.container, sources[i], /*is_write=*/false,
+             ir::kNoNode);
+        emit(dst_container, destinations[i], /*is_write=*/true, ir::kNoNode);
+        ++execution_;
+      }
+    }
+  }
+
+  // -- Shared infrastructure -----------------------------------------
+
   void place_containers() {
     layout::AddressSpace space(options_.placement_alignment);
     for (const auto& [name, descriptor] : sdfg_.arrays()) {
@@ -95,6 +343,8 @@ class Simulator {
     event.tasklet = tasklet;
     trace_.events.push_back(event);
   }
+
+  // -- Interpreted execution engine (reference; options.compiled=false) --
 
   void emit_subset(const ir::Memlet& memlet, const SymbolMap& env,
                    bool is_write, NodeId tasklet) {
@@ -186,6 +436,13 @@ class Simulator {
   std::vector<NodeId> order_;
   std::vector<std::vector<const Edge*>> in_adjacency_;
   std::vector<std::vector<const Edge*>> out_adjacency_;
+  SymbolTable table_;
+  std::vector<std::int64_t> env_values_;
+  std::vector<char> env_bound_;
+  std::vector<CompiledMap> compiled_maps_;
+  std::vector<CompiledEdge> compiled_edges_;
+  std::vector<std::array<std::int64_t, 3>> bounds_scratch_;
+  layout::Index cursor_scratch_;
   std::int64_t timestep_ = 0;
   std::int64_t execution_ = 0;
 };

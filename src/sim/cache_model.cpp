@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dmv/par/par.hpp"
 #include "dmv/sim/sim.hpp"
 
 namespace dmv::sim {
@@ -22,22 +23,61 @@ MissReport classify_misses(const AccessTrace& trace,
     report.element_misses.emplace_back(layout.total_elements(), 0);
   }
 
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const AccessEvent& event = trace.events[i];
-    MissStats& stats = report.per_container[event.container];
-    const std::int64_t distance = distances.distances[i];
-    if (distance == kInfiniteDistance) {
-      ++stats.cold;
-      ++report.element_misses[event.container][event.flat];
-    } else if (distance >= threshold_lines) {
-      // LRU with `threshold_lines` resident lines would have evicted this
-      // line before the re-reference: capacity miss (paper §V-F b).
-      ++stats.capacity;
-      ++report.element_misses[event.container][event.flat];
-    } else {
-      ++stats.hits;
+  // Sharded over event blocks with one accumulator per block (block
+  // count capped by the thread knob; integer sums commute, so any
+  // partition reproduces the serial tallies bit for bit).
+  struct Partial {
+    std::vector<MissStats> per_container;
+    std::vector<std::vector<std::int64_t>> element_misses;
+  };
+  auto zero = [&] {
+    Partial partial;
+    partial.per_container.resize(trace.layouts.size());
+    partial.element_misses.reserve(trace.layouts.size());
+    for (const ConcreteLayout& layout : trace.layouts) {
+      partial.element_misses.emplace_back(layout.total_elements(), 0);
     }
-  }
+    return partial;
+  };
+  const std::size_t n = trace.events.size();
+  const std::size_t grain =
+      par::grain_for(n, static_cast<std::size_t>(par::num_threads()),
+                     std::size_t{1} << 15);
+  Partial merged = par::parallel_reduce(
+      n, grain, zero(),
+      [&](std::size_t begin, std::size_t end) {
+        Partial local = zero();
+        for (std::size_t i = begin; i < end; ++i) {
+          const AccessEvent& event = trace.events[i];
+          MissStats& stats = local.per_container[event.container];
+          const std::int64_t distance = distances.distances[i];
+          if (distance == kInfiniteDistance) {
+            ++stats.cold;
+            ++local.element_misses[event.container][event.flat];
+          } else if (distance >= threshold_lines) {
+            // LRU with `threshold_lines` resident lines would have
+            // evicted this line before the re-reference: capacity miss
+            // (paper §V-F b).
+            ++stats.capacity;
+            ++local.element_misses[event.container][event.flat];
+          } else {
+            ++stats.hits;
+          }
+        }
+        return local;
+      },
+      [](Partial& acc, Partial&& block) {
+        for (std::size_t c = 0; c < acc.per_container.size(); ++c) {
+          acc.per_container[c].cold += block.per_container[c].cold;
+          acc.per_container[c].capacity += block.per_container[c].capacity;
+          acc.per_container[c].hits += block.per_container[c].hits;
+          for (std::size_t e = 0; e < acc.element_misses[c].size(); ++e) {
+            acc.element_misses[c][e] += block.element_misses[c][e];
+          }
+        }
+      });
+  report.per_container = std::move(merged.per_container);
+  report.element_misses = std::move(merged.element_misses);
   for (const MissStats& stats : report.per_container) {
     report.total.cold += stats.cold;
     report.total.capacity += stats.capacity;
@@ -45,6 +85,49 @@ MissReport classify_misses(const AccessTrace& trace,
   }
   return report;
 }
+
+namespace {
+
+struct CacheSet {
+  std::list<std::int64_t> lru;  ///< Front = most recently used.
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> where;
+};
+
+// One set's LRU simulation over its own (time-ordered) event slice.
+// A line maps to exactly one set, so cold/capacity classification and
+// residency are fully independent per set — this is what makes the
+// per-set parallel pass below exact, not an approximation.
+void simulate_set(const AccessTrace& trace,
+                  const std::vector<std::size_t>& event_indices,
+                  const std::vector<std::int64_t>& lines, std::int64_t ways,
+                  std::vector<MissStats>& per_container) {
+  CacheSet set;
+  std::unordered_set<std::int64_t> ever_seen;
+  for (std::size_t index : event_indices) {
+    const std::int64_t line = lines[index];
+    MissStats& stats = per_container[trace.events[index].container];
+    auto it = set.where.find(line);
+    if (it != set.where.end()) {
+      ++stats.hits;
+      set.lru.splice(set.lru.begin(), set.lru, it->second);
+      continue;
+    }
+    // Miss: cold if this line was never resident before.
+    if (ever_seen.insert(line).second) {
+      ++stats.cold;
+    } else {
+      ++stats.capacity;  // Includes conflict misses when num_sets > 1.
+    }
+    set.lru.push_front(line);
+    set.where[line] = set.lru.begin();
+    if (static_cast<std::int64_t>(set.lru.size()) > ways) {
+      set.where.erase(set.lru.back());
+      set.lru.pop_back();
+    }
+  }
+}
+
+}  // namespace
 
 CacheSimResult simulate_cache(const AccessTrace& trace,
                               const CacheConfig& config) {
@@ -67,43 +150,45 @@ CacheSimResult simulate_cache(const AccessTrace& trace,
     }
   }
 
-  struct CacheSet {
-    std::list<std::int64_t> lru;  ///< Front = most recently used.
-    std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator>
-        where;
-  };
-  std::vector<CacheSet> sets(num_sets);
-  std::unordered_set<std::int64_t> ever_seen;
-
   CacheSimResult result;
   result.config = config;
   result.per_container.resize(trace.layouts.size());
 
-  for (const AccessEvent& event : trace.events) {
-    const ConcreteLayout& layout = trace.layouts[event.container];
-    const std::int64_t address =
-        layout.byte_address(layout.unflatten(event.flat));
-    const std::int64_t line = address / config.line_size;
-    CacheSet& set = sets[line % num_sets];
-    MissStats& stats = result.per_container[event.container];
+  // Address/line resolution per event (parallel; disjoint writes).
+  const std::size_t n = trace.events.size();
+  std::vector<std::int64_t> lines(n);
+  par::parallel_for(n, 1 << 14, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const AccessEvent& event = trace.events[i];
+      const ConcreteLayout& layout = trace.layouts[event.container];
+      lines[i] = layout.byte_address(layout.unflatten(event.flat)) /
+                 config.line_size;
+    }
+  });
 
-    auto it = set.where.find(line);
-    if (it != set.where.end()) {
-      ++stats.hits;
-      set.lru.splice(set.lru.begin(), set.lru, it->second);
-      continue;
-    }
-    // Miss: cold if this line was never resident anywhere before.
-    if (ever_seen.insert(line).second) {
-      ++stats.cold;
-    } else {
-      ++stats.capacity;  // Includes conflict misses when num_sets > 1.
-    }
-    set.lru.push_front(line);
-    set.where[line] = set.lru.begin();
-    if (static_cast<std::int64_t>(set.lru.size()) > ways) {
-      set.where.erase(set.lru.back());
-      set.lru.pop_back();
+  // Bucket events by cache set (serial; time order preserved per set).
+  std::vector<std::vector<std::size_t>> set_events(num_sets);
+  for (std::size_t i = 0; i < n; ++i) {
+    set_events[lines[i] % num_sets].push_back(i);
+  }
+
+  // Per-set LRU simulation, parallel over sets. Stats reduce by addition
+  // in set order; sums commute, so the result matches the interleaved
+  // serial simulation exactly.
+  std::vector<std::vector<MissStats>> per_set(num_sets);
+  par::parallel_for(
+      static_cast<std::size_t>(num_sets), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          per_set[s].resize(trace.layouts.size());
+          simulate_set(trace, set_events[s], lines, ways, per_set[s]);
+        }
+      });
+  for (const std::vector<MissStats>& stats : per_set) {
+    for (std::size_t c = 0; c < stats.size(); ++c) {
+      result.per_container[c].cold += stats[c].cold;
+      result.per_container[c].capacity += stats[c].capacity;
+      result.per_container[c].hits += stats[c].hits;
     }
   }
 

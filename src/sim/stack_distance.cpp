@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "dmv/par/par.hpp"
 #include "dmv/sim/sim.hpp"
 
 namespace dmv::sim {
@@ -102,31 +103,64 @@ ElementDistanceStats element_distance_stats(const AccessTrace& trace,
                                             int container) {
   const std::int64_t elements =
       trace.layouts[container].total_elements();
-  std::vector<std::vector<std::int64_t>> finite(elements);
   ElementDistanceStats stats;
   stats.min.assign(elements, kInfiniteDistance);
   stats.median.assign(elements, kInfiniteDistance);
   stats.max.assign(elements, kInfiniteDistance);
   stats.cold_count.assign(elements, 0);
 
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const AccessEvent& event = trace.events[i];
-    if (event.container != container) continue;
-    const std::int64_t distance = result.distances[i];
-    if (distance == kInfiniteDistance) {
-      ++stats.cold_count[event.flat];
-    } else {
-      finite[event.flat].push_back(distance);
-    }
-  }
-  for (std::int64_t e = 0; e < elements; ++e) {
-    std::vector<std::int64_t>& distances = finite[e];
-    if (distances.empty()) continue;
-    std::sort(distances.begin(), distances.end());
-    stats.min[e] = distances.front();
-    stats.max[e] = distances.back();
-    stats.median[e] = distances[distances.size() / 2];
-  }
+  // Events pass, sharded over contiguous blocks. Per-block lists are
+  // concatenated in ascending block order, which reproduces the serial
+  // per-element event order exactly; cold counts sum.
+  struct Partial {
+    std::vector<std::vector<std::int64_t>> finite;
+    std::vector<std::int64_t> cold;
+  };
+  const std::size_t n = trace.events.size();
+  const std::size_t grain =
+      par::grain_for(n, static_cast<std::size_t>(par::num_threads()),
+                     std::size_t{1} << 15);
+  Partial merged = par::parallel_reduce(
+      n, grain,
+      Partial{std::vector<std::vector<std::int64_t>>(elements),
+              std::vector<std::int64_t>(elements, 0)},
+      [&](std::size_t begin, std::size_t end) {
+        Partial local{std::vector<std::vector<std::int64_t>>(elements),
+                      std::vector<std::int64_t>(elements, 0)};
+        for (std::size_t i = begin; i < end; ++i) {
+          const AccessEvent& event = trace.events[i];
+          if (event.container != container) continue;
+          const std::int64_t distance = result.distances[i];
+          if (distance == kInfiniteDistance) {
+            ++local.cold[event.flat];
+          } else {
+            local.finite[event.flat].push_back(distance);
+          }
+        }
+        return local;
+      },
+      [](Partial& acc, Partial&& block) {
+        for (std::size_t e = 0; e < acc.finite.size(); ++e) {
+          acc.finite[e].insert(acc.finite[e].end(), block.finite[e].begin(),
+                               block.finite[e].end());
+          acc.cold[e] += block.cold[e];
+        }
+      });
+  stats.cold_count = std::move(merged.cold);
+
+  // Per-element statistics: disjoint writes, parallel over elements.
+  par::parallel_for(
+      static_cast<std::size_t>(elements), 4096,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          std::vector<std::int64_t>& distances = merged.finite[e];
+          if (distances.empty()) continue;
+          std::sort(distances.begin(), distances.end());
+          stats.min[e] = distances.front();
+          stats.max[e] = distances.back();
+          stats.median[e] = distances[distances.size() / 2];
+        }
+      });
   return stats;
 }
 

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dmv/analysis/analysis.hpp"
+#include "dmv/par/par.hpp"
+#include "dmv/sim/sim.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+// Determinism contract of the parallel engine: every metric pass and the
+// compiled simulator must be BIT-IDENTICAL to the serial interpreted
+// baseline — the parallelism and expression compilation are pure
+// performance changes, never numeric ones. These tests run the same
+// inputs through (a) the interpreted vs compiled simulator and (b) the
+// metric passes at 1 vs 8 threads, and require exact equality.
+
+namespace dmv::sim {
+namespace {
+
+void expect_traces_identical(const AccessTrace& a, const AccessTrace& b) {
+  ASSERT_EQ(a.containers, b.containers);
+  ASSERT_EQ(a.executions, b.executions);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const AccessEvent& x = a.events[i];
+    const AccessEvent& y = b.events[i];
+    ASSERT_EQ(x.container, y.container) << "event " << i;
+    ASSERT_EQ(x.flat, y.flat) << "event " << i;
+    ASSERT_EQ(x.is_write, y.is_write) << "event " << i;
+    ASSERT_EQ(x.timestep, y.timestep) << "event " << i;
+    ASSERT_EQ(x.execution, y.execution) << "event " << i;
+    ASSERT_EQ(x.tasklet, y.tasklet) << "event " << i;
+  }
+}
+
+void expect_stats_equal(const MissStats& a, const MissStats& b) {
+  EXPECT_EQ(a.cold, b.cold);
+  EXPECT_EQ(a.capacity, b.capacity);
+  EXPECT_EQ(a.hits, b.hits);
+}
+
+TEST(Determinism, CompiledSimulatorMatchesInterpreterOnHdiff) {
+  const ir::Sdfg sdfg =
+      workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding = workloads::hdiff_local();
+  SimulationOptions interpreted;
+  interpreted.compiled = false;
+  SimulationOptions compiled;
+  compiled.compiled = true;
+  expect_traces_identical(simulate(sdfg, binding, interpreted),
+                          simulate(sdfg, binding, compiled));
+}
+
+TEST(Determinism, CompiledSimulatorMatchesInterpreterOnBert) {
+  const ir::Sdfg sdfg = workloads::bert_encoder(workloads::BertStage::Fused1);
+  const symbolic::SymbolMap binding = workloads::bert_small();
+  SimulationOptions interpreted;
+  interpreted.compiled = false;
+  SimulationOptions compiled;
+  compiled.compiled = true;
+  expect_traces_identical(simulate(sdfg, binding, interpreted),
+                          simulate(sdfg, binding, compiled));
+}
+
+TEST(Determinism, MetricPassesBitIdenticalAcrossThreadCounts) {
+  const ir::Sdfg sdfg =
+      workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const AccessTrace trace =
+      simulate(sdfg, symbolic::SymbolMap{{"I", 12}, {"J", 12}, {"K", 6}});
+  const StackDistanceResult distances = stack_distances(trace, 64);
+
+  AccessCounts counts_serial;
+  MissReport report_serial;
+  ElementDistanceStats stats_serial;
+  CacheSimResult cache_serial;
+  {
+    par::ThreadScope scope(1);
+    counts_serial = count_accesses(trace);
+    report_serial = classify_misses(trace, distances, 64);
+    stats_serial = element_distance_stats(trace, distances, 0);
+    cache_serial = simulate_cache(trace, CacheConfig{});
+  }
+  AccessCounts counts_parallel;
+  MissReport report_parallel;
+  ElementDistanceStats stats_parallel;
+  CacheSimResult cache_parallel;
+  {
+    par::ThreadScope scope(8);
+    counts_parallel = count_accesses(trace);
+    report_parallel = classify_misses(trace, distances, 64);
+    stats_parallel = element_distance_stats(trace, distances, 0);
+    cache_parallel = simulate_cache(trace, CacheConfig{});
+  }
+
+  EXPECT_EQ(counts_serial.reads, counts_parallel.reads);
+  EXPECT_EQ(counts_serial.writes, counts_parallel.writes);
+
+  EXPECT_EQ(report_serial.element_misses, report_parallel.element_misses);
+  ASSERT_EQ(report_serial.per_container.size(),
+            report_parallel.per_container.size());
+  for (std::size_t c = 0; c < report_serial.per_container.size(); ++c) {
+    expect_stats_equal(report_serial.per_container[c],
+                       report_parallel.per_container[c]);
+  }
+  expect_stats_equal(report_serial.total, report_parallel.total);
+
+  EXPECT_EQ(stats_serial.min, stats_parallel.min);
+  EXPECT_EQ(stats_serial.median, stats_parallel.median);
+  EXPECT_EQ(stats_serial.max, stats_parallel.max);
+  EXPECT_EQ(stats_serial.cold_count, stats_parallel.cold_count);
+
+  ASSERT_EQ(cache_serial.per_container.size(),
+            cache_parallel.per_container.size());
+  for (std::size_t c = 0; c < cache_serial.per_container.size(); ++c) {
+    expect_stats_equal(cache_serial.per_container[c],
+                       cache_parallel.per_container[c]);
+  }
+  expect_stats_equal(cache_serial.total, cache_parallel.total);
+}
+
+TEST(Determinism, RelatedAccessesBitIdenticalAcrossThreadCounts) {
+  const ir::Sdfg sdfg = workloads::matmul();
+  const AccessTrace trace =
+      simulate(sdfg, symbolic::SymbolMap{{"M", 8}, {"N", 8}, {"K", 8}});
+  const std::vector<Selection> selected{{0, {0, 5, 9}}};
+  AccessCounts serial;
+  {
+    par::ThreadScope scope(1);
+    serial = related_accesses(trace, selected);
+  }
+  AccessCounts parallel;
+  {
+    par::ThreadScope scope(8);
+    parallel = related_accesses(trace, selected);
+  }
+  EXPECT_EQ(serial.reads, parallel.reads);
+  EXPECT_EQ(serial.writes, parallel.writes);
+}
+
+TEST(Determinism, SweepMetricMatchesScalarEvaluation) {
+  const ir::Sdfg sdfg =
+      workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::Expr metric = analysis::total_movement_bytes(sdfg);
+  const symbolic::SymbolMap base{{"I", 16}, {"J", 16}, {"K", 4}};
+  const std::vector<std::int64_t> values{2, 4, 8, 16, 32};
+  par::ThreadScope scope(8);
+  const auto series = analysis::sweep_metric(metric, base, "K", values);
+  ASSERT_EQ(series.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    symbolic::SymbolMap binding = base;
+    binding["K"] = values[i];
+    EXPECT_EQ(series[i].value, values[i]);
+    EXPECT_EQ(series[i].metric,
+              static_cast<double>(metric.evaluate(binding)));
+  }
+}
+
+}  // namespace
+}  // namespace dmv::sim
