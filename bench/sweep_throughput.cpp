@@ -11,22 +11,35 @@
 //   * serial, compiled engine (CompiledExpr evaluation, threads = 1)
 //     — isolates the expression-compilation speedup;
 //   * compiled engine at 2 / 8 / hardware threads, sweep parallel
-//     across bindings — the interactive-rate configuration.
+//     across bindings — the interactive-rate configuration (skipped and
+//     recorded as such when the machine has a single hardware thread);
+//   * pipeline ablation: the same metric set as separate passes
+//     (unfused), through MetricPipeline over a materialized trace
+//     (fused), and through MetricPipeline in streaming mode (no event
+//     vector) — all serial, all checksum-validated against each other;
+//   * stack-distance algorithm ablation: naive O(n^2) list scan vs the
+//     Fenwick-tree Olken pass on a size-capped trace.
 //
 // Results go to stdout and to BENCH_sweep.json (machine readable).
 // Speedups are reported against the interpreted serial baseline; the
 // hardware thread count is recorded so a 1-core runner's numbers are
 // not mistaken for a scaling ceiling.
+//
+// `--smoke`: tiny workload, one repetition, no thread loop, no JSON —
+// exits nonzero if the fused/streaming/unfused checksums diverge. CI
+// runs this as the pipeline-ablation gate.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "dmv/par/par.hpp"
+#include "dmv/sim/pipeline.hpp"
 #include "dmv/sim/sim.hpp"
 #include "dmv/workloads/workloads.hpp"
 
@@ -42,8 +55,33 @@ struct SweepCase {
   std::vector<SymbolMap> bindings;  ///< The slider positions.
 };
 
-// Checksum keeps the pipeline honest (nothing optimized away) and lets
-// configurations cross-validate: every engine/thread count must agree.
+// The metric set every configuration computes; checksums keep the
+// pipeline honest (nothing optimized away) and let configurations
+// cross-validate: every engine/thread count/fusion mode must agree.
+dmv::sim::PipelineConfig bench_config() {
+  dmv::sim::PipelineConfig config;
+  config.line_size = 64;
+  config.counts = true;
+  config.miss_threshold_lines = 512;
+  config.element_stats = true;
+  return config;
+}
+
+// The unfused metric set over an existing trace (no simulation).
+std::int64_t run_metrics_unfused(const AccessTrace& trace) {
+  const auto distances = dmv::sim::stack_distances(trace, 64);
+  const auto counts = dmv::sim::count_accesses(trace);
+  const auto report = dmv::sim::classify_misses(trace, distances, 512);
+  std::int64_t checksum = report.total.misses() + trace.executions;
+  for (std::size_t c = 0; c < trace.layouts.size(); ++c) {
+    const auto stats = dmv::sim::element_distance_stats(
+        trace, distances, static_cast<int>(c));
+    for (std::int64_t cold : stats.cold_count) checksum += cold;
+    for (std::int64_t count : counts.reads[c]) checksum += count;
+  }
+  return checksum;
+}
+
 std::int64_t run_pipeline(const dmv::ir::Sdfg& sdfg, const SymbolMap& binding,
                           const SimulationOptions& options) {
   const AccessTrace trace = dmv::sim::simulate(sdfg, binding, options);
@@ -58,6 +96,33 @@ std::int64_t run_pipeline(const dmv::ir::Sdfg& sdfg, const SymbolMap& binding,
     for (std::int64_t count : counts.reads[c]) checksum += count;
   }
   return checksum;
+}
+
+std::int64_t pipeline_checksum(const dmv::sim::PipelineResult& result) {
+  std::int64_t checksum = result.misses.total.misses() + result.executions;
+  for (std::size_t c = 0; c < result.element_stats.size(); ++c) {
+    for (std::int64_t cold : result.element_stats[c].cold_count) {
+      checksum += cold;
+    }
+    for (std::int64_t count : result.counts.reads[c]) checksum += count;
+  }
+  return checksum;
+}
+
+// Fused sweep: ONE MetricPipeline across all bindings, so the arena
+// (trace columns, line table, Fenwick, per-element scratch) is
+// allocated once and reused at every slider position.
+std::int64_t run_fused(const SweepCase& sweep,
+                       const SimulationOptions& options, bool streaming) {
+  dmv::sim::MetricPipeline pipeline(bench_config());
+  std::int64_t total = 0;
+  for (const SymbolMap& binding : sweep.bindings) {
+    const dmv::sim::PipelineResult result =
+        streaming ? pipeline.run_streaming(sweep.sdfg, binding, options)
+                  : pipeline.run(sweep.sdfg, binding, options);
+    total += pipeline_checksum(result);
+  }
+  return total;
 }
 
 // The simulate stage in isolation: the only stage whose inner loop the
@@ -110,31 +175,77 @@ Measurement measure(Fn&& fn, int repetitions) {
   return measurement;
 }
 
-}  // namespace
-
-int main() {
+std::vector<SweepCase> build_cases(bool smoke) {
   using dmv::workloads::HdiffVariant;
-
   std::vector<SweepCase> cases;
   {
     std::vector<SymbolMap> bindings;
-    for (std::int64_t k : {8, 10, 12, 14, 16, 18}) {
-      bindings.push_back(SymbolMap{{"I", 24}, {"J", 24}, {"K", k}});
+    const std::vector<std::int64_t> ks =
+        smoke ? std::vector<std::int64_t>{2, 3, 4}
+              : std::vector<std::int64_t>{8, 10, 12, 14, 16, 18};
+    const std::int64_t ij = smoke ? 8 : 24;
+    for (std::int64_t k : ks) {
+      bindings.push_back(SymbolMap{{"I", ij}, {"J", ij}, {"K", k}});
     }
     cases.push_back({"hdiff", dmv::workloads::hdiff(HdiffVariant::Baseline),
                      std::move(bindings)});
   }
   {
     std::vector<SymbolMap> bindings;
-    for (std::int64_t sm : {4, 6, 8, 10, 12, 14}) {
+    const std::vector<std::int64_t> sms =
+        smoke ? std::vector<std::int64_t>{4, 6}
+              : std::vector<std::int64_t>{4, 6, 8, 10, 12, 14};
+    for (std::int64_t sm : sms) {
       SymbolMap binding = dmv::workloads::bert_small();
       binding["SM"] = sm;
       bindings.push_back(std::move(binding));
     }
-    cases.push_back({"bert",
-                     dmv::workloads::bert_encoder(dmv::workloads::BertStage::Fused2),
-                     std::move(bindings)});
+    cases.push_back(
+        {"bert",
+         dmv::workloads::bert_encoder(dmv::workloads::BertStage::Fused2),
+         std::move(bindings)});
   }
+  return cases;
+}
+
+// Fused-vs-unfused-vs-streaming checksum gate shared by the full run
+// and --smoke. Returns false (and prints) on divergence.
+bool validate_ablation(const SweepCase& sweep,
+                       const SimulationOptions& options) {
+  dmv::par::set_num_threads(1);
+  const std::int64_t unfused = run_sweep(sweep, options);
+  const std::int64_t fused = run_fused(sweep, options, /*streaming=*/false);
+  const std::int64_t streaming =
+      run_fused(sweep, options, /*streaming=*/true);
+  if (unfused != fused || unfused != streaming) {
+    std::cerr << "FATAL: pipeline ablation mismatch on " << sweep.name
+              << ": unfused " << unfused << ", fused " << fused
+              << ", streaming " << streaming << "\n";
+    return false;
+  }
+  return true;
+}
+
+int run_smoke() {
+  SimulationOptions compiled;
+  compiled.compiled = true;
+  for (const SweepCase& sweep : build_cases(/*smoke=*/true)) {
+    if (!validate_ablation(sweep, compiled)) return 1;
+    std::cout << "smoke " << sweep.name
+              << ": unfused == fused == streaming\n";
+  }
+  std::cout << "smoke OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return run_smoke();
+  }
+
+  std::vector<SweepCase> cases = build_cases(/*smoke=*/false);
 
   const int hardware = dmv::par::hardware_threads();
   const int repetitions = 5;
@@ -173,6 +284,57 @@ int main() {
       return 1;
     }
 
+    // Pipeline ablation: same metrics, same engine, 1 thread — the
+    // only variable is fusion/streaming.
+    const Measurement fused = measure(
+        [&] { return run_fused(sweep, compiled, false); }, repetitions);
+    const Measurement streaming = measure(
+        [&] { return run_fused(sweep, compiled, true); }, repetitions);
+    if (fused.checksum != serial_compiled.checksum ||
+        streaming.checksum != serial_compiled.checksum) {
+      std::cerr << "FATAL: pipeline ablation mismatch on " << sweep.name
+                << "\n";
+      return 1;
+    }
+    const double fused_speedup = serial_compiled.best_ms / fused.best_ms;
+    const double streaming_vs_materialized =
+        fused.best_ms / streaming.best_ms;
+
+    // Metrics-only ablation: pre-simulated traces, so the ratio
+    // isolates pass fusion + arena reuse from the (identical)
+    // simulation cost that dominates the end-to-end numbers.
+    std::vector<AccessTrace> traces;
+    traces.reserve(sweep.bindings.size());
+    for (const SymbolMap& binding : sweep.bindings) {
+      traces.push_back(dmv::sim::simulate(sweep.sdfg, binding, compiled));
+    }
+    const Measurement metrics_unfused = measure(
+        [&] {
+          std::int64_t total = 0;
+          for (const AccessTrace& trace : traces) {
+            total += run_metrics_unfused(trace);
+          }
+          return total;
+        },
+        repetitions);
+    const Measurement metrics_fused = measure(
+        [&] {
+          dmv::sim::MetricPipeline pipeline(bench_config());
+          std::int64_t total = 0;
+          for (const AccessTrace& trace : traces) {
+            total += pipeline_checksum(pipeline.run(trace));
+          }
+          return total;
+        },
+        repetitions);
+    if (metrics_unfused.checksum != metrics_fused.checksum) {
+      std::cerr << "FATAL: metrics-only ablation mismatch on " << sweep.name
+                << "\n";
+      return 1;
+    }
+    const double metrics_fused_speedup =
+        metrics_unfused.best_ms / metrics_fused.best_ms;
+
     const double simulate_speedup = sim_interp.best_ms / sim_compiled.best_ms;
     const double compiled_speedup =
         serial_interp.best_ms / serial_compiled.best_ms;
@@ -182,6 +344,13 @@ int main() {
     std::cout << "  pipeline: interpreted " << serial_interp.best_ms
               << " ms, compiled " << serial_compiled.best_ms << " ms  ("
               << compiled_speedup << "x end to end)\n";
+    std::cout << "  ablation: unfused " << serial_compiled.best_ms
+              << " ms, fused " << fused.best_ms << " ms ("
+              << fused_speedup << "x), streaming " << streaming.best_ms
+              << " ms (" << streaming_vs_materialized << "x vs fused)\n";
+    std::cout << "  metrics only: unfused " << metrics_unfused.best_ms
+              << " ms, fused " << metrics_fused.best_ms << " ms ("
+              << metrics_fused_speedup << "x)\n";
 
     json << "    {\n      \"name\": \"" << sweep.name << "\",\n";
     json << "      \"bindings\": " << sweep.bindings.size() << ",\n";
@@ -196,30 +365,99 @@ int main() {
          << ",\n";
     json << "      \"pipeline_compiled_speedup\": " << compiled_speedup
          << ",\n";
-    json << "      \"threads\": [\n";
+    json << "      \"pipeline_ablation\": {\n";
+    json << "        \"unfused_ms\": " << serial_compiled.best_ms << ",\n";
+    json << "        \"fused_ms\": " << fused.best_ms << ",\n";
+    json << "        \"streaming_ms\": " << streaming.best_ms << ",\n";
+    json << "        \"fused_speedup\": " << fused_speedup << ",\n";
+    json << "        \"streaming_vs_materialized\": "
+         << streaming_vs_materialized << ",\n";
+    json << "        \"metrics_unfused_ms\": " << metrics_unfused.best_ms
+         << ",\n";
+    json << "        \"metrics_fused_ms\": " << metrics_fused.best_ms
+         << ",\n";
+    json << "        \"metrics_fused_speedup\": " << metrics_fused_speedup
+         << "\n";
+    json << "      },\n";
 
-    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
-      const int threads = thread_counts[t];
-      dmv::par::set_num_threads(threads);
-      const Measurement parallel =
-          measure([&] { return run_sweep(sweep, compiled); }, repetitions);
-      if (parallel.checksum != serial_interp.checksum) {
-        std::cerr << "FATAL: parallel mismatch on " << sweep.name << " at "
-                  << threads << " threads\n";
-        return 1;
+    if (hardware == 1) {
+      std::cout << "  thread scaling: skipped (1 hardware thread)\n";
+      json << "      \"thread_scaling\": \"skipped (1 hardware thread)\"\n";
+    } else {
+      json << "      \"threads\": [\n";
+      for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+        const int threads = thread_counts[t];
+        dmv::par::set_num_threads(threads);
+        const Measurement parallel =
+            measure([&] { return run_sweep(sweep, compiled); }, repetitions);
+        if (parallel.checksum != serial_interp.checksum) {
+          std::cerr << "FATAL: parallel mismatch on " << sweep.name << " at "
+                    << threads << " threads\n";
+          return 1;
+        }
+        const double speedup = serial_interp.best_ms / parallel.best_ms;
+        std::cout << "  threads=" << threads << ": " << parallel.best_ms
+                  << " ms  (" << speedup << "x vs interpreted serial)\n";
+        json << "        {\"threads\": " << threads
+             << ", \"ms\": " << parallel.best_ms
+             << ", \"speedup_vs_serial_interpreted\": " << speedup << "}"
+             << (t + 1 < thread_counts.size() ? "," : "") << "\n";
       }
-      const double speedup = serial_interp.best_ms / parallel.best_ms;
-      std::cout << "  threads=" << threads << ": " << parallel.best_ms
-                << " ms  (" << speedup << "x vs interpreted serial)\n";
-      json << "        {\"threads\": " << threads
-           << ", \"ms\": " << parallel.best_ms
-           << ", \"speedup_vs_serial_interpreted\": " << speedup << "}"
-           << (t + 1 < thread_counts.size() ? "," : "") << "\n";
+      json << "      ]\n";
     }
-    json << "      ]\n    }" << (w + 1 < cases.size() ? "," : "") << "\n";
+    json << "    }" << (w + 1 < cases.size() ? "," : "") << "\n";
     dmv::par::set_num_threads(1);
   }
-  json << "  ]\n}\n";
+  json << "  ],\n";
+
+  // Stack-distance algorithm ablation on a size-capped trace (the naive
+  // pass is O(n^2); the cap keeps it to a fraction of a second while
+  // still dominating per-event overheads).
+  {
+    dmv::par::set_num_threads(1);
+    const dmv::ir::Sdfg sdfg =
+        dmv::workloads::hdiff(dmv::workloads::HdiffVariant::Baseline);
+    const AccessTrace full =
+        dmv::sim::simulate(sdfg, SymbolMap{{"I", 32}, {"J", 32}, {"K", 8}});
+    constexpr std::size_t kCap = 32768;
+    AccessTrace capped;
+    capped.containers = full.containers;
+    capped.layouts = full.layouts;
+    capped.executions = full.executions;
+    const std::size_t n = std::min(kCap, full.events.size());
+    capped.events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      capped.events.push_back(full.events[i]);
+    }
+
+    const Measurement naive = measure(
+        [&] {
+          const auto result = dmv::sim::stack_distances_naive(capped, 64);
+          return static_cast<std::int64_t>(result.distances.size());
+        },
+        3);
+    const Measurement fenwick = measure(
+        [&] {
+          const auto result = dmv::sim::stack_distances(capped, 64);
+          return static_cast<std::int64_t>(result.distances.size());
+        },
+        3);
+    if (dmv::sim::stack_distances_naive(capped, 64).distances !=
+        dmv::sim::stack_distances(capped, 64).distances) {
+      std::cerr << "FATAL: stack-distance ablation mismatch\n";
+      return 1;
+    }
+    const double algorithmic_speedup = naive.best_ms / fenwick.best_ms;
+    std::cout << "stack distance (" << n << " events): naive "
+              << naive.best_ms << " ms, fenwick " << fenwick.best_ms
+              << " ms  (" << algorithmic_speedup << "x)\n";
+    json << "  \"stack_distance\": {\n";
+    json << "    \"events\": " << n << ",\n";
+    json << "    \"naive_ms\": " << naive.best_ms << ",\n";
+    json << "    \"fenwick_ms\": " << fenwick.best_ms << ",\n";
+    json << "    \"algorithmic_speedup\": " << algorithmic_speedup << "\n";
+    json << "  }\n}\n";
+  }
   std::cout << "wrote BENCH_sweep.json\n";
   return 0;
 }

@@ -1,0 +1,127 @@
+#pragma once
+
+// Fused streaming metric pipeline.
+//
+// The interactive loop recomputes EVERY derived metric per slider
+// position. Run as separate passes, each metric re-walks the event
+// vector and several re-derive cache-line ids from scratch; the sweep
+// also reallocates every trace buffer, Fenwick tree, and per-element
+// scratch array at every binding. MetricPipeline fuses the per-event
+// metric consumers (access counts, stack distances, miss
+// classification, exact cache simulation, element distance stats,
+// physical movement) into ONE pass over the trace that derives each
+// event's cache line once, and keeps all working memory in an arena
+// that survives across bindings of a sweep.
+//
+// Two drive modes:
+//   * materialized — run over an AccessTrace (existing or simulated
+//     into the arena's reusable trace buffer);
+//   * streaming — simulate() feeds the consumers directly through an
+//     EventSink, so no event vector is ever allocated: event-storage
+//     memory is O(1) in trace length. Sweep workloads that never
+//     inspect the raw trace use this mode.
+//
+// Bit-identical contract: every output equals the corresponding
+// standalone pass (count_accesses, stack_distances, classify_misses,
+// element_distance_stats, simulate_cache, physical_movement) bit for
+// bit, in both modes, at any thread count. The fusion is a pure
+// performance change — enforced by pipeline_test and the CI ablation
+// smoke job.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+/// Which consumers the fused pass drives. Distances are computed
+/// whenever any consumer needs them (misses, element stats, movement,
+/// or keep_distances).
+struct PipelineConfig {
+  int line_size = 64;
+  /// Per-element read/write counts (count_accesses).
+  bool counts = true;
+  /// Cold/capacity classification at this LRU threshold (in lines);
+  /// 0 disables (classify_misses).
+  std::int64_t miss_threshold_lines = 0;
+  /// Store the per-event distance vector (O(events) memory — leave off
+  /// in streaming mode unless the raw distances are needed).
+  bool keep_distances = false;
+  /// Per-container ElementDistanceStats (element_distance_stats).
+  bool element_stats = false;
+  /// Exact set-associative LRU simulation (simulate_cache).
+  std::optional<CacheConfig> cache;
+  /// Physical movement estimate; requires miss_threshold_lines > 0
+  /// (physical_movement).
+  bool movement = false;
+
+  bool needs_distances() const {
+    return miss_threshold_lines > 0 || keep_distances || element_stats ||
+           movement;
+  }
+};
+
+/// Outputs of one fused pass. Only the consumers enabled in the config
+/// are populated; the rest stay default-constructed.
+struct PipelineResult {
+  std::int64_t events = 0;
+  std::int64_t executions = 0;
+  AccessCounts counts;
+  StackDistanceResult distances;
+  MissReport misses;
+  std::vector<ElementDistanceStats> element_stats;  ///< Per container.
+  CacheSimResult cache;
+  MovementEstimate movement;
+};
+
+class MetricPipeline {
+ public:
+  explicit MetricPipeline(PipelineConfig config = {});
+  ~MetricPipeline();
+  MetricPipeline(MetricPipeline&&) noexcept;
+  MetricPipeline& operator=(MetricPipeline&&) noexcept;
+  MetricPipeline(const MetricPipeline&) = delete;
+  MetricPipeline& operator=(const MetricPipeline&) = delete;
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Fused single pass over an existing trace. The LineTable and all
+  /// per-line/per-element scratch come from the arena (reused across
+  /// calls).
+  PipelineResult run(const AccessTrace& trace);
+
+  /// Simulates into the arena's reusable trace buffer, then runs the
+  /// fused pass. One binding of a materialized sweep.
+  PipelineResult run(const Sdfg& sdfg, const SymbolMap& symbols,
+                     const SimulationOptions& options = {});
+
+  /// Streaming: the simulator feeds the fused consumers event by event;
+  /// no event vector (and no LineTable column) is allocated —
+  /// event_storage_bytes() stays 0.
+  PipelineResult run_streaming(const Sdfg& sdfg, const SymbolMap& symbols,
+                               const SimulationOptions& options = {});
+
+  /// Slider sweep: one result per value, binding `symbol` on top of
+  /// `base`. Every arena buffer is reused across steps.
+  std::vector<PipelineResult> run_sweep(
+      const Sdfg& sdfg, const SymbolMap& base, const std::string& symbol,
+      const std::vector<std::int64_t>& values, bool streaming = true,
+      const SimulationOptions& options = {});
+
+  /// Bytes reserved by the arena's event columns: >0 after a
+  /// materialized run, exactly 0 after streaming-only use — the
+  /// O(1)-event-memory contract the streaming test asserts.
+  std::size_t event_storage_bytes() const;
+
+ private:
+  PipelineConfig config_;
+  struct Arena;
+  std::unique_ptr<Arena> arena_;
+};
+
+}  // namespace dmv::sim

@@ -22,9 +22,12 @@
 //     the logical volumes of the global view (Fig 5c, Fig 7).
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <limits>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -129,7 +132,9 @@ struct IterationSpace {
   }
 };
 
-/// One element-granularity access in the simulated execution.
+/// One element-granularity access in the simulated execution. This is
+/// the VALUE type call sites iterate with; storage is columnar
+/// (EventList), so the struct only exists transiently.
 struct AccessEvent {
   std::int32_t container = 0;   ///< Index into AccessTrace::layouts.
   std::int64_t flat = 0;        ///< Logical row-major element index.
@@ -139,11 +144,127 @@ struct AccessEvent {
   ir::NodeId tasklet = ir::kNoNode;  ///< Originating tasklet (or copy).
 };
 
+/// Structure-of-arrays event storage. Metric passes touch only the
+/// columns they need (stack distance reads container+flat: 12 B/event
+/// instead of the 48 B padded AoS struct), and a column never pulls its
+/// neighbors into cache. The container interface mirrors
+/// std::vector<AccessEvent> — size/reserve/push_back/operator[]/range-for
+/// — so pre-SoA call sites compile unchanged; operator[] and the
+/// iterator gather an AccessEvent by value.
+class EventList {
+ public:
+  std::size_t size() const { return flat_.size(); }
+  bool empty() const { return flat_.empty(); }
+
+  void reserve(std::size_t n) {
+    container_.reserve(n);
+    flat_.reserve(n);
+    is_write_.reserve(n);
+    timestep_.reserve(n);
+    execution_.reserve(n);
+    tasklet_.reserve(n);
+  }
+
+  void clear() {
+    container_.clear();
+    flat_.clear();
+    is_write_.clear();
+    timestep_.clear();
+    execution_.clear();
+    tasklet_.clear();
+  }
+
+  void push_back(const AccessEvent& event) {
+    container_.push_back(event.container);
+    flat_.push_back(event.flat);
+    is_write_.push_back(event.is_write ? 1 : 0);
+    timestep_.push_back(event.timestep);
+    execution_.push_back(event.execution);
+    tasklet_.push_back(event.tasklet);
+  }
+
+  AccessEvent operator[](std::size_t i) const {
+    AccessEvent event;
+    event.container = container_[i];
+    event.flat = flat_[i];
+    event.is_write = is_write_[i] != 0;
+    event.timestep = timestep_[i];
+    event.execution = execution_[i];
+    event.tasklet = tasklet_[i];
+    return event;
+  }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = AccessEvent;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = AccessEvent;
+
+    const_iterator() = default;
+    const_iterator(const EventList* list, std::size_t index)
+        : list_(list), index_(index) {}
+    AccessEvent operator*() const { return (*list_)[index_]; }
+    const_iterator& operator++() { ++index_; return *this; }
+    const_iterator operator++(int) { return {list_, index_++}; }
+    const_iterator& operator--() { --index_; return *this; }
+    const_iterator& operator+=(difference_type d) { index_ += d; return *this; }
+    friend const_iterator operator+(const_iterator it, difference_type d) {
+      return {it.list_, it.index_ + d};
+    }
+    friend difference_type operator-(const const_iterator& a,
+                                     const const_iterator& b) {
+      return static_cast<difference_type>(a.index_) -
+             static_cast<difference_type>(b.index_);
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    const EventList* list_ = nullptr;
+    std::size_t index_ = 0;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  /// Column views for the hot metric passes.
+  std::span<const std::int32_t> container_column() const { return container_; }
+  std::span<const std::int64_t> flat_column() const { return flat_; }
+  std::span<const std::uint8_t> write_column() const { return is_write_; }
+  std::span<const std::int64_t> timestep_column() const { return timestep_; }
+  std::span<const std::int64_t> execution_column() const { return execution_; }
+  std::span<const ir::NodeId> tasklet_column() const { return tasklet_; }
+
+  /// Bytes currently RESERVED by the columns — the quantity the
+  /// streaming pipeline keeps at zero (O(1)-memory contract).
+  std::size_t capacity_bytes() const {
+    return container_.capacity() * sizeof(std::int32_t) +
+           flat_.capacity() * sizeof(std::int64_t) +
+           is_write_.capacity() * sizeof(std::uint8_t) +
+           timestep_.capacity() * sizeof(std::int64_t) +
+           execution_.capacity() * sizeof(std::int64_t) +
+           tasklet_.capacity() * sizeof(ir::NodeId);
+  }
+
+ private:
+  std::vector<std::int32_t> container_;
+  std::vector<std::int64_t> flat_;
+  std::vector<std::uint8_t> is_write_;
+  std::vector<std::int64_t> timestep_;
+  std::vector<std::int64_t> execution_;
+  std::vector<ir::NodeId> tasklet_;
+};
+
 /// Full simulated access pattern of a parameterized program.
 struct AccessTrace {
   std::vector<std::string> containers;       ///< Names, index-aligned.
   std::vector<ConcreteLayout> layouts;       ///< Placed in address space.
-  std::vector<AccessEvent> events;           ///< Ordered by timestep.
+  EventList events;                          ///< Ordered by timestep.
   std::int64_t executions = 0;               ///< Total tasklet instances.
 
   int container_id(const std::string& name) const;
@@ -168,6 +289,60 @@ struct SimulationOptions {
 /// and returns the exact access trace (§V-C "iteration space simulation").
 AccessTrace simulate(const Sdfg& sdfg, const SymbolMap& symbols,
                      const SimulationOptions& options = {});
+
+/// Same, but (re)filling a caller-owned trace: containers/layouts/events
+/// are cleared and rewritten while the event columns KEEP their
+/// capacity. This is the sweep-arena entry point — one trace buffer
+/// serves every slider position instead of reallocating per binding.
+void simulate_into(const Sdfg& sdfg, const SymbolMap& symbols,
+                   const SimulationOptions& options, AccessTrace& trace);
+
+/// Receiver for streaming simulation: events are delivered in timestep
+/// order as they are produced, and no event vector is materialized.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Called once after container placement, before any event. `header`
+  /// has containers and layouts filled and an EMPTY event list.
+  virtual void on_trace_header(const AccessTrace& header) = 0;
+  /// Called once per access, in timestep order.
+  virtual void on_event(const AccessEvent& event) = 0;
+  /// Called once after the last event.
+  virtual void on_trace_end(std::int64_t executions) = 0;
+};
+
+/// Streaming simulation (§V-C at O(1) event memory): identical traversal
+/// to simulate(), but every event goes to `sink` instead of a vector.
+/// The stream of on_event calls equals simulate()'s event sequence
+/// bit for bit. Returns the header trace (layouts placed, no events).
+AccessTrace simulate_stream(const Sdfg& sdfg, const SymbolMap& symbols,
+                            EventSink& sink,
+                            const SimulationOptions& options = {});
+
+/// One-shot materialization of per-event cache-line ids plus the dense
+/// line-id range each container spans, computed once per
+/// (trace, line_size) and shared by every consumer that needs line ids
+/// (stack distance, cache simulation, line-utilization stats) instead of
+/// each pass re-deriving layout.unflatten + byte_address per event.
+/// Containers are placed at non-overlapping addresses, so
+/// [first_line, first_line + line_span) is a dense id range: consumers
+/// can index per-line state with a flat array instead of a hash map.
+struct LineTable {
+  int line_size = 64;
+  std::int64_t first_line = 0;  ///< Lowest line id any container spans.
+  std::int64_t line_span = 0;   ///< Dense ids cover [first, first+span).
+  struct ContainerRange {
+    std::int64_t first = 0;  ///< First line id of the container.
+    std::int64_t count = 0;  ///< Lines the container's buffer spans.
+  };
+  std::vector<ContainerRange> per_container;
+  std::vector<std::int64_t> lines;  ///< Per-event global cache-line id.
+};
+
+LineTable build_line_table(const AccessTrace& trace, int line_size);
+/// Arena variant: reuses `out.lines` capacity across sweep steps.
+void build_line_table(const AccessTrace& trace, int line_size,
+                      LineTable& out);
 
 /// Per-element access counts per container; the flattened-time heatmap.
 struct AccessCounts {
@@ -204,6 +379,11 @@ struct StackDistanceResult {
 };
 
 StackDistanceResult stack_distances(const AccessTrace& trace, int line_size);
+/// Same, consuming a prebuilt LineTable (no per-event address
+/// re-derivation; per-line state lives in a dense array over the
+/// table's line span).
+StackDistanceResult stack_distances(const AccessTrace& trace,
+                                    const LineTable& table);
 /// Reference O(n^2) implementation (list scan), kept for validation and
 /// for the algorithmic ablation benchmark.
 StackDistanceResult stack_distances_naive(const AccessTrace& trace,
@@ -269,6 +449,11 @@ struct CacheSimResult {
 };
 CacheSimResult simulate_cache(const AccessTrace& trace,
                               const CacheConfig& config);
+/// Same, consuming a prebuilt LineTable. Throws std::invalid_argument if
+/// table.line_size != config.line_size.
+CacheSimResult simulate_cache(const AccessTrace& trace,
+                              const CacheConfig& config,
+                              const LineTable& table);
 
 /// Spatial-locality statistics at tasklet-execution granularity, the
 /// metric behind the Fig 8c padding step: for each execution (one stencil
@@ -286,6 +471,10 @@ struct IterationLineStats {
 };
 IterationLineStats iteration_line_stats(const AccessTrace& trace,
                                         int container, int line_size);
+/// Same, consuming a prebuilt LineTable (must match line_size).
+IterationLineStats iteration_line_stats(const AccessTrace& trace,
+                                        int container,
+                                        const LineTable& table);
 
 /// Physical data-movement estimate (§V-F): predicted misses times line
 /// size, per container and total — the refinement shown on the Fig 5c and

@@ -47,11 +47,25 @@ std::vector<layout::Index> subset_elements(const Subset& subset,
 class Simulator {
  public:
   Simulator(const Sdfg& sdfg, const SymbolMap& symbols,
-            const SimulationOptions& options)
-      : sdfg_(sdfg), symbols_(symbols), options_(options) {}
+            const SimulationOptions& options, EventSink* sink = nullptr)
+      : sdfg_(sdfg), symbols_(symbols), options_(options), sink_(sink) {}
 
   AccessTrace run() {
+    AccessTrace trace;
+    run_into(trace);
+    return trace;
+  }
+
+  void run_into(AccessTrace& trace) {
+    // Reuse the caller's buffers: clear() keeps the event columns'
+    // capacity, so a sweep pays the event allocation once.
+    trace.containers.clear();
+    trace.layouts.clear();
+    trace.events.clear();
+    trace.executions = 0;
+    trace_ = &trace;
     place_containers();
+    if (sink_) sink_->on_trace_header(trace);
     for (const State& state : sdfg_.states()) {
       order_ = state.topological_order();
       // Adjacency index: in_edges/out_edges scan all edges, which would
@@ -69,8 +83,8 @@ class Simulator {
         execute_scope(state, ir::kNoNode, symbols_);
       }
     }
-    trace_.executions = execution_;
-    return std::move(trace_);
+    trace.executions = execution_;
+    if (sink_) sink_->on_trace_end(execution_);
   }
 
  private:
@@ -319,15 +333,15 @@ class Simulator {
     for (const auto& [name, descriptor] : sdfg_.arrays()) {
       ConcreteLayout layout = ConcreteLayout::from(descriptor, symbols_);
       space.place(layout);
-      container_ids_.emplace(name, static_cast<int>(trace_.layouts.size()));
-      trace_.containers.push_back(name);
-      trace_.layouts.push_back(std::move(layout));
+      container_ids_.emplace(name, static_cast<int>(trace_->layouts.size()));
+      trace_->containers.push_back(name);
+      trace_->layouts.push_back(std::move(layout));
     }
   }
 
   void emit(int container, const layout::Index& indices, bool is_write,
             NodeId tasklet) {
-    const ConcreteLayout& layout = trace_.layouts[container];
+    const ConcreteLayout& layout = trace_->layouts[container];
     if (!layout.in_bounds(indices)) {
       std::string text;
       for (std::int64_t i : indices) text += std::to_string(i) + ",";
@@ -341,7 +355,11 @@ class Simulator {
     event.timestep = timestep_++;
     event.execution = execution_;
     event.tasklet = tasklet;
-    trace_.events.push_back(event);
+    if (sink_) {
+      sink_->on_event(event);  // Streaming: nothing is materialized.
+    } else {
+      trace_->events.push_back(event);
+    }
   }
 
   // -- Interpreted execution engine (reference; options.compiled=false) --
@@ -431,7 +449,8 @@ class Simulator {
   const Sdfg& sdfg_;
   const SymbolMap& symbols_;
   const SimulationOptions& options_;
-  AccessTrace trace_;
+  EventSink* sink_ = nullptr;
+  AccessTrace* trace_ = nullptr;
   std::map<std::string, int> container_ids_;
   std::vector<NodeId> order_;
   std::vector<std::vector<const Edge*>> in_adjacency_;
@@ -463,6 +482,19 @@ const ConcreteLayout& AccessTrace::layout_of(const std::string& name) const {
 AccessTrace simulate(const Sdfg& sdfg, const SymbolMap& symbols,
                      const SimulationOptions& options) {
   return Simulator(sdfg, symbols, options).run();
+}
+
+void simulate_into(const Sdfg& sdfg, const SymbolMap& symbols,
+                   const SimulationOptions& options, AccessTrace& trace) {
+  Simulator(sdfg, symbols, options).run_into(trace);
+}
+
+AccessTrace simulate_stream(const Sdfg& sdfg, const SymbolMap& symbols,
+                            EventSink& sink,
+                            const SimulationOptions& options) {
+  AccessTrace header;
+  Simulator(sdfg, symbols, options, &sink).run_into(header);
+  return header;
 }
 
 }  // namespace dmv::sim

@@ -43,23 +43,26 @@ MissReport classify_misses(const AccessTrace& trace,
   const std::size_t grain =
       par::grain_for(n, static_cast<std::size_t>(par::num_threads()),
                      std::size_t{1} << 15);
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
   Partial merged = par::parallel_reduce(
       n, grain, zero(),
       [&](std::size_t begin, std::size_t end) {
         Partial local = zero();
         for (std::size_t i = begin; i < end; ++i) {
-          const AccessEvent& event = trace.events[i];
-          MissStats& stats = local.per_container[event.container];
+          const std::int32_t container = containers[i];
+          MissStats& stats = local.per_container[container];
           const std::int64_t distance = distances.distances[i];
           if (distance == kInfiniteDistance) {
             ++stats.cold;
-            ++local.element_misses[event.container][event.flat];
+            ++local.element_misses[container][flats[i]];
           } else if (distance >= threshold_lines) {
             // LRU with `threshold_lines` resident lines would have
             // evicted this line before the re-reference: capacity miss
             // (paper §V-F b).
             ++stats.capacity;
-            ++local.element_misses[event.container][event.flat];
+            ++local.element_misses[container][flats[i]];
           } else {
             ++stats.hits;
           }
@@ -97,15 +100,15 @@ struct CacheSet {
 // A line maps to exactly one set, so cold/capacity classification and
 // residency are fully independent per set — this is what makes the
 // per-set parallel pass below exact, not an approximation.
-void simulate_set(const AccessTrace& trace,
+void simulate_set(std::span<const std::int32_t> containers,
                   const std::vector<std::size_t>& event_indices,
-                  const std::vector<std::int64_t>& lines, std::int64_t ways,
+                  std::span<const std::int64_t> lines, std::int64_t ways,
                   std::vector<MissStats>& per_container) {
   CacheSet set;
   std::unordered_set<std::int64_t> ever_seen;
   for (std::size_t index : event_indices) {
     const std::int64_t line = lines[index];
-    MissStats& stats = per_container[trace.events[index].container];
+    MissStats& stats = per_container[containers[index]];
     auto it = set.where.find(line);
     if (it != set.where.end()) {
       ++stats.hits;
@@ -127,10 +130,13 @@ void simulate_set(const AccessTrace& trace,
   }
 }
 
-}  // namespace
+// Resolved cache geometry shared by both entry points.
+struct Geometry {
+  std::int64_t ways = 0;
+  std::int64_t num_sets = 1;
+};
 
-CacheSimResult simulate_cache(const AccessTrace& trace,
-                              const CacheConfig& config) {
+Geometry resolve_geometry(const CacheConfig& config) {
   if (config.line_size <= 0 || config.total_size <= 0) {
     throw std::invalid_argument("simulate_cache: bad cache geometry");
   }
@@ -138,35 +144,34 @@ CacheSimResult simulate_cache(const AccessTrace& trace,
   if (total_lines <= 0) {
     throw std::invalid_argument("simulate_cache: cache smaller than a line");
   }
-  std::int64_t ways = config.ways;
-  std::int64_t num_sets = 1;
-  if (ways == 0) {
-    ways = total_lines;  // Fully associative.
+  Geometry geometry;
+  geometry.ways = config.ways;
+  if (geometry.ways == 0) {
+    geometry.ways = total_lines;  // Fully associative.
   } else {
-    num_sets = total_lines / ways;
-    if (num_sets <= 0) {
+    geometry.num_sets = total_lines / geometry.ways;
+    if (geometry.num_sets <= 0) {
       throw std::invalid_argument(
           "simulate_cache: associativity exceeds cache size");
     }
   }
+  return geometry;
+}
+
+CacheSimResult simulate_cache_lines(const AccessTrace& trace,
+                                    const CacheConfig& config,
+                                    std::span<const std::int64_t> lines) {
+  const Geometry geometry = resolve_geometry(config);
+  const std::int64_t num_sets = geometry.num_sets;
 
   CacheSimResult result;
   result.config = config;
   result.per_container.resize(trace.layouts.size());
 
-  // Address/line resolution per event (parallel; disjoint writes).
-  const std::size_t n = trace.events.size();
-  std::vector<std::int64_t> lines(n);
-  par::parallel_for(n, 1 << 14, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const AccessEvent& event = trace.events[i];
-      const ConcreteLayout& layout = trace.layouts[event.container];
-      lines[i] = layout.byte_address(layout.unflatten(event.flat)) /
-                 config.line_size;
-    }
-  });
-
   // Bucket events by cache set (serial; time order preserved per set).
+  const std::size_t n = trace.events.size();
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
   std::vector<std::vector<std::size_t>> set_events(num_sets);
   for (std::size_t i = 0; i < n; ++i) {
     set_events[lines[i] % num_sets].push_back(i);
@@ -181,7 +186,8 @@ CacheSimResult simulate_cache(const AccessTrace& trace,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
           per_set[s].resize(trace.layouts.size());
-          simulate_set(trace, set_events[s], lines, ways, per_set[s]);
+          simulate_set(containers, set_events[s], lines, geometry.ways,
+                       per_set[s]);
         }
       });
   for (const std::vector<MissStats>& stats : per_set) {
@@ -198,6 +204,27 @@ CacheSimResult simulate_cache(const AccessTrace& trace,
     result.total.hits += stats.hits;
   }
   return result;
+}
+
+}  // namespace
+
+CacheSimResult simulate_cache(const AccessTrace& trace,
+                              const CacheConfig& config) {
+  resolve_geometry(config);  // Geometry errors before any line work.
+  // Line resolution happens once in the shared LineTable materializer
+  // (parallel over events), then the per-set simulation consumes it.
+  const LineTable table = build_line_table(trace, config.line_size);
+  return simulate_cache_lines(trace, config, table.lines);
+}
+
+CacheSimResult simulate_cache(const AccessTrace& trace,
+                              const CacheConfig& config,
+                              const LineTable& table) {
+  if (table.line_size != config.line_size) {
+    throw std::invalid_argument(
+        "simulate_cache: LineTable line size does not match cache config");
+  }
+  return simulate_cache_lines(trace, config, table.lines);
 }
 
 }  // namespace dmv::sim

@@ -1,0 +1,39 @@
+#include <stdexcept>
+
+#include "dmv/par/par.hpp"
+#include "dmv/sim/sim.hpp"
+#include "metric_detail.hpp"
+
+namespace dmv::sim {
+
+void build_line_table(const AccessTrace& trace, int line_size,
+                      LineTable& out) {
+  if (line_size <= 0) {
+    throw std::invalid_argument("build_line_table: bad line size");
+  }
+  out.line_size = line_size;
+  detail::line_range_of(trace.layouts, line_size, out.first_line,
+                        out.line_span, &out.per_container);
+
+  const std::vector<detail::ContainerAddressing> addressing =
+      detail::addressing_for(trace.layouts);
+  const std::size_t n = trace.events.size();
+  out.lines.resize(n);
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
+  par::parallel_for(n, 1 << 14, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out.lines[i] = addressing[static_cast<std::size_t>(containers[i])]
+                         .line_of(flats[i], line_size);
+    }
+  });
+}
+
+LineTable build_line_table(const AccessTrace& trace, int line_size) {
+  LineTable table;
+  build_line_table(trace, line_size, table);
+  return table;
+}
+
+}  // namespace dmv::sim

@@ -1,0 +1,197 @@
+#pragma once
+
+// Internal machinery shared by the standalone metric passes and the
+// fused pipeline (not installed; include only from src/sim).
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dmv/par/par.hpp"
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim::detail {
+
+// Fenwick tree over event positions; a mark at position p means "some
+// cache line's most recent access happened at p". Growable so the
+// streaming pipeline (event count unknown up front) can extend it:
+// raw marks are kept alongside the tree and the tree is rebuilt in
+// O(capacity) on each doubling — amortized O(1) per event.
+class Fenwick {
+ public:
+  /// Zeroes all marks and guarantees capacity for positions [0, n).
+  void reset(std::size_t n) {
+    if (n > capacity_) capacity_ = std::max<std::size_t>(n, 1024);
+    marks_.assign(capacity_, 0);
+    tree_.assign(capacity_ + 1, 0);
+  }
+
+  /// Grows capacity to cover `position` (streaming mode).
+  void ensure(std::size_t position) {
+    if (position < capacity_) return;
+    std::size_t grown = std::max<std::size_t>(capacity_ * 2, 1024);
+    while (grown <= position) grown *= 2;
+    marks_.resize(grown, 0);
+    // Linear rebuild from raw marks: leaf values then parent propagation.
+    tree_.assign(grown + 1, 0);
+    for (std::size_t i = 1; i <= grown; ++i) tree_[i] += marks_[i - 1];
+    for (std::size_t i = 1; i <= grown; ++i) {
+      const std::size_t parent = i + (i & (~i + 1));
+      if (parent <= grown) tree_[parent] += tree_[i];
+    }
+    capacity_ = grown;
+  }
+
+  void add(std::size_t position, int delta) {
+    marks_[position] = static_cast<std::int8_t>(marks_[position] + delta);
+    for (std::size_t i = position + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of marks in [0, position].
+  std::int64_t prefix(std::size_t position) const {
+    std::int64_t sum = 0;
+    for (std::size_t i = position + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  /// Sum of marks in [from, to] (inclusive).
+  std::int64_t range(std::size_t from, std::size_t to) const {
+    if (from > to) return 0;
+    return prefix(to) - (from == 0 ? 0 : prefix(from - 1));
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;   ///< 1-based; size capacity_ + 1.
+  std::vector<std::int8_t> marks_;   ///< Raw marks, for rebuilds.
+  std::size_t capacity_ = 0;
+};
+
+// Per-container address decoding, hoisted out of the per-event loops.
+// The common case (dense row-major, no start offset) maps flat -> byte
+// address with one multiply; padded/permuted layouts take the general
+// unflatten + strided-dot path.
+struct ContainerAddressing {
+  std::int64_t base = 0;
+  std::int64_t element_size = 8;
+  bool contiguous = false;
+  const layout::ConcreteLayout* layout = nullptr;
+
+  static ContainerAddressing from(const layout::ConcreteLayout& layout) {
+    ContainerAddressing addressing;
+    addressing.base = layout.base_address;
+    addressing.element_size = layout.element_size;
+    addressing.layout = &layout;
+    bool contiguous = layout.start_offset == 0;
+    std::int64_t stride = 1;
+    for (int d = layout.rank() - 1; d >= 0 && contiguous; --d) {
+      contiguous = layout.strides[static_cast<std::size_t>(d)] == stride;
+      stride *= layout.shape[static_cast<std::size_t>(d)];
+    }
+    addressing.contiguous = contiguous;
+    return addressing;
+  }
+
+  std::int64_t byte_address(std::int64_t flat) const {
+    if (contiguous) return base + flat * element_size;
+    return layout->byte_address(layout->unflatten(flat));
+  }
+
+  std::int64_t line_of(std::int64_t flat, int line_size) const {
+    return byte_address(flat) / line_size;
+  }
+};
+
+inline std::vector<ContainerAddressing> addressing_for(
+    const std::vector<layout::ConcreteLayout>& layouts) {
+  std::vector<ContainerAddressing> addressing;
+  addressing.reserve(layouts.size());
+  for (const layout::ConcreteLayout& layout : layouts) {
+    addressing.push_back(ContainerAddressing::from(layout));
+  }
+  return addressing;
+}
+
+/// Dense line-id range spanned by the placed layouts at `line_size`:
+/// [first, first + span). Empty layouts contribute nothing.
+inline void line_range_of(const std::vector<layout::ConcreteLayout>& layouts,
+                          int line_size, std::int64_t& first,
+                          std::int64_t& span,
+                          std::vector<LineTable::ContainerRange>* ranges) {
+  first = 0;
+  std::int64_t last = -1;  // Exclusive end line.
+  bool any = false;
+  if (ranges) ranges->assign(layouts.size(), {});
+  for (std::size_t c = 0; c < layouts.size(); ++c) {
+    const layout::ConcreteLayout& layout = layouts[c];
+    const std::int64_t bytes = layout.allocated_bytes();
+    if (bytes <= 0) continue;
+    const std::int64_t begin = layout.base_address / line_size;
+    const std::int64_t end =
+        (layout.base_address + bytes - 1) / line_size + 1;
+    if (ranges) (*ranges)[c] = {begin, end - begin};
+    if (!any) {
+      first = begin;
+      last = end;
+      any = true;
+    } else {
+      first = std::min(first, begin);
+      last = std::max(last, end);
+    }
+  }
+  span = any ? last - first : 0;
+}
+
+/// Finalizes per-element distance statistics from the (flat, distance)
+/// pairs of ONE container, collected in event order, via counting sort:
+/// O(elements + pairs) memory, per-element order identical to the
+/// serial scan. cold_count must already be filled by the caller.
+/// `offsets` and `sorted` are caller-owned scratch (arena-reusable).
+inline void finalize_element_stats(std::int64_t elements,
+                                   const std::vector<std::pair<
+                                       std::int64_t, std::int64_t>>& pairs,
+                                   std::vector<std::int64_t>& offsets,
+                                   std::vector<std::int64_t>& sorted,
+                                   ElementDistanceStats& stats) {
+  // offsets[e] starts as the first slot of element e's slice; the
+  // scatter advances it, so afterwards offsets[e] is the slice END and
+  // the slice begins at offsets[e - 1] (0 for e == 0).
+  offsets.assign(static_cast<std::size_t>(elements), 0);
+  for (const auto& [flat, distance] : pairs) {
+    ++offsets[static_cast<std::size_t>(flat)];
+  }
+  std::int64_t running = 0;
+  for (std::size_t e = 0; e < offsets.size(); ++e) {
+    const std::int64_t count = offsets[e];
+    offsets[e] = running;
+    running += count;
+  }
+  sorted.resize(pairs.size());
+  for (const auto& [flat, distance] : pairs) {
+    sorted[static_cast<std::size_t>(
+        offsets[static_cast<std::size_t>(flat)]++)] = distance;
+  }
+  stats.min.assign(static_cast<std::size_t>(elements), kInfiniteDistance);
+  stats.median.assign(static_cast<std::size_t>(elements), kInfiniteDistance);
+  stats.max.assign(static_cast<std::size_t>(elements), kInfiniteDistance);
+  par::parallel_for(
+      static_cast<std::size_t>(elements), 4096,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          const std::size_t from =
+              e == 0 ? 0 : static_cast<std::size_t>(offsets[e - 1]);
+          const std::size_t to = static_cast<std::size_t>(offsets[e]);
+          if (from == to) continue;
+          std::sort(sorted.begin() + from, sorted.begin() + to);
+          stats.min[e] = sorted[from];
+          stats.max[e] = sorted[to - 1];
+          stats.median[e] = sorted[from + (to - from) / 2];
+        }
+      });
+}
+
+}  // namespace dmv::sim::detail

@@ -34,19 +34,26 @@ std::map<std::size_t, std::int64_t> physical_edge_bytes(
 }
 
 IterationLineStats iteration_line_stats(const AccessTrace& trace,
-                                        int container, int line_size) {
+                                        int container,
+                                        const LineTable& table) {
+  const int line_size = table.line_size;
   const ConcreteLayout& layout = trace.layouts[container];
   const std::int64_t elements_per_line =
       std::max<std::int64_t>(1, line_size / layout.element_size);
 
-  // Group this container's events by tasklet execution.
+  // Group this container's events by tasklet execution, reusing the
+  // table's per-event line ids.
   std::map<std::int64_t, std::map<std::int64_t, std::set<std::int64_t>>>
       per_execution;  // execution -> line -> distinct elements used
-  for (const AccessEvent& event : trace.events) {
-    if (event.container != container) continue;
-    const std::int64_t line =
-        layout.byte_address(layout.unflatten(event.flat)) / line_size;
-    per_execution[event.execution][line].insert(event.flat);
+  const std::size_t n = trace.events.size();
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
+  const std::span<const std::int64_t> executions =
+      trace.events.execution_column();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (containers[i] != container) continue;
+    per_execution[executions[i]][table.lines[i]].insert(flats[i]);
   }
 
   IterationLineStats stats;
@@ -71,6 +78,12 @@ IterationLineStats iteration_line_stats(const AccessTrace& trace,
         utilization_sum / static_cast<double>(stats.executions);
   }
   return stats;
+}
+
+IterationLineStats iteration_line_stats(const AccessTrace& trace,
+                                        int container, int line_size) {
+  return iteration_line_stats(trace, container,
+                              build_line_table(trace, line_size));
 }
 
 MovementEstimate physical_movement(const AccessTrace& trace,

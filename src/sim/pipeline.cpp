@@ -1,0 +1,484 @@
+#include "dmv/sim/pipeline.hpp"
+
+#include <algorithm>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dmv/par/par.hpp"
+#include "metric_detail.hpp"
+
+namespace dmv::sim {
+
+namespace {
+
+// Beyond this many dense slots, per-line state falls back to a hash map
+// (hand-built traces can place containers at arbitrary addresses).
+constexpr std::int64_t kMaxDenseSpan = std::int64_t{1} << 26;
+
+// line -> most recent event position (-1 = never seen). Dense over the
+// LineTable's id range when that range is sane, hash map otherwise.
+class LastPositions {
+ public:
+  void reset_dense(std::int64_t lo, std::int64_t span) {
+    dense_ = true;
+    lo_ = lo;
+    values_.assign(static_cast<std::size_t>(span), -1);
+    hash_.clear();
+  }
+  void reset_hash(std::size_t expected) {
+    dense_ = false;
+    values_.clear();
+    hash_.clear();
+    hash_.reserve(expected);
+  }
+  std::int64_t& operator()(std::int64_t line) {
+    if (dense_) return values_[static_cast<std::size_t>(line - lo_)];
+    return hash_.try_emplace(line, -1).first->second;
+  }
+
+ private:
+  bool dense_ = true;
+  std::int64_t lo_ = 0;
+  std::vector<std::int64_t> values_;
+  std::unordered_map<std::int64_t, std::int64_t> hash_;
+};
+
+// Exact LRU state of one cache set (same structure and update rule as
+// cache_model's per-set simulation).
+struct LruSet {
+  std::list<std::int64_t> lru;  ///< Front = most recently used.
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> where;
+};
+
+struct CacheGeometry {
+  std::int64_t ways = 0;
+  std::int64_t num_sets = 1;
+};
+
+CacheGeometry cache_geometry(const CacheConfig& config) {
+  if (config.line_size <= 0 || config.total_size <= 0) {
+    throw std::invalid_argument("simulate_cache: bad cache geometry");
+  }
+  const std::int64_t total_lines = config.total_size / config.line_size;
+  if (total_lines <= 0) {
+    throw std::invalid_argument("simulate_cache: cache smaller than a line");
+  }
+  CacheGeometry geometry;
+  geometry.ways = config.ways;
+  if (geometry.ways == 0) {
+    geometry.ways = total_lines;  // Fully associative.
+  } else {
+    geometry.num_sets = total_lines / geometry.ways;
+    if (geometry.num_sets <= 0) {
+      throw std::invalid_argument(
+          "simulate_cache: associativity exceeds cache size");
+    }
+  }
+  return geometry;
+}
+
+// All buffers that survive across run() calls — the sweep-scoped
+// memory-reuse half of the pipeline. A slider sweep pays for the trace
+// columns, line table, Fenwick tree, per-line state, and per-element
+// scratch once instead of once per binding.
+struct ArenaState {
+  AccessTrace trace;        ///< run(sdfg) materialization target.
+  LineTable table;          ///< Distance-granularity line ids.
+  LineTable cache_table;    ///< Only if the cache uses another line size.
+  detail::Fenwick fenwick;
+  LastPositions last_position;
+  /// Per-container (flat, distance) pairs for element stats.
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> finite;
+  std::vector<std::int64_t> offsets;  ///< Counting-sort scratch.
+  std::vector<std::int64_t> sorted;   ///< Counting-sort scratch.
+  std::vector<LruSet> sets;
+  std::vector<std::uint8_t> seen;     ///< Cache line ever resident.
+  std::int64_t seen_lo = 0;
+};
+
+}  // namespace
+
+struct MetricPipeline::Arena : ArenaState {};
+
+namespace {
+
+// The fused per-event consumer bundle. One consume() call advances
+// every enabled metric; each derived quantity (cache line id, stack
+// distance) is computed exactly once per event and shared.
+class FusedPass {
+ public:
+  FusedPass(const PipelineConfig& config, ArenaState& arena)
+      : config_(config), arena_(arena) {}
+
+  /// `expected_events` is the trace length when known (materialized) or
+  /// 0 in streaming mode (the Fenwick grows on demand).
+  void begin(const AccessTrace& header, std::size_t expected_events,
+             std::int64_t distance_lo, std::int64_t distance_span,
+             std::int64_t cache_lo, std::int64_t cache_span) {
+    const std::size_t num_containers = header.layouts.size();
+    result_ = PipelineResult{};
+
+    if (config_.counts) {
+      result_.counts.reads.clear();
+      result_.counts.writes.clear();
+      result_.counts.reads.reserve(num_containers);
+      result_.counts.writes.reserve(num_containers);
+      for (const ConcreteLayout& layout : header.layouts) {
+        result_.counts.reads.emplace_back(layout.total_elements(), 0);
+        result_.counts.writes.emplace_back(layout.total_elements(), 0);
+      }
+    }
+
+    if (config_.needs_distances()) {
+      arena_.fenwick.reset(expected_events);
+      if (distance_span >= 0 && distance_span <= kMaxDenseSpan) {
+        arena_.last_position.reset_dense(distance_lo, distance_span);
+      } else {
+        arena_.last_position.reset_hash(expected_events);
+      }
+      if (config_.keep_distances) {
+        result_.distances.line_size = config_.line_size;
+        result_.distances.distances.clear();
+        result_.distances.distances.reserve(expected_events);
+      }
+    }
+
+    if (config_.miss_threshold_lines > 0) {
+      result_.misses.threshold_lines = config_.miss_threshold_lines;
+      result_.misses.per_container.assign(num_containers, {});
+      result_.misses.element_misses.clear();
+      result_.misses.element_misses.reserve(num_containers);
+      for (const ConcreteLayout& layout : header.layouts) {
+        result_.misses.element_misses.emplace_back(layout.total_elements(),
+                                                   0);
+      }
+    }
+
+    if (config_.element_stats) {
+      arena_.finite.resize(num_containers);
+      for (auto& pairs : arena_.finite) pairs.clear();
+      result_.element_stats.assign(num_containers, {});
+      for (std::size_t c = 0; c < num_containers; ++c) {
+        result_.element_stats[c].cold_count.assign(
+            static_cast<std::size_t>(header.layouts[c].total_elements()), 0);
+      }
+    }
+
+    if (config_.cache) {
+      geometry_ = cache_geometry(*config_.cache);
+      result_.cache.config = *config_.cache;
+      result_.cache.per_container.assign(num_containers, {});
+      arena_.sets.clear();
+      arena_.sets.resize(static_cast<std::size_t>(geometry_.num_sets));
+      if (cache_span < 0 || cache_span > kMaxDenseSpan) {
+        throw std::invalid_argument(
+            "MetricPipeline: cache line-id range too sparse for the fused "
+            "cache consumer");
+      }
+      arena_.seen.assign(static_cast<std::size_t>(cache_span), 0);
+      arena_.seen_lo = cache_lo;
+    }
+  }
+
+  void consume(std::size_t i, std::int32_t container, std::int64_t flat,
+               bool is_write, std::int64_t line, std::int64_t cache_line) {
+    if (config_.counts) {
+      auto& column =
+          is_write ? result_.counts.writes : result_.counts.reads;
+      ++column[static_cast<std::size_t>(container)]
+              [static_cast<std::size_t>(flat)];
+    }
+
+    if (config_.needs_distances()) {
+      std::int64_t distance;
+      std::int64_t& previous = arena_.last_position(line);
+      if (previous < 0) {
+        distance = kInfiniteDistance;
+      } else {
+        const std::size_t p = static_cast<std::size_t>(previous);
+        distance = arena_.fenwick.range(p + 1, i);
+        arena_.fenwick.add(p, -1);
+      }
+      arena_.fenwick.add(i, +1);
+      previous = static_cast<std::int64_t>(i);
+
+      if (config_.keep_distances) {
+        result_.distances.distances.push_back(distance);
+      }
+      if (config_.miss_threshold_lines > 0) {
+        MissStats& stats =
+            result_.misses.per_container[static_cast<std::size_t>(container)];
+        if (distance == kInfiniteDistance) {
+          ++stats.cold;
+          ++result_.misses.element_misses[static_cast<std::size_t>(container)]
+                                         [static_cast<std::size_t>(flat)];
+        } else if (distance >= config_.miss_threshold_lines) {
+          ++stats.capacity;
+          ++result_.misses.element_misses[static_cast<std::size_t>(container)]
+                                         [static_cast<std::size_t>(flat)];
+        } else {
+          ++stats.hits;
+        }
+      }
+      if (config_.element_stats) {
+        if (distance == kInfiniteDistance) {
+          ++result_.element_stats[static_cast<std::size_t>(container)]
+               .cold_count[static_cast<std::size_t>(flat)];
+        } else {
+          arena_.finite[static_cast<std::size_t>(container)].emplace_back(
+              flat, distance);
+        }
+      }
+    }
+
+    if (config_.cache) {
+      LruSet& set = arena_.sets[static_cast<std::size_t>(
+          cache_line % geometry_.num_sets)];
+      MissStats& stats =
+          result_.cache.per_container[static_cast<std::size_t>(container)];
+      auto it = set.where.find(cache_line);
+      if (it != set.where.end()) {
+        ++stats.hits;
+        set.lru.splice(set.lru.begin(), set.lru, it->second);
+      } else {
+        std::uint8_t& seen =
+            arena_.seen[static_cast<std::size_t>(cache_line -
+                                                 arena_.seen_lo)];
+        if (!seen) {
+          seen = 1;
+          ++stats.cold;
+        } else {
+          ++stats.capacity;
+        }
+        set.lru.push_front(cache_line);
+        set.where[cache_line] = set.lru.begin();
+        if (static_cast<std::int64_t>(set.lru.size()) > geometry_.ways) {
+          set.where.erase(set.lru.back());
+          set.lru.pop_back();
+        }
+      }
+    }
+  }
+
+  PipelineResult finish(const AccessTrace& header, std::int64_t events,
+                        std::int64_t executions) {
+    result_.events = events;
+    result_.executions = executions;
+
+    if (config_.element_stats) {
+      for (std::size_t c = 0; c < header.layouts.size(); ++c) {
+        detail::finalize_element_stats(
+            header.layouts[c].total_elements(), arena_.finite[c],
+            arena_.offsets, arena_.sorted, result_.element_stats[c]);
+      }
+    }
+    if (config_.miss_threshold_lines > 0) {
+      for (const MissStats& stats : result_.misses.per_container) {
+        result_.misses.total.cold += stats.cold;
+        result_.misses.total.capacity += stats.capacity;
+        result_.misses.total.hits += stats.hits;
+      }
+    }
+    if (config_.cache) {
+      for (const MissStats& stats : result_.cache.per_container) {
+        result_.cache.total.cold += stats.cold;
+        result_.cache.total.capacity += stats.capacity;
+        result_.cache.total.hits += stats.hits;
+      }
+    }
+    if (config_.movement) {
+      result_.movement.line_size = config_.line_size;
+      result_.movement.bytes_per_container.reserve(header.layouts.size());
+      for (const MissStats& stats : result_.misses.per_container) {
+        const std::int64_t bytes = stats.misses() * config_.line_size;
+        result_.movement.bytes_per_container.push_back(bytes);
+        result_.movement.total_bytes += bytes;
+      }
+    }
+    return std::move(result_);
+  }
+
+  detail::Fenwick& fenwick() { return arena_.fenwick; }
+
+ private:
+  const PipelineConfig& config_;
+  ArenaState& arena_;
+  PipelineResult result_;
+  CacheGeometry geometry_;
+};
+
+// Streaming adapter: the simulator pushes events straight into the
+// fused pass; line ids are derived per event from the hoisted
+// per-container addressing (once each — shared between the distance and
+// cache consumers when their line sizes agree).
+class StreamingSink final : public EventSink {
+ public:
+  StreamingSink(const PipelineConfig& config, FusedPass& pass)
+      : config_(config), pass_(pass) {}
+
+  void on_trace_header(const AccessTrace& header) override {
+    addressing_ = detail::addressing_for(header.layouts);
+    std::int64_t distance_lo = 0, distance_span = 0;
+    detail::line_range_of(header.layouts, config_.line_size, distance_lo,
+                          distance_span, nullptr);
+    std::int64_t cache_lo = 0, cache_span = 0;
+    if (config_.cache) {
+      detail::line_range_of(header.layouts, config_.cache->line_size,
+                            cache_lo, cache_span, nullptr);
+    }
+    shared_cache_line_ =
+        !config_.cache || config_.cache->line_size == config_.line_size;
+    pass_.begin(header, /*expected_events=*/0, distance_lo, distance_span,
+                cache_lo, cache_span);
+  }
+
+  void on_event(const AccessEvent& event) override {
+    const detail::ContainerAddressing& addressing =
+        addressing_[static_cast<std::size_t>(event.container)];
+    std::int64_t line = 0;
+    std::int64_t cache_line = 0;
+    const bool needs_line = config_.needs_distances();
+    if (needs_line || (config_.cache && shared_cache_line_)) {
+      line = addressing.line_of(event.flat, config_.line_size);
+      cache_line = line;
+    }
+    if (config_.cache && !shared_cache_line_) {
+      cache_line = addressing.line_of(event.flat, config_.cache->line_size);
+    }
+    if (needs_line) pass_.fenwick().ensure(index_);
+    pass_.consume(index_, event.container, event.flat, event.is_write, line,
+                  cache_line);
+    ++index_;
+  }
+
+  void on_trace_end(std::int64_t executions) override {
+    executions_ = executions;
+  }
+
+  std::size_t events() const { return index_; }
+  std::int64_t executions() const { return executions_; }
+
+ private:
+  const PipelineConfig& config_;
+  FusedPass& pass_;
+  std::vector<detail::ContainerAddressing> addressing_;
+  bool shared_cache_line_ = true;
+  std::size_t index_ = 0;
+  std::int64_t executions_ = 0;
+};
+
+}  // namespace
+
+MetricPipeline::MetricPipeline(PipelineConfig config)
+    : config_(config), arena_(std::make_unique<Arena>()) {
+  if (config_.movement && config_.miss_threshold_lines <= 0) {
+    throw std::invalid_argument(
+        "MetricPipeline: movement needs miss_threshold_lines > 0");
+  }
+  if (config_.line_size <= 0) {
+    throw std::invalid_argument("MetricPipeline: bad line size");
+  }
+  if (config_.cache) cache_geometry(*config_.cache);  // Validate early.
+}
+
+MetricPipeline::~MetricPipeline() = default;
+MetricPipeline::MetricPipeline(MetricPipeline&&) noexcept = default;
+MetricPipeline& MetricPipeline::operator=(MetricPipeline&&) noexcept =
+    default;
+
+PipelineResult MetricPipeline::run(const AccessTrace& trace) {
+  const std::size_t n = trace.events.size();
+  const bool needs_lines = config_.needs_distances() || config_.cache;
+
+  std::int64_t distance_lo = 0, distance_span = 0;
+  std::span<const std::int64_t> lines;
+  if (config_.needs_distances() ||
+      (config_.cache && config_.cache->line_size == config_.line_size)) {
+    build_line_table(trace, config_.line_size, arena_->table);
+    lines = arena_->table.lines;
+    // Widen the dense bounds to the observed ids so hand-built traces
+    // with out-of-buffer addresses stay correct (hash fallback kicks in
+    // if the widened span is unreasonable).
+    distance_lo = arena_->table.first_line;
+    std::int64_t hi = arena_->table.first_line + arena_->table.line_span - 1;
+    for (const std::int64_t line : lines) {
+      distance_lo = std::min(distance_lo, line);
+      hi = std::max(hi, line);
+    }
+    distance_span = n == 0 ? 0 : hi - distance_lo + 1;
+  }
+
+  std::int64_t cache_lo = 0, cache_span = 0;
+  std::span<const std::int64_t> cache_lines = lines;
+  if (config_.cache) {
+    if (config_.cache->line_size != config_.line_size) {
+      build_line_table(trace, config_.cache->line_size, arena_->cache_table);
+      cache_lines = arena_->cache_table.lines;
+      cache_lo = arena_->cache_table.first_line;
+      std::int64_t hi =
+          arena_->cache_table.first_line + arena_->cache_table.line_span - 1;
+      for (const std::int64_t line : cache_lines) {
+        cache_lo = std::min(cache_lo, line);
+        hi = std::max(hi, line);
+      }
+      cache_span = n == 0 ? 0 : hi - cache_lo + 1;
+    } else {
+      cache_lo = distance_lo;
+      cache_span = distance_span;
+    }
+  }
+
+  FusedPass pass(config_, *arena_);
+  pass.begin(trace, n, distance_lo, distance_span, cache_lo, cache_span);
+
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
+  const std::span<const std::uint8_t> writes = trace.events.write_column();
+  for (std::size_t i = 0; i < n; ++i) {
+    pass.consume(i, containers[i], flats[i], writes[i] != 0,
+                 needs_lines && !lines.empty() ? lines[i] : 0,
+                 config_.cache ? cache_lines[i] : 0);
+  }
+  return pass.finish(trace, static_cast<std::int64_t>(n), trace.executions);
+}
+
+PipelineResult MetricPipeline::run(const Sdfg& sdfg, const SymbolMap& symbols,
+                                   const SimulationOptions& options) {
+  simulate_into(sdfg, symbols, options, arena_->trace);
+  return run(arena_->trace);
+}
+
+PipelineResult MetricPipeline::run_streaming(const Sdfg& sdfg,
+                                             const SymbolMap& symbols,
+                                             const SimulationOptions& options) {
+  FusedPass pass(config_, *arena_);
+  StreamingSink sink(config_, pass);
+  AccessTrace header = simulate_stream(sdfg, symbols, sink, options);
+  return pass.finish(header, static_cast<std::int64_t>(sink.events()),
+                     sink.executions());
+}
+
+std::vector<PipelineResult> MetricPipeline::run_sweep(
+    const Sdfg& sdfg, const SymbolMap& base, const std::string& symbol,
+    const std::vector<std::int64_t>& values, bool streaming,
+    const SimulationOptions& options) {
+  std::vector<PipelineResult> results;
+  results.reserve(values.size());
+  SymbolMap binding = base;
+  for (const std::int64_t value : values) {
+    binding[symbol] = value;
+    results.push_back(streaming ? run_streaming(sdfg, binding, options)
+                                : run(sdfg, binding, options));
+  }
+  return results;
+}
+
+std::size_t MetricPipeline::event_storage_bytes() const {
+  return arena_->trace.events.capacity_bytes();
+}
+
+}  // namespace dmv::sim

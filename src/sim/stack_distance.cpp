@@ -1,43 +1,14 @@
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "dmv/par/par.hpp"
 #include "dmv/sim/sim.hpp"
+#include "metric_detail.hpp"
 
 namespace dmv::sim {
 
 namespace {
-
-// Fenwick tree over event positions; a mark at position p means "some
-// cache line's most recent access happened at p".
-class Fenwick {
- public:
-  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
-
-  void add(std::size_t position, int delta) {
-    for (std::size_t i = position + 1; i < tree_.size(); i += i & (~i + 1)) {
-      tree_[i] += delta;
-    }
-  }
-
-  // Sum of marks in [0, position].
-  std::int64_t prefix(std::size_t position) const {
-    std::int64_t sum = 0;
-    for (std::size_t i = position + 1; i > 0; i -= i & (~i + 1)) {
-      sum += tree_[i];
-    }
-    return sum;
-  }
-
-  // Sum of marks in [from, to] (inclusive).
-  std::int64_t range(std::size_t from, std::size_t to) const {
-    if (from > to) return 0;
-    return prefix(to) - (from == 0 ? 0 : prefix(from - 1));
-  }
-
- private:
-  std::vector<std::int64_t> tree_;
-};
 
 // Cache line id of an event in the global simulated address space.
 std::int64_t line_of(const AccessTrace& trace, const AccessEvent& event,
@@ -47,33 +18,79 @@ std::int64_t line_of(const AccessTrace& trace, const AccessEvent& event,
   return layout.byte_address(indices) / line_size;
 }
 
-}  // namespace
+// Dense per-line state is worth it only while the line-id range stays
+// proportional to the data actually traced; beyond this, fall back to a
+// hash map (hand-built traces can place containers at arbitrary bases).
+constexpr std::int64_t kMaxDenseSpan = std::int64_t{1} << 26;
 
-StackDistanceResult stack_distances(const AccessTrace& trace, int line_size) {
-  StackDistanceResult result;
-  result.line_size = line_size;
-  result.distances.resize(trace.events.size());
-
-  // Olken's algorithm, Fenwick formulation: the reuse distance of an
-  // access is the number of distinct lines whose latest access falls
-  // strictly between this line's previous access and now.
-  Fenwick marks(trace.events.size());
-  std::unordered_map<std::int64_t, std::size_t> last_position;
-  last_position.reserve(trace.events.size());
-
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const std::int64_t line = line_of(trace, trace.events[i], line_size);
-    auto it = last_position.find(line);
-    if (it == last_position.end()) {
-      result.distances[i] = kInfiniteDistance;
+// Olken's algorithm, Fenwick formulation: the reuse distance of an
+// access is the number of distinct lines whose latest access falls
+// strictly between this line's previous access and now. LastPosition
+// abstracts the line -> previous-position lookup (dense array over the
+// LineTable's span, or hash map fallback).
+template <typename LastPosition>
+void olken_pass(std::span<const std::int64_t> lines,
+                detail::Fenwick& marks, LastPosition&& last_position,
+                std::vector<std::int64_t>& distances) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::int64_t& previous = last_position(lines[i]);
+    if (previous < 0) {
+      distances[i] = kInfiniteDistance;
     } else {
-      result.distances[i] = marks.range(it->second + 1, i);
-      marks.add(it->second, -1);
+      const std::size_t p = static_cast<std::size_t>(previous);
+      distances[i] = marks.range(p + 1, i);
+      marks.add(p, -1);
     }
     marks.add(i, +1);
-    last_position[line] = i;
+    previous = static_cast<std::int64_t>(i);
+  }
+}
+
+}  // namespace
+
+StackDistanceResult stack_distances(const AccessTrace& trace,
+                                    const LineTable& table) {
+  StackDistanceResult result;
+  result.line_size = table.line_size;
+  const std::size_t n = trace.events.size();
+  result.distances.resize(n);
+
+  detail::Fenwick marks;
+  marks.reset(n);
+
+  // Dense bounds: the table's container span, widened to the actual
+  // line ids in case the trace was hand-built with out-of-buffer
+  // addresses.
+  std::int64_t lo = table.first_line;
+  std::int64_t hi = table.first_line + table.line_span - 1;
+  for (const std::int64_t line : table.lines) {
+    lo = std::min(lo, line);
+    hi = std::max(hi, line);
+  }
+  const std::int64_t span = n == 0 ? 0 : hi - lo + 1;
+  if (span >= 0 && span <= kMaxDenseSpan) {
+    std::vector<std::int64_t> last(static_cast<std::size_t>(span), -1);
+    olken_pass(
+        table.lines, marks,
+        [&](std::int64_t line) -> std::int64_t& {
+          return last[static_cast<std::size_t>(line - lo)];
+        },
+        result.distances);
+  } else {
+    std::unordered_map<std::int64_t, std::int64_t> last;
+    last.reserve(n);
+    olken_pass(
+        table.lines, marks,
+        [&](std::int64_t line) -> std::int64_t& {
+          return last.try_emplace(line, -1).first->second;
+        },
+        result.distances);
   }
   return result;
+}
+
+StackDistanceResult stack_distances(const AccessTrace& trace, int line_size) {
+  return stack_distances(trace, build_line_table(trace, line_size));
 }
 
 StackDistanceResult stack_distances_naive(const AccessTrace& trace,
@@ -104,63 +121,57 @@ ElementDistanceStats element_distance_stats(const AccessTrace& trace,
   const std::int64_t elements =
       trace.layouts[container].total_elements();
   ElementDistanceStats stats;
-  stats.min.assign(elements, kInfiniteDistance);
-  stats.median.assign(elements, kInfiniteDistance);
-  stats.max.assign(elements, kInfiniteDistance);
-  stats.cold_count.assign(elements, 0);
+  stats.cold_count.assign(static_cast<std::size_t>(elements), 0);
 
-  // Events pass, sharded over contiguous blocks. Per-block lists are
-  // concatenated in ascending block order, which reproduces the serial
-  // per-element event order exactly; cold counts sum.
+  // Pass 1 (parallel): pre-filter this container's events into
+  // (flat, distance) pairs — finite and cold kept separately — in event
+  // order (per-block lists concatenate in ascending block order, which
+  // reproduces the serial order exactly). Peak memory is
+  // O(container events + events/threads), NOT O(threads x elements):
+  // blocks no longer allocate elements-sized arrays that stay mostly
+  // empty when the container filters most events out.
   struct Partial {
-    std::vector<std::vector<std::int64_t>> finite;
-    std::vector<std::int64_t> cold;
+    std::vector<std::pair<std::int64_t, std::int64_t>> finite;
+    std::vector<std::int64_t> cold;  ///< Flat indices of cold accesses.
   };
   const std::size_t n = trace.events.size();
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
   const std::size_t grain =
       par::grain_for(n, static_cast<std::size_t>(par::num_threads()),
                      std::size_t{1} << 15);
   Partial merged = par::parallel_reduce(
-      n, grain,
-      Partial{std::vector<std::vector<std::int64_t>>(elements),
-              std::vector<std::int64_t>(elements, 0)},
+      n, grain, Partial{},
       [&](std::size_t begin, std::size_t end) {
-        Partial local{std::vector<std::vector<std::int64_t>>(elements),
-                      std::vector<std::int64_t>(elements, 0)};
+        Partial local;
         for (std::size_t i = begin; i < end; ++i) {
-          const AccessEvent& event = trace.events[i];
-          if (event.container != container) continue;
+          if (containers[i] != container) continue;
           const std::int64_t distance = result.distances[i];
           if (distance == kInfiniteDistance) {
-            ++local.cold[event.flat];
+            local.cold.push_back(flats[i]);
           } else {
-            local.finite[event.flat].push_back(distance);
+            local.finite.emplace_back(flats[i], distance);
           }
         }
         return local;
       },
       [](Partial& acc, Partial&& block) {
-        for (std::size_t e = 0; e < acc.finite.size(); ++e) {
-          acc.finite[e].insert(acc.finite[e].end(), block.finite[e].begin(),
-                               block.finite[e].end());
-          acc.cold[e] += block.cold[e];
-        }
+        acc.finite.insert(acc.finite.end(), block.finite.begin(),
+                          block.finite.end());
+        acc.cold.insert(acc.cold.end(), block.cold.begin(),
+                        block.cold.end());
       });
-  stats.cold_count = std::move(merged.cold);
+  for (const std::int64_t flat : merged.cold) {
+    ++stats.cold_count[static_cast<std::size_t>(flat)];
+  }
 
-  // Per-element statistics: disjoint writes, parallel over elements.
-  par::parallel_for(
-      static_cast<std::size_t>(elements), 4096,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t e = begin; e < end; ++e) {
-          std::vector<std::int64_t>& distances = merged.finite[e];
-          if (distances.empty()) continue;
-          std::sort(distances.begin(), distances.end());
-          stats.min[e] = distances.front();
-          stats.max[e] = distances.back();
-          stats.median[e] = distances[distances.size() / 2];
-        }
-      });
+  // Pass 2: counting sort by element + per-element order statistics
+  // (parallel over elements inside the helper).
+  std::vector<std::int64_t> offsets;
+  std::vector<std::int64_t> sorted;
+  detail::finalize_element_stats(elements, merged.finite, offsets, sorted,
+                                 stats);
   return stats;
 }
 
@@ -168,10 +179,13 @@ DistanceHistogram distance_histogram(const AccessTrace& trace,
                                      const StackDistanceResult& result,
                                      int container, std::int64_t flat) {
   DistanceHistogram histogram;
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const AccessEvent& event = trace.events[i];
-    if (event.container != container) continue;
-    if (flat >= 0 && event.flat != flat) continue;
+  const std::size_t n = trace.events.size();
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (containers[i] != container) continue;
+    if (flat >= 0 && flats[i] != flat) continue;
     const std::int64_t distance = result.distances[i];
     if (distance == kInfiniteDistance) {
       ++histogram.cold_misses;

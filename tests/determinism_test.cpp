@@ -4,6 +4,7 @@
 
 #include "dmv/analysis/analysis.hpp"
 #include "dmv/par/par.hpp"
+#include "dmv/sim/pipeline.hpp"
 #include "dmv/sim/sim.hpp"
 #include "dmv/workloads/workloads.hpp"
 
@@ -116,6 +117,56 @@ TEST(Determinism, MetricPassesBitIdenticalAcrossThreadCounts) {
                        cache_parallel.per_container[c]);
   }
   expect_stats_equal(cache_serial.total, cache_parallel.total);
+}
+
+TEST(Determinism, FusedPipelineBitIdenticalAcrossThreadCounts) {
+  // The fused pass itself is serial, but its inputs (simulation,
+  // LineTable) and the standalone passes it must match are parallel —
+  // the whole pipeline must not depend on the thread knob.
+  const ir::Sdfg sdfg =
+      workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding{{"I", 12}, {"J", 12}, {"K", 6}};
+
+  PipelineConfig config;
+  config.miss_threshold_lines = 64;
+  config.keep_distances = true;
+  config.element_stats = true;
+  config.cache = CacheConfig{};
+  config.movement = true;
+
+  PipelineResult serial;
+  PipelineResult parallel;
+  {
+    par::ThreadScope scope(1);
+    MetricPipeline pipeline(config);
+    serial = pipeline.run(sdfg, binding);
+  }
+  {
+    par::ThreadScope scope(8);
+    MetricPipeline pipeline(config);
+    parallel = pipeline.run_streaming(sdfg, binding);
+  }
+
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.executions, parallel.executions);
+  EXPECT_EQ(serial.counts.reads, parallel.counts.reads);
+  EXPECT_EQ(serial.counts.writes, parallel.counts.writes);
+  EXPECT_EQ(serial.distances.distances, parallel.distances.distances);
+  EXPECT_EQ(serial.misses.element_misses, parallel.misses.element_misses);
+  expect_stats_equal(serial.misses.total, parallel.misses.total);
+  expect_stats_equal(serial.cache.total, parallel.cache.total);
+  ASSERT_EQ(serial.element_stats.size(), parallel.element_stats.size());
+  for (std::size_t c = 0; c < serial.element_stats.size(); ++c) {
+    EXPECT_EQ(serial.element_stats[c].min, parallel.element_stats[c].min);
+    EXPECT_EQ(serial.element_stats[c].median,
+              parallel.element_stats[c].median);
+    EXPECT_EQ(serial.element_stats[c].max, parallel.element_stats[c].max);
+    EXPECT_EQ(serial.element_stats[c].cold_count,
+              parallel.element_stats[c].cold_count);
+  }
+  EXPECT_EQ(serial.movement.bytes_per_container,
+            parallel.movement.bytes_per_container);
+  EXPECT_EQ(serial.movement.total_bytes, parallel.movement.total_bytes);
 }
 
 TEST(Determinism, RelatedAccessesBitIdenticalAcrossThreadCounts) {

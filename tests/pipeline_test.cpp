@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dmv/par/par.hpp"
+#include "dmv/sim/pipeline.hpp"
+#include "dmv/sim/sim.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+// MetricPipeline contract: the fused pass (materialized and streaming)
+// is bit-identical to the standalone metric passes — fusion and arena
+// reuse are pure performance changes. These tests drive hdiff and bert
+// across several symbol bindings and require exact equality on every
+// enabled consumer, plus the O(1)-event-storage property of streaming.
+
+namespace dmv::sim {
+namespace {
+
+PipelineConfig full_config() {
+  PipelineConfig config;
+  config.line_size = 64;
+  config.counts = true;
+  config.miss_threshold_lines = 64;
+  config.keep_distances = true;
+  config.element_stats = true;
+  config.cache = CacheConfig{};
+  config.movement = true;
+  return config;
+}
+
+void expect_stats_equal(const MissStats& a, const MissStats& b) {
+  EXPECT_EQ(a.cold, b.cold);
+  EXPECT_EQ(a.capacity, b.capacity);
+  EXPECT_EQ(a.hits, b.hits);
+}
+
+// Reference values from the standalone passes, field by field.
+void expect_matches_standalone(const PipelineResult& result,
+                               const AccessTrace& trace,
+                               const PipelineConfig& config) {
+  EXPECT_EQ(result.events, static_cast<std::int64_t>(trace.events.size()));
+  EXPECT_EQ(result.executions, trace.executions);
+
+  const AccessCounts counts = count_accesses(trace);
+  EXPECT_EQ(result.counts.reads, counts.reads);
+  EXPECT_EQ(result.counts.writes, counts.writes);
+
+  const StackDistanceResult distances =
+      stack_distances(trace, config.line_size);
+  EXPECT_EQ(result.distances.line_size, distances.line_size);
+  EXPECT_EQ(result.distances.distances, distances.distances);
+
+  const MissReport misses =
+      classify_misses(trace, distances, config.miss_threshold_lines);
+  EXPECT_EQ(result.misses.threshold_lines, misses.threshold_lines);
+  EXPECT_EQ(result.misses.element_misses, misses.element_misses);
+  ASSERT_EQ(result.misses.per_container.size(),
+            misses.per_container.size());
+  for (std::size_t c = 0; c < misses.per_container.size(); ++c) {
+    expect_stats_equal(result.misses.per_container[c],
+                       misses.per_container[c]);
+  }
+  expect_stats_equal(result.misses.total, misses.total);
+
+  ASSERT_EQ(result.element_stats.size(), trace.layouts.size());
+  for (std::size_t c = 0; c < trace.layouts.size(); ++c) {
+    const ElementDistanceStats stats =
+        element_distance_stats(trace, distances, static_cast<int>(c));
+    EXPECT_EQ(result.element_stats[c].min, stats.min) << "container " << c;
+    EXPECT_EQ(result.element_stats[c].median, stats.median)
+        << "container " << c;
+    EXPECT_EQ(result.element_stats[c].max, stats.max) << "container " << c;
+    EXPECT_EQ(result.element_stats[c].cold_count, stats.cold_count)
+        << "container " << c;
+  }
+
+  const CacheSimResult cache = simulate_cache(trace, *config.cache);
+  ASSERT_EQ(result.cache.per_container.size(), cache.per_container.size());
+  for (std::size_t c = 0; c < cache.per_container.size(); ++c) {
+    expect_stats_equal(result.cache.per_container[c],
+                       cache.per_container[c]);
+  }
+  expect_stats_equal(result.cache.total, cache.total);
+
+  const MovementEstimate movement =
+      physical_movement(trace, misses, config.line_size);
+  EXPECT_EQ(result.movement.line_size, movement.line_size);
+  EXPECT_EQ(result.movement.bytes_per_container,
+            movement.bytes_per_container);
+  EXPECT_EQ(result.movement.total_bytes, movement.total_bytes);
+}
+
+void check_workload(const ir::Sdfg& sdfg,
+                    const std::vector<symbolic::SymbolMap>& bindings) {
+  MetricPipeline pipeline(full_config());
+  for (const symbolic::SymbolMap& binding : bindings) {
+    const AccessTrace trace = simulate(sdfg, binding);
+    ASSERT_GT(trace.events.size(), 0u);
+    expect_matches_standalone(pipeline.run(trace), trace,
+                              pipeline.config());
+    expect_matches_standalone(pipeline.run(sdfg, binding), trace,
+                              pipeline.config());
+    expect_matches_standalone(pipeline.run_streaming(sdfg, binding), trace,
+                              pipeline.config());
+  }
+}
+
+TEST(Pipeline, FusedAndStreamingMatchStandalonePassesOnHdiff) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  check_workload(sdfg, {symbolic::SymbolMap{{"I", 8}, {"J", 8}, {"K", 4}},
+                        symbolic::SymbolMap{{"I", 12}, {"J", 10}, {"K", 6}},
+                        symbolic::SymbolMap{{"I", 16}, {"J", 16}, {"K", 3}}});
+}
+
+TEST(Pipeline, FusedAndStreamingMatchStandalonePassesOnBert) {
+  const ir::Sdfg sdfg = workloads::bert_encoder(workloads::BertStage::Fused1);
+  symbolic::SymbolMap small = workloads::bert_small();
+  symbolic::SymbolMap wider = small;
+  wider["SM"] = 12;
+  symbolic::SymbolMap taller = small;
+  taller["H"] = 4;
+  taller["emb"] = 16;
+  check_workload(sdfg, {small, wider, taller});
+}
+
+TEST(Pipeline, StreamingNeverMaterializesTheEventVector) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding{{"I", 12}, {"J", 12}, {"K", 4}};
+
+  MetricPipeline streaming(full_config());
+  const PipelineResult result = streaming.run_streaming(sdfg, binding);
+  EXPECT_GT(result.events, 0);
+  // O(1) event storage: the arena never allocated a single event column.
+  EXPECT_EQ(streaming.event_storage_bytes(), 0u);
+
+  MetricPipeline materialized(full_config());
+  materialized.run(sdfg, binding);
+  EXPECT_GT(materialized.event_storage_bytes(), 0u);
+}
+
+TEST(Pipeline, SweepMatchesIndividualRunsInBothModes) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap base{{"I", 10}, {"J", 10}, {"K", 2}};
+  const std::vector<std::int64_t> values{2, 4, 6};
+
+  for (const bool streaming : {false, true}) {
+    MetricPipeline pipeline(full_config());
+    const std::vector<PipelineResult> sweep =
+        pipeline.run_sweep(sdfg, base, "K", values, streaming);
+    ASSERT_EQ(sweep.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      symbolic::SymbolMap binding = base;
+      binding["K"] = values[i];
+      const AccessTrace trace = simulate(sdfg, binding);
+      expect_matches_standalone(sweep[i], trace, pipeline.config());
+    }
+  }
+}
+
+TEST(Pipeline, CountsOnlyConfigSkipsDistanceMachinery) {
+  PipelineConfig config;
+  config.counts = true;  // Everything else off.
+  EXPECT_FALSE(config.needs_distances());
+
+  const ir::Sdfg sdfg = workloads::matmul();
+  const symbolic::SymbolMap binding{{"M", 6}, {"N", 6}, {"K", 6}};
+  const AccessTrace trace = simulate(sdfg, binding);
+
+  MetricPipeline pipeline(config);
+  const PipelineResult result = pipeline.run(trace);
+  const AccessCounts counts = count_accesses(trace);
+  EXPECT_EQ(result.counts.reads, counts.reads);
+  EXPECT_EQ(result.counts.writes, counts.writes);
+  EXPECT_TRUE(result.distances.distances.empty());
+  EXPECT_TRUE(result.misses.per_container.empty());
+}
+
+TEST(Pipeline, CacheWithDifferentLineSizeThanDistances) {
+  PipelineConfig config = full_config();
+  config.cache->line_size = 128;
+  config.cache->total_size = 16 * 1024;
+
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding{{"I", 10}, {"J", 10}, {"K", 4}};
+  const AccessTrace trace = simulate(sdfg, binding);
+
+  MetricPipeline pipeline(config);
+  const PipelineResult fused = pipeline.run(trace);
+  const PipelineResult streamed = pipeline.run_streaming(sdfg, binding);
+
+  const CacheSimResult reference = simulate_cache(trace, *config.cache);
+  for (const PipelineResult* result : {&fused, &streamed}) {
+    ASSERT_EQ(result->cache.per_container.size(),
+              reference.per_container.size());
+    for (std::size_t c = 0; c < reference.per_container.size(); ++c) {
+      expect_stats_equal(result->cache.per_container[c],
+                         reference.per_container[c]);
+    }
+    expect_stats_equal(result->cache.total, reference.total);
+  }
+}
+
+TEST(Pipeline, RejectsInvalidConfigs) {
+  PipelineConfig movement_without_misses;
+  movement_without_misses.movement = true;
+  movement_without_misses.miss_threshold_lines = 0;
+  EXPECT_THROW(MetricPipeline{movement_without_misses},
+               std::invalid_argument);
+
+  PipelineConfig bad_line;
+  bad_line.line_size = 0;
+  EXPECT_THROW(MetricPipeline{bad_line}, std::invalid_argument);
+
+  PipelineConfig bad_cache;
+  bad_cache.cache = CacheConfig{};
+  bad_cache.cache->total_size = 16;  // Smaller than one line.
+  EXPECT_THROW(MetricPipeline{bad_cache}, std::invalid_argument);
+}
+
+TEST(LineTable, MatchesPerEventAddressDerivation) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const AccessTrace trace =
+      simulate(sdfg, symbolic::SymbolMap{{"I", 8}, {"J", 8}, {"K", 3}});
+  const int line_size = 64;
+  const LineTable table = build_line_table(trace, line_size);
+
+  ASSERT_EQ(table.lines.size(), trace.events.size());
+  ASSERT_EQ(table.per_container.size(), trace.layouts.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const AccessEvent event = trace.events[i];
+    const ConcreteLayout& layout = trace.layouts[event.container];
+    const std::int64_t expected =
+        layout.byte_address(layout.unflatten(event.flat)) / line_size;
+    ASSERT_EQ(table.lines[i], expected) << "event " << i;
+    // Every observed line id sits inside its container's declared range.
+    const LineTable::ContainerRange& range =
+        table.per_container[event.container];
+    EXPECT_GE(table.lines[i], range.first);
+    EXPECT_LT(table.lines[i], range.first + range.count);
+  }
+}
+
+TEST(LineTable, OverloadsMatchFreshDerivation) {
+  const ir::Sdfg sdfg = workloads::matmul();
+  const AccessTrace trace =
+      simulate(sdfg, symbolic::SymbolMap{{"M", 8}, {"N", 8}, {"K", 8}});
+  const LineTable table = build_line_table(trace, 64);
+
+  const StackDistanceResult fresh = stack_distances(trace, 64);
+  const StackDistanceResult shared = stack_distances(trace, table);
+  EXPECT_EQ(fresh.distances, shared.distances);
+
+  const CacheConfig config{};
+  const CacheSimResult cache_fresh = simulate_cache(trace, config);
+  const CacheSimResult cache_shared = simulate_cache(trace, config, table);
+  ASSERT_EQ(cache_fresh.per_container.size(),
+            cache_shared.per_container.size());
+  for (std::size_t c = 0; c < cache_fresh.per_container.size(); ++c) {
+    expect_stats_equal(cache_fresh.per_container[c],
+                       cache_shared.per_container[c]);
+  }
+
+  for (int container = 0;
+       container < static_cast<int>(trace.layouts.size()); ++container) {
+    const IterationLineStats fresh_stats =
+        iteration_line_stats(trace, container, 64);
+    const IterationLineStats shared_stats =
+        iteration_line_stats(trace, container, table);
+    EXPECT_EQ(fresh_stats.executions, shared_stats.executions);
+    EXPECT_DOUBLE_EQ(fresh_stats.mean_lines_per_execution,
+                     shared_stats.mean_lines_per_execution);
+    EXPECT_DOUBLE_EQ(fresh_stats.mean_line_utilization,
+                     shared_stats.mean_line_utilization);
+  }
+
+  EXPECT_THROW(simulate_cache(trace, CacheConfig{128, 32 * 1024, 8}, table),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, MissReportFeedsEdgeRefinementLikeStandalonePasses) {
+  // The Fig 5c per-edge overlay consumes a MissReport; the pipeline's
+  // report must be a drop-in replacement for classify_misses output.
+  const ir::Sdfg sdfg = workloads::matmul();
+  const symbolic::SymbolMap binding = workloads::matmul_fig5();
+  const AccessTrace trace = simulate(sdfg, binding);
+
+  PipelineConfig config;
+  config.miss_threshold_lines = 8;
+  MetricPipeline pipeline(config);
+  const PipelineResult result = pipeline.run(trace);
+
+  const StackDistanceResult distances = stack_distances(trace, 64);
+  const MissReport reference = classify_misses(trace, distances, 8);
+
+  const ir::State& state = sdfg.states()[0];
+  const std::map<std::size_t, std::int64_t> from_pipeline =
+      physical_edge_bytes(state, trace, result.misses, binding, 64);
+  const std::map<std::size_t, std::int64_t> from_passes =
+      physical_edge_bytes(state, trace, reference, binding, 64);
+  ASSERT_FALSE(from_pipeline.empty());
+  EXPECT_EQ(from_pipeline, from_passes);
+}
+
+TEST(Pipeline, ArenaReuseAcrossDifferentWorkloads) {
+  // One pipeline, traces of very different shapes — the arena must
+  // re-dimension correctly on every run.
+  MetricPipeline pipeline(full_config());
+  const ir::Sdfg hdiff = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const ir::Sdfg mm = workloads::matmul();
+
+  const symbolic::SymbolMap hdiff_binding{{"I", 10}, {"J", 10}, {"K", 3}};
+  const symbolic::SymbolMap mm_binding{{"M", 12}, {"N", 4}, {"K", 9}};
+
+  const AccessTrace hdiff_trace = simulate(hdiff, hdiff_binding);
+  const AccessTrace mm_trace = simulate(mm, mm_binding);
+
+  expect_matches_standalone(pipeline.run(hdiff_trace), hdiff_trace,
+                            pipeline.config());
+  expect_matches_standalone(pipeline.run(mm_trace), mm_trace,
+                            pipeline.config());
+  expect_matches_standalone(pipeline.run_streaming(hdiff, hdiff_binding),
+                            hdiff_trace, pipeline.config());
+  expect_matches_standalone(pipeline.run(hdiff_trace), hdiff_trace,
+                            pipeline.config());
+}
+
+}  // namespace
+}  // namespace dmv::sim

@@ -187,5 +187,43 @@ TEST(StackDistance, PaddingChangesLineMapping) {
   EXPECT_LT(lines(unpadded), lines(padded));
 }
 
+TEST(Histogram, PerElementHistogramsPartitionContainerHistogram) {
+  // The details panel can show one histogram for a whole container or
+  // one per clicked element; the per-element views must partition the
+  // container view exactly: cold misses sum up, and the per-element
+  // finite distances, pooled, are the container's distance multiset.
+  ir::Sdfg sdfg = workloads::matmul();
+  AccessTrace trace = simulate(sdfg, workloads::matmul_fig5());
+  StackDistanceResult result = stack_distances(trace, 32);
+  const int a = trace.container_id("A");
+
+  const DistanceHistogram container_wide =
+      distance_histogram(trace, result, a);
+  const ElementDistanceStats stats = element_distance_stats(trace, result, a);
+
+  std::int64_t cold_sum = 0;
+  std::vector<std::int64_t> pooled;
+  const std::int64_t elements = trace.layouts[a].total_elements();
+  for (std::int64_t flat = 0; flat < elements; ++flat) {
+    const DistanceHistogram per_element =
+        distance_histogram(trace, result, a, flat);
+    cold_sum += per_element.cold_misses;
+    pooled.insert(pooled.end(), per_element.distances.begin(),
+                  per_element.distances.end());
+    // Cross-check against the per-element stats pass.
+    EXPECT_EQ(per_element.cold_misses,
+              stats.cold_count[static_cast<std::size_t>(flat)]);
+    if (!per_element.distances.empty()) {
+      EXPECT_EQ(per_element.distances.front(),
+                stats.min[static_cast<std::size_t>(flat)]);
+      EXPECT_EQ(per_element.distances.back(),
+                stats.max[static_cast<std::size_t>(flat)]);
+    }
+  }
+  EXPECT_EQ(cold_sum, container_wide.cold_misses);
+  std::sort(pooled.begin(), pooled.end());
+  EXPECT_EQ(pooled, container_wide.distances);
+}
+
 }  // namespace
 }  // namespace dmv::sim
