@@ -18,7 +18,11 @@
 //     (fused), and through MetricPipeline in streaming mode (no event
 //     vector) — all serial, all checksum-validated against each other;
 //   * stack-distance algorithm ablation: naive O(n^2) list scan vs the
-//     Fenwick-tree Olken pass on a size-capped trace.
+//     Fenwick-tree Olken pass on a size-capped trace;
+//   * session sweep: the same slider drag through dmv::session::Session
+//     — cold (fresh cache), warm (every binding already cached), and
+//     prefetched (fresh cache, speculative neighbor evaluation on) —
+//     checksum-validated against the uncached pipeline.
 //
 // Results go to stdout and to BENCH_sweep.json (machine readable).
 // Speedups are reported against the interpreted serial baseline; the
@@ -26,8 +30,8 @@
 // not mistaken for a scaling ceiling.
 //
 // `--smoke`: tiny workload, one repetition, no thread loop, no JSON —
-// exits nonzero if the fused/streaming/unfused checksums diverge. CI
-// runs this as the pipeline-ablation gate.
+// exits nonzero if the fused/streaming/unfused/session checksums
+// diverge. CI runs this as the pipeline-ablation gate.
 
 #include <algorithm>
 #include <chrono>
@@ -39,6 +43,7 @@
 #include <vector>
 
 #include "dmv/par/par.hpp"
+#include "dmv/session/session.hpp"
 #include "dmv/sim/pipeline.hpp"
 #include "dmv/sim/sim.hpp"
 #include "dmv/workloads/workloads.hpp"
@@ -49,11 +54,32 @@ using dmv::sim::AccessTrace;
 using dmv::sim::SimulationOptions;
 using dmv::symbolic::SymbolMap;
 
+// One workload's slider sweep. The binding list is derived ONCE from
+// (base, symbol, values) in make_case, so every configuration — unfused,
+// fused, streaming, thread-scaled, and the session sweep — measures the
+// exact same slider positions.
 struct SweepCase {
   std::string name;
   dmv::ir::Sdfg sdfg;
-  std::vector<SymbolMap> bindings;  ///< The slider positions.
+  SymbolMap base;                    ///< Fixed symbols.
+  std::string symbol;                ///< The slider symbol.
+  std::vector<std::int64_t> values;  ///< Its positions, in drag order.
+  std::vector<SymbolMap> bindings;   ///< base + symbol=value, per value.
 };
+
+SweepCase make_case(std::string name, dmv::ir::Sdfg sdfg, SymbolMap base,
+                    std::string symbol, std::vector<std::int64_t> values) {
+  std::vector<SymbolMap> bindings;
+  bindings.reserve(values.size());
+  for (std::int64_t value : values) {
+    SymbolMap binding = base;
+    binding[symbol] = value;
+    bindings.push_back(std::move(binding));
+  }
+  return SweepCase{std::move(name),   std::move(sdfg),
+                   std::move(base),   std::move(symbol),
+                   std::move(values), std::move(bindings)};
+}
 
 // The metric set every configuration computes; checksums keep the
 // pipeline honest (nothing optimized away) and let configurations
@@ -179,33 +205,59 @@ std::vector<SweepCase> build_cases(bool smoke) {
   using dmv::workloads::HdiffVariant;
   std::vector<SweepCase> cases;
   {
-    std::vector<SymbolMap> bindings;
-    const std::vector<std::int64_t> ks =
-        smoke ? std::vector<std::int64_t>{2, 3, 4}
-              : std::vector<std::int64_t>{8, 10, 12, 14, 16, 18};
-    const std::int64_t ij = smoke ? 8 : 24;
-    for (std::int64_t k : ks) {
-      bindings.push_back(SymbolMap{{"I", ij}, {"J", ij}, {"K", k}});
+    // 20 slider positions in the full run — enough drag steps for the
+    // session sweep's cold/warm contrast to be meaningful.
+    std::vector<std::int64_t> ks;
+    if (smoke) {
+      ks = {2, 3, 4};
+    } else {
+      for (std::int64_t k = 4; k <= 23; ++k) ks.push_back(k);
     }
-    cases.push_back({"hdiff", dmv::workloads::hdiff(HdiffVariant::Baseline),
-                     std::move(bindings)});
+    const std::int64_t ij = smoke ? 8 : 16;
+    cases.push_back(make_case(
+        "hdiff", dmv::workloads::hdiff(HdiffVariant::Baseline),
+        SymbolMap{{"I", ij}, {"J", ij}}, "K", std::move(ks)));
   }
   {
-    std::vector<SymbolMap> bindings;
-    const std::vector<std::int64_t> sms =
+    cases.push_back(make_case(
+        "bert", dmv::workloads::bert_encoder(dmv::workloads::BertStage::Fused2),
+        dmv::workloads::bert_small(), "SM",
         smoke ? std::vector<std::int64_t>{4, 6}
-              : std::vector<std::int64_t>{4, 6, 8, 10, 12, 14};
-    for (std::int64_t sm : sms) {
-      SymbolMap binding = dmv::workloads::bert_small();
-      binding["SM"] = sm;
-      bindings.push_back(std::move(binding));
-    }
-    cases.push_back(
-        {"bert",
-         dmv::workloads::bert_encoder(dmv::workloads::BertStage::Fused2),
-         std::move(bindings)});
+              : std::vector<std::int64_t>{4, 6, 8, 10, 12, 14}));
   }
   return cases;
+}
+
+// ---- session sweep ---------------------------------------------------
+
+dmv::session::SessionConfig session_config(const SimulationOptions& options,
+                                           bool prefetch) {
+  dmv::session::SessionConfig config;
+  config.pipeline = bench_config();
+  config.simulation = options;
+  config.prefetch = prefetch;
+  return config;
+}
+
+// One pass of the slider drag through a session; checksummed exactly
+// like the uncached configurations so they must agree bit for bit.
+std::int64_t run_session_pass(dmv::session::Session& session,
+                              const SweepCase& sweep) {
+  std::int64_t total = 0;
+  for (std::int64_t value : sweep.values) {
+    session.set_symbol(sweep.symbol, value);
+    total += pipeline_checksum(*session.metrics());
+  }
+  return total;
+}
+
+dmv::session::Session fresh_session(const SweepCase& sweep,
+                                    const SimulationOptions& options,
+                                    bool prefetch) {
+  dmv::session::Session session(sweep.sdfg,
+                                session_config(options, prefetch));
+  session.set_binding(sweep.base);
+  return session;
 }
 
 // Fused-vs-unfused-vs-streaming checksum gate shared by the full run
@@ -223,6 +275,19 @@ bool validate_ablation(const SweepCase& sweep,
               << ", streaming " << streaming << "\n";
     return false;
   }
+  // Session identity: cold (prefetching) and warm passes must both
+  // reproduce the uncached checksum — cached and speculatively computed
+  // artifacts are bit-identical to direct evaluation.
+  dmv::session::Session session =
+      fresh_session(sweep, options, /*prefetch=*/true);
+  const std::int64_t session_cold = run_session_pass(session, sweep);
+  const std::int64_t session_warm = run_session_pass(session, sweep);
+  if (session_cold != unfused || session_warm != unfused) {
+    std::cerr << "FATAL: session sweep mismatch on " << sweep.name
+              << ": uncached " << unfused << ", session cold "
+              << session_cold << ", session warm " << session_warm << "\n";
+    return false;
+  }
   return true;
 }
 
@@ -232,7 +297,7 @@ int run_smoke() {
   for (const SweepCase& sweep : build_cases(/*smoke=*/true)) {
     if (!validate_ablation(sweep, compiled)) return 1;
     std::cout << "smoke " << sweep.name
-              << ": unfused == fused == streaming\n";
+              << ": unfused == fused == streaming == session\n";
   }
   std::cout << "smoke OK\n";
   return 0;
@@ -335,6 +400,39 @@ int main(int argc, char** argv) {
     const double metrics_fused_speedup =
         metrics_unfused.best_ms / metrics_fused.best_ms;
 
+    // Session sweep: the same drag through the memoizing session layer.
+    // Cold constructs a fresh session per repetition (cache empty, no
+    // speculation); warm re-drags a session that has seen every binding;
+    // prefetched is cold with speculative neighbor evaluation on.
+    const Measurement session_cold = measure(
+        [&] {
+          dmv::session::Session session =
+              fresh_session(sweep, compiled, /*prefetch=*/false);
+          return run_session_pass(session, sweep);
+        },
+        repetitions);
+    dmv::session::Session warm_session =
+        fresh_session(sweep, compiled, /*prefetch=*/false);
+    run_session_pass(warm_session, sweep);
+    const Measurement session_warm = measure(
+        [&] { return run_session_pass(warm_session, sweep); }, repetitions);
+    const Measurement session_prefetched = measure(
+        [&] {
+          dmv::session::Session session =
+              fresh_session(sweep, compiled, /*prefetch=*/true);
+          return run_session_pass(session, sweep);
+        },
+        repetitions);
+    if (session_cold.checksum != streaming.checksum ||
+        session_warm.checksum != streaming.checksum ||
+        session_prefetched.checksum != streaming.checksum) {
+      std::cerr << "FATAL: session sweep mismatch on " << sweep.name << "\n";
+      return 1;
+    }
+    const double warm_speedup = session_cold.best_ms / session_warm.best_ms;
+    const double prefetched_speedup =
+        session_cold.best_ms / session_prefetched.best_ms;
+
     const double simulate_speedup = sim_interp.best_ms / sim_compiled.best_ms;
     const double compiled_speedup =
         serial_interp.best_ms / serial_compiled.best_ms;
@@ -351,6 +449,12 @@ int main(int argc, char** argv) {
     std::cout << "  metrics only: unfused " << metrics_unfused.best_ms
               << " ms, fused " << metrics_fused.best_ms << " ms ("
               << metrics_fused_speedup << "x)\n";
+    std::cout << "  session (" << sweep.values.size() << " positions of "
+              << sweep.symbol << "): cold " << session_cold.best_ms
+              << " ms, warm " << session_warm.best_ms << " ms ("
+              << warm_speedup << "x), prefetched "
+              << session_prefetched.best_ms << " ms ("
+              << prefetched_speedup << "x)\n";
 
     json << "    {\n      \"name\": \"" << sweep.name << "\",\n";
     json << "      \"bindings\": " << sweep.bindings.size() << ",\n";
@@ -378,6 +482,16 @@ int main(int argc, char** argv) {
          << ",\n";
     json << "        \"metrics_fused_speedup\": " << metrics_fused_speedup
          << "\n";
+    json << "      },\n";
+    json << "      \"session\": {\n";
+    json << "        \"bindings\": " << sweep.values.size() << ",\n";
+    json << "        \"symbol\": \"" << sweep.symbol << "\",\n";
+    json << "        \"cold_ms\": " << session_cold.best_ms << ",\n";
+    json << "        \"warm_ms\": " << session_warm.best_ms << ",\n";
+    json << "        \"prefetched_ms\": " << session_prefetched.best_ms
+         << ",\n";
+    json << "        \"warm_speedup\": " << warm_speedup << ",\n";
+    json << "        \"prefetched_speedup\": " << prefetched_speedup << "\n";
     json << "      },\n";
 
     if (hardware == 1) {

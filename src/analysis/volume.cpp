@@ -75,6 +75,43 @@ Expr total_movement_bytes(const Sdfg& sdfg) {
   return total;
 }
 
+std::set<std::string> simulation_symbols(const Sdfg& sdfg) {
+  std::set<std::string> reached;
+  auto visit = [&](const Expr& e) { e.collect_free_symbols(reached); };
+  auto visit_ranges = [&](const std::vector<ir::Range>& ranges) {
+    for (const ir::Range& range : ranges) {
+      visit(range.begin);
+      visit(range.end);
+      visit(range.step);
+    }
+  };
+  for (const auto& [name, descriptor] : sdfg.arrays()) {
+    for (const Expr& extent : descriptor.shape) visit(extent);
+    for (const Expr& stride : descriptor.strides) visit(stride);
+    visit(descriptor.start_offset);
+  }
+  for (const State& state : sdfg.states()) {
+    for (const ir::Node& node : state.nodes()) {
+      if (node.kind == ir::NodeKind::MapEntry) {
+        visit_ranges(node.map.ranges);
+      }
+    }
+    for (const Edge& edge : state.edges()) {
+      if (edge.memlet.is_empty()) continue;
+      visit_ranges(edge.memlet.subset.ranges);
+      visit_ranges(edge.memlet.other_subset.ranges);
+      visit(edge.memlet.volume);
+    }
+  }
+  // Map parameters and other locally-bound names show up as free symbols
+  // of the inner expressions; only DECLARED program symbols are tunable.
+  std::set<std::string> result;
+  for (const std::string& symbol : sdfg.symbols()) {
+    if (reached.contains(symbol)) result.insert(symbol);
+  }
+  return result;
+}
+
 MovementDiff diff_movement(const Sdfg& before, const Sdfg& after,
                            const SymbolMap& symbols) {
   auto per_container = [&](const Sdfg& sdfg) {

@@ -63,6 +63,15 @@ std::vector<EdgeVolume> edge_volumes(const Sdfg& sdfg);
 /// Sum of all logical movement in bytes across the program.
 Expr total_movement_bytes(const Sdfg& sdfg);
 
+/// Free-symbol reachability of the simulation inputs: every declared
+/// program symbol that occurs in a container shape/stride/offset, a map
+/// bound, or a memlet subset/volume. A symbol NOT in this set cannot
+/// change any simulated trace or derived metric under any binding, so
+/// the session layer keys its simulation caches on exactly this
+/// restriction of the binding (changing an unreached symbol is a cache
+/// hit, not an invalidation).
+std::set<std::string> simulation_symbols(const Sdfg& sdfg);
+
 /// Arithmetic operations executed by one tasklet node over the whole
 /// state (per-execution AST count times enclosing map iterations).
 Expr tasklet_operations(const State& state, NodeId tasklet);

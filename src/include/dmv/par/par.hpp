@@ -22,6 +22,17 @@
 // a single atomic counter. The analysis passes produce a few dozen
 // coarse, similar-sized blocks, where stealing buys nothing.
 //
+// Nesting: parallel_for/parallel_reduce called from INSIDE a pool task
+// run serially inline on that worker — no new tasks are enqueued, so
+// outer-level parallelism (e.g. the session prefetcher evaluating one
+// candidate binding per task) cannot deadlock the pool or perturb the
+// inner passes' block partitions.
+//
+// Ownership: the pool is a process-global singleton, lazily started and
+// joined at exit; callers never manage threads. The free functions are
+// safe to call from any thread, but set_num_threads/ThreadScope mutate a
+// global knob — tests that change it should not run concurrently.
+//
 // Thread count: `DMV_NUM_THREADS` (environment) seeds the global knob,
 // `set_num_threads` overrides it at runtime, and a value of 1 bypasses
 // the pool entirely (serial fallback, no synchronization).

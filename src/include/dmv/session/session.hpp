@@ -1,0 +1,165 @@
+#pragma once
+
+// Interactive session engine: memoized incremental recomputation.
+//
+// PR 1–2 made a SINGLE evaluation fast (compiled simulation engine,
+// fused streaming metric pipeline). This layer makes the interactive
+// loop fast: a `Session` wraps a program, its current parameter
+// binding, and a metric subscription set behind a byte-budgeted
+// memoization cache, so dragging a slider back over visited values —
+// or into values the prefetcher anticipated — returns in cache-lookup
+// time instead of re-simulating.
+//
+// Three mechanisms, mirroring what separates an interactive dataflow
+// viewer from a fast batch engine:
+//
+//   * Memoization — every artifact (metric bundle, symbolic volume,
+//     evaluated volume, graph layout, heat-overlay SVG) is cached in
+//     one LRU keyed by (program content hash, metric-config hash, and
+//     the binding RESTRICTED to the symbols the artifact can reach).
+//   * Dependency-restricted keys — the reachability analysis
+//     (analysis::simulation_symbols, Expr::depends_on) determines
+//     which symbols each artifact actually depends on; symbols outside
+//     that set never enter the key. Changing an unused symbol is
+//     therefore a cache HIT, not an invalidation, and symbolic-only
+//     artifacts (volume expressions, graph layout, SVG structure)
+//     survive any amount of re-simulation. Program edits change the
+//     content hash; stale entries simply become unreachable and age
+//     out of the LRU.
+//   * Speculative prefetch — a slider drag moves one symbol with a
+//     regular stride. After each metrics() call the session evaluates
+//     the neighboring values of the last-moved symbol on the dmv::par
+//     pool (one private MetricPipeline per pool slot), so the next
+//     drag step hits warm cache.
+//
+// Determinism contract: every artifact returned by a Session is
+// bit-identical to the corresponding uncached evaluation, at any
+// thread count, any prefetch depth, and any eviction schedule. Cached
+// values are immutable; eviction only ever causes a (deterministic)
+// recomputation; prefetch results are inserted in candidate order on
+// the calling thread.
+//
+// Thread safety: a Session is NOT thread-safe — it is the state of one
+// interactive client. It uses the dmv::par pool internally for
+// prefetch; concurrent clients should each own a Session.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dmv/ir/sdfg.hpp"
+#include "dmv/sim/pipeline.hpp"
+#include "dmv/viz/graph_layout.hpp"
+#include "dmv/viz/heatmap.hpp"
+
+namespace dmv::session {
+
+/// What the session computes and how much it may remember.
+struct SessionConfig {
+  /// Metric subscription set: which consumers every metrics() call
+  /// (and every prefetched evaluation) drives.
+  sim::PipelineConfig pipeline;
+  /// Simulation engine knobs shared by all evaluations.
+  sim::SimulationOptions simulation;
+  /// Drive the pipeline in streaming mode (no event vector); turn off
+  /// if raw traces are needed elsewhere. Either mode yields
+  /// bit-identical artifacts.
+  bool streaming = true;
+
+  /// LRU byte budget over all cached artifacts. The most recently
+  /// inserted entry is always kept, even when it alone exceeds the
+  /// budget (a cache that cannot hold one result would just thrash).
+  std::size_t cache_budget_bytes = std::size_t{64} << 20;
+
+  /// Speculatively evaluate neighboring values of the last-moved
+  /// symbol after each metrics() call.
+  bool prefetch = true;
+  /// Neighbors prefetched ahead in the drag direction (plus one behind,
+  /// for direction reversals).
+  int prefetch_depth = 2;
+
+  /// Rendering knobs for graph_svg()/layout().
+  viz::ColorScheme scheme = viz::ColorScheme::GreenYellowRed;
+  viz::ScalingPolicy scaling = viz::ScalingPolicy::MeanCentered;
+  viz::LayoutOptions layout;
+};
+
+/// Cache accounting, cumulative since construction / reset_stats().
+struct SessionStats {
+  std::int64_t hits = 0;            ///< Artifact requests served cached.
+  std::int64_t misses = 0;          ///< Requests that recomputed.
+  std::int64_t prefetch_issued = 0; ///< Speculative evaluations run.
+  std::int64_t prefetch_hits = 0;   ///< Hits served by a prefetched entry.
+  std::int64_t evictions = 0;       ///< Entries dropped by the byte budget.
+  std::size_t cache_bytes = 0;      ///< Current payload bytes cached.
+  std::size_t cache_entries = 0;    ///< Current entry count.
+};
+
+/// One interactive client: a program, a current binding, a metric
+/// subscription set, and the memoization state that makes re-visiting
+/// bindings (and program versions) cheap. All getters return shared
+/// ownership of immutable artifacts — they stay valid after eviction,
+/// rebinding, or Session destruction.
+class Session {
+ public:
+  explicit Session(ir::Sdfg program, SessionConfig config = {});
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const SessionConfig& config() const;
+  const ir::Sdfg& program() const;
+
+  /// Replaces the program (e.g. after a transform). Artifacts of the
+  /// old version stay cached under its content hash — switching back
+  /// is cheap until the LRU ages them out.
+  void set_program(ir::Sdfg program);
+  /// In-place edit: applies `edit` to the owned program, then rehashes.
+  void edit_program(const std::function<void(ir::Sdfg&)>& edit);
+
+  const symbolic::SymbolMap& binding() const;
+  /// Wholesale rebinding; clears the slider (last-moved) tracking.
+  void set_binding(symbolic::SymbolMap binding);
+  /// Slider move: binds one symbol and records it (with its stride) as
+  /// the prefetch target.
+  void set_symbol(const std::string& symbol, std::int64_t value);
+
+  /// The metric bundle for the current binding under config().pipeline.
+  /// Cache key: (program, config, binding restricted to
+  /// metric_symbols()). Triggers neighbor prefetch after a slider move.
+  std::shared_ptr<const sim::PipelineResult> metrics();
+
+  /// Symbolic total-movement volume — binding-independent; survives
+  /// any re-simulation.
+  std::shared_ptr<const symbolic::Expr> movement_volume();
+  /// movement_volume() evaluated at the current binding; keyed only by
+  /// the symbols the volume expression reaches.
+  std::int64_t movement_bytes();
+
+  /// Graph layout of one state — depends on graph structure only.
+  std::shared_ptr<const viz::StateLayout> layout(int state_index = 0);
+  /// Volume-heat SVG of one state. The layout is a separate cached
+  /// artifact, so a binding change re-renders at most the heat overlay;
+  /// the SVG itself is keyed by the symbols the state's edge volumes
+  /// reach.
+  std::shared_ptr<const std::string> graph_svg(int state_index = 0);
+
+  /// Symbols that can reach any simulated metric for the current
+  /// program (analysis::simulation_symbols).
+  const std::set<std::string>& metric_symbols() const;
+
+  SessionStats stats() const;
+  void reset_stats();
+  void clear_cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dmv::session

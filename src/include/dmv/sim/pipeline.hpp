@@ -67,10 +67,17 @@ struct PipelineConfig {
 };
 
 /// Outputs of one fused pass. Only the consumers enabled in the config
-/// are populated; the rest stay default-constructed.
+/// are populated; the rest stay default-constructed. The result owns
+/// its payload (no aliasing into pipeline arenas) — safe to retain,
+/// share, and cache beyond the pipeline's lifetime.
 struct PipelineResult {
   std::int64_t events = 0;
   std::int64_t executions = 0;
+  /// Container names, index-aligned with every per-container vector
+  /// below — lets consumers resolve names without holding the trace.
+  std::vector<std::string> containers;
+  /// Index of a named container, or -1 when absent.
+  int container_index(const std::string& name) const;
   AccessCounts counts;
   StackDistanceResult distances;
   MissReport misses;
@@ -79,6 +86,30 @@ struct PipelineResult {
   MovementEstimate movement;
 };
 
+/// Stable 64-bit fingerprint of a config, folding in every field that
+/// can change an output. Two configs with equal fingerprints produce
+/// identical results for the same trace; the session layer uses it as
+/// the metric-config component of its cache keys.
+std::uint64_t fingerprint(const PipelineConfig& config);
+
+/// Approximate heap footprint of a result's payload (vectors; the
+/// struct itself excluded). Used for cache byte budgeting — an estimate,
+/// not an allocator-exact measurement.
+std::size_t approx_size_bytes(const PipelineResult& result);
+
+/// Drives every enabled metric in one fused pass over a trace.
+///
+/// Ownership: the pipeline owns an internal arena (trace buffer, line
+/// tables, Fenwick tree, per-element scratch) that persists across run
+/// calls — that reuse is the point. Returned PipelineResults own their
+/// payload outright and never alias the arena; they stay valid after the
+/// pipeline is destroyed.
+///
+/// Thread safety: a MetricPipeline is NOT thread-safe — run/run_streaming/
+/// run_sweep mutate the shared arena, so give each concurrent caller its
+/// own instance (the session prefetcher keeps one per pool slot). Calls
+/// are internally serial; results are bit-identical at any
+/// dmv::par::num_threads() setting.
 class MetricPipeline {
  public:
   explicit MetricPipeline(PipelineConfig config = {});

@@ -20,6 +20,17 @@
 //     validate that assumption,
 //   * estimated physical data movement (misses x line size) that refines
 //     the logical volumes of the global view (Fig 5c, Fig 7).
+//
+// Ownership: every result type here (AccessTrace, StackDistanceResult,
+// MissReport, ...) is a self-contained value — it owns its vectors and
+// never aliases the inputs it was computed from.
+//
+// Thread safety & determinism: the pass functions are pure — concurrent
+// calls on distinct traces are safe; concurrent calls on the SAME trace
+// are safe because traces are only read. Passes that parallelize
+// internally do so through dmv::par's block-ordered reduce, so every
+// output is bit-identical at any dmv::par::num_threads() setting; see
+// dmv/par/par.hpp for the contract and determinism_test for the gate.
 
 #include <array>
 #include <cstddef>

@@ -22,6 +22,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dmv::symbolic {
@@ -100,6 +101,10 @@ class Expr {
 
   void collect_free_symbols(std::set<std::string>& out) const;
   std::set<std::string> free_symbols() const;
+  /// Reachability query: true iff `symbol` occurs anywhere in the tree.
+  /// Unlike free_symbols() it allocates nothing and stops at the first
+  /// hit — the session layer's per-artifact invalidation check.
+  bool depends_on(std::string_view symbol) const;
 
   /// Structural equality after canonical simplification. Not a full
   /// symbolic equivalence decision procedure, but canonicalization makes
@@ -146,6 +151,10 @@ Expr min(const Expr& a, const Expr& b);
 Expr max(const Expr& a, const Expr& b);
 Expr ceil_div(const Expr& a, const Expr& b);
 Expr pow(const Expr& base, const Expr& exponent);
+
+/// True iff any symbol of `symbols` occurs in `e` — the multi-symbol
+/// form of Expr::depends_on, same short-circuit/no-allocation contract.
+bool depends_on_any(const Expr& e, const std::set<std::string>& symbols);
 
 /// Canonical simplification: constant folding, identity elimination,
 /// flattening of nested Add/Mul, like-term collection, operand sorting.

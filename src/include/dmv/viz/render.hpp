@@ -58,6 +58,17 @@ struct GraphRenderOptions {
 std::string render_state_svg(const ir::State& state,
                              const GraphRenderOptions& options = {});
 
+/// Cache-aware re-render: emits the SVG over a PRECOMPUTED layout,
+/// skipping the Sugiyama pipeline. The layout depends only on graph
+/// structure — not on bindings or heat — so an interactive session
+/// computes it once per program version and re-renders only the heat
+/// overlay as parameters move. `layout` must come from layout_state on
+/// the same state with the same LayoutOptions; options.layout is
+/// ignored here.
+std::string render_state_svg(const ir::State& state,
+                             const StateLayout& layout,
+                             const GraphRenderOptions& options = {});
+
 /// Whole-program view: every state rendered in sequence inside labeled
 /// frames, connected by control-flow arrows (the paper's canvas shows
 /// the full SDFG, not one state). Per-state options are looked up by

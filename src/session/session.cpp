@@ -1,0 +1,471 @@
+#include "dmv/session/session.hpp"
+
+#include <algorithm>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dmv/analysis/analysis.hpp"
+#include "dmv/ir/serialize.hpp"
+#include "dmv/par/par.hpp"
+#include "dmv/viz/render.hpp"
+
+namespace dmv::session {
+
+namespace {
+
+using sim::MetricPipeline;
+using sim::PipelineResult;
+using symbolic::Expr;
+using symbolic::SymbolMap;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  hash *= 1099511628211ull;
+  return hash;
+}
+
+std::uint64_t hash_bytes(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) hash = fnv1a(hash, static_cast<unsigned char>(c));
+  return hash;
+}
+
+/// Rough heap footprint of an expression tree (shared subtrees counted
+/// per reference — an upper bound is fine for budget accounting).
+std::size_t expr_bytes(const Expr& e) {
+  std::size_t bytes = sizeof(symbolic::ExprNode);
+  for (const Expr& op : e.operands()) bytes += expr_bytes(op);
+  return bytes;
+}
+
+/// Artifact discriminator; part of every cache key, so one LRU holds
+/// heterogeneous payloads without type confusion.
+enum class Kind : std::uint8_t {
+  kMetrics,
+  kMovementVolume,
+  kMovementValue,
+  kStateVolumes,
+  kLayout,
+  kGraphSvg,
+};
+
+/// The binding component is RESTRICTED to the artifact's reachable
+/// symbols before key construction — that restriction is the whole
+/// invalidation story (see session.hpp).
+struct Key {
+  Kind kind = Kind::kMetrics;
+  int aux = -1;  ///< State index for per-state artifacts.
+  std::uint64_t program_hash = 0;
+  std::uint64_t config_hash = 0;
+  std::vector<std::pair<std::string, std::int64_t>> binding;
+
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const {
+    std::uint64_t hash = 1469598103934665603ull;
+    hash = fnv1a(hash, static_cast<std::uint64_t>(key.kind));
+    hash = fnv1a(hash, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(key.aux)));
+    hash = fnv1a(hash, key.program_hash);
+    hash = fnv1a(hash, key.config_hash);
+    for (const auto& [name, value] : key.binding) {
+      hash = fnv1a(hash, hash_bytes(name));
+      hash = fnv1a(hash, static_cast<std::uint64_t>(value));
+    }
+    return static_cast<std::size_t>(hash);
+  }
+};
+
+std::vector<std::pair<std::string, std::int64_t>> restrict_binding(
+    const SymbolMap& binding, const std::set<std::string>& reachable) {
+  std::vector<std::pair<std::string, std::int64_t>> restricted;
+  restricted.reserve(reachable.size());
+  for (const auto& [symbol, value] : binding) {  // std::map: sorted order.
+    if (reachable.contains(symbol)) restricted.emplace_back(symbol, value);
+  }
+  return restricted;
+}
+
+/// Binding-independent edge-volume expressions of one state, plus the
+/// program symbols they reach — the dependency set of the heat overlay.
+struct StateVolumes {
+  std::vector<std::pair<std::size_t, Expr>> bytes_per_edge;
+  std::set<std::string> symbols;
+};
+
+}  // namespace
+
+struct Session::Impl {
+  SessionConfig config;
+  std::uint64_t config_hash = 0;
+
+  ir::Sdfg program;
+  std::uint64_t program_hash = 0;
+  std::set<std::string> metric_symbols;
+
+  SymbolMap binding;
+  /// Slider tracking for prefetch: last-moved symbol and its stride.
+  std::string moved_symbol;
+  std::int64_t moved_delta = 0;
+
+  MetricPipeline pipeline;
+  /// One private pipeline per prefetch slot (MetricPipeline is not
+  /// thread-safe); arenas persist across drags.
+  std::vector<std::unique_ptr<MetricPipeline>> prefetch_pipelines;
+
+  // --- LRU cache -----------------------------------------------------
+  struct Entry {
+    Key key;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    bool prefetched = false;  ///< Inserted speculatively, not yet hit.
+  };
+  std::list<Entry> lru;  ///< Front = most recently used.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  std::size_t cache_bytes = 0;
+  SessionStats stats;
+
+  explicit Impl(ir::Sdfg sdfg, SessionConfig session_config)
+      : config(std::move(session_config)),
+        program(std::move(sdfg)),
+        pipeline(config.pipeline) {
+    config_hash = sim::fingerprint(config.pipeline);
+    config_hash = fnv1a(config_hash, static_cast<std::uint64_t>(
+                                         config.simulation.placement_alignment));
+    config_hash = fnv1a(config_hash, config.simulation.wcr_reads ? 1 : 0);
+    config_hash = fnv1a(config_hash, config.simulation.compiled ? 1 : 0);
+    rehash_program();
+  }
+
+  void rehash_program() {
+    program_hash = hash_bytes(ir::to_json(program));
+    metric_symbols = analysis::simulation_symbols(program);
+  }
+
+  // Looks up with LRU touch and full stats accounting. Returns nullptr
+  // on miss.
+  std::shared_ptr<const void> lookup(const Key& key) {
+    auto it = index.find(key);
+    if (it == index.end()) {
+      ++stats.misses;
+      return nullptr;
+    }
+    ++stats.hits;
+    Entry& entry = *it->second;
+    if (entry.prefetched) {
+      ++stats.prefetch_hits;
+      entry.prefetched = false;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    return entry.value;
+  }
+
+  bool contains(const Key& key) const { return index.contains(key); }
+
+  void insert(Key key, std::shared_ptr<const void> value, std::size_t bytes,
+              bool prefetched) {
+    auto it = index.find(key);
+    if (it != index.end()) return;  // Lost race with an earlier insert.
+    lru.push_front(Entry{std::move(key), std::move(value), bytes, prefetched});
+    index.emplace(lru.front().key, lru.begin());
+    cache_bytes += bytes;
+    // Byte-budgeted eviction; the freshly inserted entry is exempt so a
+    // single oversized artifact still caches (and recomputing it would
+    // be deterministic anyway — eviction never changes results).
+    while (cache_bytes > config.cache_budget_bytes && lru.size() > 1) {
+      const Entry& victim = lru.back();
+      cache_bytes -= victim.bytes;
+      index.erase(victim.key);
+      lru.pop_back();
+      ++stats.evictions;
+    }
+  }
+
+  /// Fetch-or-compute helper: all artifact getters funnel through here.
+  template <typename T, typename Compute>
+  std::shared_ptr<const T> get(const Key& key, Compute&& compute,
+                               std::size_t (*size_of)(const T&)) {
+    if (std::shared_ptr<const void> cached = lookup(key)) {
+      return std::static_pointer_cast<const T>(cached);
+    }
+    std::shared_ptr<const T> value =
+        std::make_shared<const T>(compute());
+    insert(key, value, size_of(*value), /*prefetched=*/false);
+    return value;
+  }
+
+  // --- Keys ----------------------------------------------------------
+
+  Key metrics_key(const SymbolMap& at) const {
+    Key key;
+    key.kind = Kind::kMetrics;
+    key.program_hash = program_hash;
+    key.config_hash = config_hash;
+    key.binding = restrict_binding(at, metric_symbols);
+    return key;
+  }
+
+  Key program_key(Kind kind, int aux = -1) const {
+    Key key;
+    key.kind = kind;
+    key.aux = aux;
+    key.program_hash = program_hash;
+    return key;
+  }
+
+  // --- Artifacts -----------------------------------------------------
+
+  PipelineResult evaluate(MetricPipeline& on, const SymbolMap& at) {
+    return config.streaming
+               ? on.run_streaming(program, at, config.simulation)
+               : on.run(program, at, config.simulation);
+  }
+
+  std::shared_ptr<const PipelineResult> metrics() {
+    const Key key = metrics_key(binding);
+    std::shared_ptr<const PipelineResult> result;
+    if (std::shared_ptr<const void> cached = lookup(key)) {
+      result = std::static_pointer_cast<const PipelineResult>(cached);
+    } else {
+      result = std::make_shared<const PipelineResult>(evaluate(pipeline,
+                                                               binding));
+      insert(key, result, sim::approx_size_bytes(*result),
+             /*prefetched=*/false);
+    }
+    maybe_prefetch();
+    return result;
+  }
+
+  void maybe_prefetch() {
+    if (!config.prefetch || config.prefetch_depth <= 0) return;
+    if (moved_symbol.empty() || moved_delta == 0) return;
+    // A symbol the metrics cannot reach would prefetch identical keys.
+    if (!metric_symbols.contains(moved_symbol)) return;
+
+    const std::int64_t current = binding.at(moved_symbol);
+    std::vector<std::int64_t> candidates;
+    for (int step = 1; step <= config.prefetch_depth; ++step) {
+      candidates.push_back(current + step * moved_delta);
+    }
+    candidates.push_back(current - moved_delta);  // Direction reversal.
+    std::erase_if(candidates, [&](std::int64_t value) {
+      SymbolMap speculative = binding;
+      speculative[moved_symbol] = value;
+      return contains(metrics_key(speculative));
+    });
+    if (candidates.empty()) return;
+    stats.prefetch_issued += static_cast<std::int64_t>(candidates.size());
+
+    while (prefetch_pipelines.size() < candidates.size()) {
+      prefetch_pipelines.push_back(
+          std::make_unique<MetricPipeline>(config.pipeline));
+    }
+    std::vector<std::shared_ptr<const PipelineResult>> results(
+        candidates.size());
+    // One pool task per candidate; each task owns its pipeline slot.
+    // Nested metric parallelism falls back to serial inside pool tasks,
+    // and each evaluation is deterministic, so results are bit-identical
+    // at any thread count. Speculation must not surface errors: a
+    // candidate that fails to evaluate (e.g. an empty or invalid
+    // iteration space) is simply dropped.
+    par::parallel_for(candidates.size(), 1,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          SymbolMap speculative = binding;
+                          speculative[moved_symbol] = candidates[i];
+                          try {
+                            results[i] = std::make_shared<const PipelineResult>(
+                                evaluate(*prefetch_pipelines[i], speculative));
+                          } catch (const std::exception&) {
+                            results[i] = nullptr;
+                          }
+                        }
+                      });
+    // Serial insertion in candidate order: the eviction schedule is
+    // independent of the thread count.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!results[i]) continue;
+      SymbolMap speculative = binding;
+      speculative[moved_symbol] = candidates[i];
+      insert(metrics_key(speculative), results[i],
+             sim::approx_size_bytes(*results[i]), /*prefetched=*/true);
+    }
+  }
+
+  std::shared_ptr<const Expr> movement_volume() {
+    return get<Expr>(
+        program_key(Kind::kMovementVolume),
+        [&] { return analysis::total_movement_bytes(program); }, &expr_bytes);
+  }
+
+  std::shared_ptr<const StateVolumes> state_volumes(int state_index) {
+    return get<StateVolumes>(
+        program_key(Kind::kStateVolumes, state_index),
+        [&] {
+          const ir::State& state = program.states().at(
+              static_cast<std::size_t>(state_index));
+          StateVolumes volumes;
+          std::set<std::string> reached;
+          for (std::size_t e = 0; e < state.edges().size(); ++e) {
+            const ir::Edge& edge = state.edges()[e];
+            if (edge.memlet.is_empty()) continue;
+            Expr bytes = analysis::total_edge_bytes(program, state, edge);
+            bytes.collect_free_symbols(reached);
+            volumes.bytes_per_edge.emplace_back(e, std::move(bytes));
+          }
+          for (const std::string& symbol : program.symbols()) {
+            if (reached.contains(symbol)) volumes.symbols.insert(symbol);
+          }
+          return volumes;
+        },
+        +[](const StateVolumes& volumes) {
+          std::size_t bytes = sizeof(StateVolumes);
+          for (const auto& [edge, expr] : volumes.bytes_per_edge) {
+            bytes += sizeof(edge) + expr_bytes(expr);
+          }
+          for (const std::string& symbol : volumes.symbols) {
+            bytes += symbol.size() + 32;
+          }
+          return bytes;
+        });
+  }
+
+  std::int64_t movement_bytes() {
+    const std::shared_ptr<const Expr> volume = movement_volume();
+    std::set<std::string> reached;
+    volume->collect_free_symbols(reached);
+    Key key = program_key(Kind::kMovementValue);
+    key.binding = restrict_binding(binding, reached);
+    return *get<std::int64_t>(
+        key, [&] { return volume->evaluate(binding); },
+        +[](const std::int64_t&) { return sizeof(std::int64_t); });
+  }
+
+  std::shared_ptr<const viz::StateLayout> layout(int state_index) {
+    return get<viz::StateLayout>(
+        program_key(Kind::kLayout, state_index),
+        [&] {
+          return viz::layout_state(
+              program.states().at(static_cast<std::size_t>(state_index)),
+              config.layout);
+        },
+        +[](const viz::StateLayout& layout) {
+          return sizeof(viz::StateLayout) +
+                 layout.nodes.size() * sizeof(viz::NodeBox) +
+                 layout.edges.size() * sizeof(viz::EdgePath);
+        });
+  }
+
+  std::shared_ptr<const std::string> graph_svg(int state_index) {
+    const std::shared_ptr<const StateVolumes> volumes =
+        state_volumes(state_index);
+    Key key = program_key(Kind::kGraphSvg, state_index);
+    key.binding = restrict_binding(binding, volumes->symbols);
+    return get<std::string>(
+        key,
+        [&] {
+          const ir::State& state = program.states().at(
+              static_cast<std::size_t>(state_index));
+          std::vector<double> values;
+          values.reserve(volumes->bytes_per_edge.size());
+          for (const auto& [edge, expr] : volumes->bytes_per_edge) {
+            values.push_back(
+                static_cast<double>(expr.evaluate(binding)));
+          }
+          const viz::HeatmapScale scale =
+              viz::HeatmapScale::fit(values, config.scaling);
+          viz::GraphRenderOptions options;
+          options.scheme = config.scheme;
+          options.layout = config.layout;
+          for (std::size_t v = 0; v < values.size(); ++v) {
+            options.edge_heat[volumes->bytes_per_edge[v].first] =
+                scale.normalize(values[v]);
+          }
+          // The Sugiyama layout is the expensive half of a render; it
+          // is binding-independent and comes from its own cache slot.
+          return viz::render_state_svg(state, *layout(state_index),
+                                       options);
+        },
+        +[](const std::string& svg) { return svg.size() + 32; });
+  }
+};
+
+Session::Session(ir::Sdfg program, SessionConfig config)
+    : impl_(std::make_unique<Impl>(std::move(program), std::move(config))) {}
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+const SessionConfig& Session::config() const { return impl_->config; }
+const ir::Sdfg& Session::program() const { return impl_->program; }
+
+void Session::set_program(ir::Sdfg program) {
+  impl_->program = std::move(program);
+  impl_->rehash_program();
+}
+
+void Session::edit_program(const std::function<void(ir::Sdfg&)>& edit) {
+  edit(impl_->program);
+  impl_->rehash_program();
+}
+
+const symbolic::SymbolMap& Session::binding() const { return impl_->binding; }
+
+void Session::set_binding(symbolic::SymbolMap binding) {
+  impl_->binding = std::move(binding);
+  impl_->moved_symbol.clear();
+  impl_->moved_delta = 0;
+}
+
+void Session::set_symbol(const std::string& symbol, std::int64_t value) {
+  auto it = impl_->binding.find(symbol);
+  if (it != impl_->binding.end() && it->second != value) {
+    impl_->moved_symbol = symbol;
+    impl_->moved_delta = value - it->second;
+  }
+  impl_->binding[symbol] = value;
+}
+
+std::shared_ptr<const sim::PipelineResult> Session::metrics() {
+  return impl_->metrics();
+}
+
+std::shared_ptr<const symbolic::Expr> Session::movement_volume() {
+  return impl_->movement_volume();
+}
+
+std::int64_t Session::movement_bytes() { return impl_->movement_bytes(); }
+
+std::shared_ptr<const viz::StateLayout> Session::layout(int state_index) {
+  return impl_->layout(state_index);
+}
+
+std::shared_ptr<const std::string> Session::graph_svg(int state_index) {
+  return impl_->graph_svg(state_index);
+}
+
+const std::set<std::string>& Session::metric_symbols() const {
+  return impl_->metric_symbols;
+}
+
+SessionStats Session::stats() const {
+  SessionStats stats = impl_->stats;
+  stats.cache_bytes = impl_->cache_bytes;
+  stats.cache_entries = impl_->lru.size();
+  return stats;
+}
+
+void Session::reset_stats() { impl_->stats = SessionStats{}; }
+
+void Session::clear_cache() {
+  impl_->lru.clear();
+  impl_->index.clear();
+  impl_->cache_bytes = 0;
+}
+
+}  // namespace dmv::session

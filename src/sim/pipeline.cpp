@@ -120,6 +120,7 @@ class FusedPass {
              std::int64_t cache_lo, std::int64_t cache_span) {
     const std::size_t num_containers = header.layouts.size();
     result_ = PipelineResult{};
+    result_.containers = header.containers;
 
     if (config_.counts) {
       result_.counts.reads.clear();
@@ -371,6 +372,60 @@ class StreamingSink final : public EventSink {
 };
 
 }  // namespace
+
+int PipelineResult::container_index(const std::string& name) const {
+  for (std::size_t c = 0; c < containers.size(); ++c) {
+    if (containers[c] == name) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+std::uint64_t fingerprint(const PipelineConfig& config) {
+  // FNV-1a over every output-relevant field.
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(config.line_size));
+  mix(config.counts ? 1 : 0);
+  mix(static_cast<std::uint64_t>(config.miss_threshold_lines));
+  mix(config.keep_distances ? 1 : 0);
+  mix(config.element_stats ? 1 : 0);
+  mix(config.cache.has_value() ? 1 : 0);
+  if (config.cache) {
+    mix(static_cast<std::uint64_t>(config.cache->line_size));
+    mix(static_cast<std::uint64_t>(config.cache->total_size));
+    mix(static_cast<std::uint64_t>(config.cache->ways));
+  }
+  mix(config.movement ? 1 : 0);
+  return hash;
+}
+
+std::size_t approx_size_bytes(const PipelineResult& result) {
+  std::size_t bytes = 0;
+  for (const std::string& name : result.containers) {
+    bytes += name.size() + sizeof(std::string);
+  }
+  auto nested = [&bytes](const std::vector<std::vector<std::int64_t>>& v) {
+    bytes += v.size() * sizeof(std::vector<std::int64_t>);
+    for (const auto& inner : v) bytes += inner.size() * sizeof(std::int64_t);
+  };
+  nested(result.counts.reads);
+  nested(result.counts.writes);
+  bytes += result.distances.distances.size() * sizeof(std::int64_t);
+  bytes += result.misses.per_container.size() * sizeof(MissStats);
+  nested(result.misses.element_misses);
+  for (const ElementDistanceStats& stats : result.element_stats) {
+    bytes += (stats.min.size() + stats.median.size() + stats.max.size() +
+              stats.cold_count.size()) *
+             sizeof(std::int64_t);
+  }
+  bytes += result.element_stats.size() * sizeof(ElementDistanceStats);
+  bytes += result.cache.per_container.size() * sizeof(MissStats);
+  bytes += result.movement.bytes_per_container.size() * sizeof(std::int64_t);
+  return bytes;
+}
 
 MetricPipeline::MetricPipeline(PipelineConfig config)
     : config_(config), arena_(std::make_unique<Arena>()) {

@@ -206,6 +206,23 @@ std::set<std::string> Expr::free_symbols() const {
   return out;
 }
 
+bool Expr::depends_on(std::string_view symbol) const {
+  if (is_symbol()) return node_->name == symbol;
+  for (const Expr& op : node_->operands) {
+    if (op.depends_on(symbol)) return true;
+  }
+  return false;
+}
+
+bool depends_on_any(const Expr& e, const std::set<std::string>& symbols) {
+  if (symbols.empty()) return false;
+  if (e.is_symbol()) return symbols.contains(e.symbol_name());
+  for (const Expr& op : e.operands()) {
+    if (depends_on_any(op, symbols)) return true;
+  }
+  return false;
+}
+
 int Expr::compare(const Expr& a, const Expr& b) {
   if (a.node_ == b.node_) return 0;
   // Constants sort before symbols, symbols before composites; this keeps

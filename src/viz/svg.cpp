@@ -99,7 +99,13 @@ void draw_node(std::ostringstream& svg, const ir::State& state,
 
 std::string render_state_svg(const ir::State& state,
                              const GraphRenderOptions& options) {
-  const StateLayout layout = layout_state(state, options.layout);
+  return render_state_svg(state, layout_state(state, options.layout),
+                          options);
+}
+
+std::string render_state_svg(const ir::State& state,
+                             const StateLayout& layout,
+                             const GraphRenderOptions& options) {
   std::ostringstream svg;
   const double w = layout.width * options.scale;
   const double h = layout.height * options.scale;
@@ -177,7 +183,7 @@ std::string render_sdfg_svg(
     const StateLayout layout =
         layout_state(sdfg.states()[s], options.layout);
     Panel panel;
-    panel.body = render_state_svg(sdfg.states()[s], options);
+    panel.body = render_state_svg(sdfg.states()[s], layout, options);
     panel.width = layout.width;
     panel.height = layout.height;
     panel.name = sdfg.states()[s].name();

@@ -1,0 +1,312 @@
+// Session-layer contract tests: cache accounting, dependency-restricted
+// invalidation, byte-budgeted LRU eviction, prefetch-vs-cold
+// bit-identity, and thread-count determinism. The overarching invariant
+// is that a Session is a pure performance layer — every artifact equals
+// the uncached evaluation bit for bit, no matter the cache or thread
+// schedule.
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmv/analysis/analysis.hpp"
+#include "dmv/par/par.hpp"
+#include "dmv/session/session.hpp"
+#include "dmv/sim/pipeline.hpp"
+#include "dmv/transforms/transforms.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::session {
+namespace {
+
+using sim::PipelineResult;
+using symbolic::SymbolMap;
+
+SessionConfig test_config() {
+  SessionConfig config;
+  config.pipeline.counts = true;
+  config.pipeline.miss_threshold_lines = 8;
+  config.pipeline.element_stats = true;
+  config.pipeline.keep_distances = true;
+  config.pipeline.movement = true;
+  config.prefetch = false;  // Tests opt in explicitly.
+  return config;
+}
+
+ir::Sdfg small_hdiff() {
+  return workloads::hdiff(workloads::HdiffVariant::Baseline);
+}
+
+SymbolMap small_binding(std::int64_t k = 3) {
+  return SymbolMap{{"I", 4}, {"J", 4}, {"K", k}};
+}
+
+void expect_identical(const PipelineResult& a, const PipelineResult& b) {
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.executions, b.executions);
+  EXPECT_EQ(a.counts.reads, b.counts.reads);
+  EXPECT_EQ(a.counts.writes, b.counts.writes);
+  EXPECT_EQ(a.distances.line_size, b.distances.line_size);
+  EXPECT_EQ(a.distances.distances, b.distances.distances);
+  EXPECT_EQ(a.misses.threshold_lines, b.misses.threshold_lines);
+  EXPECT_EQ(a.misses.element_misses, b.misses.element_misses);
+  EXPECT_EQ(a.misses.total.cold, b.misses.total.cold);
+  EXPECT_EQ(a.misses.total.capacity, b.misses.total.capacity);
+  EXPECT_EQ(a.misses.total.hits, b.misses.total.hits);
+  ASSERT_EQ(a.element_stats.size(), b.element_stats.size());
+  for (std::size_t c = 0; c < a.element_stats.size(); ++c) {
+    EXPECT_EQ(a.element_stats[c].min, b.element_stats[c].min);
+    EXPECT_EQ(a.element_stats[c].median, b.element_stats[c].median);
+    EXPECT_EQ(a.element_stats[c].max, b.element_stats[c].max);
+    EXPECT_EQ(a.element_stats[c].cold_count, b.element_stats[c].cold_count);
+  }
+  EXPECT_EQ(a.movement.line_size, b.movement.line_size);
+  EXPECT_EQ(a.movement.bytes_per_container, b.movement.bytes_per_container);
+  EXPECT_EQ(a.movement.total_bytes, b.movement.total_bytes);
+}
+
+// Uncached reference: a fresh pipeline per call, no memoization anywhere.
+PipelineResult uncached(const ir::Sdfg& sdfg, const SymbolMap& binding,
+                        const SessionConfig& config) {
+  sim::MetricPipeline pipeline(config.pipeline);
+  return config.streaming
+             ? pipeline.run_streaming(sdfg, binding, config.simulation)
+             : pipeline.run(sdfg, binding, config.simulation);
+}
+
+TEST(SessionTest, HitMissAccounting) {
+  Session session(small_hdiff(), test_config());
+  session.set_binding(small_binding(3));
+
+  auto first = session.metrics();
+  EXPECT_EQ(session.stats().misses, 1);
+  EXPECT_EQ(session.stats().hits, 0);
+
+  auto second = session.metrics();
+  EXPECT_EQ(session.stats().misses, 1);
+  EXPECT_EQ(session.stats().hits, 1);
+  expect_identical(*first, *second);
+  // Cached artifacts are shared, not copied.
+  EXPECT_EQ(first.get(), second.get());
+
+  session.set_symbol("K", 4);
+  auto third = session.metrics();
+  EXPECT_EQ(session.stats().misses, 2);
+
+  session.set_symbol("K", 3);
+  auto fourth = session.metrics();
+  EXPECT_EQ(session.stats().misses, 2);
+  EXPECT_EQ(session.stats().hits, 2);
+  expect_identical(*first, *fourth);
+  EXPECT_NE(third->events, 0);
+  EXPECT_GT(session.stats().cache_entries, 0u);
+  EXPECT_GT(session.stats().cache_bytes, 0u);
+}
+
+TEST(SessionTest, ResultsMatchUncachedEvaluation) {
+  const SessionConfig config = test_config();
+  Session session(small_hdiff(), config);
+  for (std::int64_t k : {2, 3, 4, 3, 2}) {
+    session.set_symbol("I", 4);
+    session.set_symbol("J", 4);
+    session.set_symbol("K", k);
+    expect_identical(*session.metrics(),
+                     uncached(small_hdiff(), small_binding(k), config));
+  }
+}
+
+TEST(SessionTest, UnusedSymbolDoesNotInvalidate) {
+  ir::Sdfg sdfg = small_hdiff();
+  sdfg.add_symbol("UNUSED");  // Declared but reaches nothing.
+  Session session(std::move(sdfg), test_config());
+
+  // The reachability analysis excludes the unused symbol...
+  EXPECT_EQ(session.metric_symbols(),
+            (std::set<std::string>{"I", "J", "K"}));
+
+  SymbolMap binding = small_binding(3);
+  binding["UNUSED"] = 1;
+  session.set_binding(binding);
+  auto metrics = session.metrics();
+  auto svg = session.graph_svg(0);
+  const SessionStats cold = session.stats();
+
+  // ...so moving it must hit every cached artifact: no eviction, no
+  // recomputation — the restricted key did not change.
+  session.set_symbol("UNUSED", 99);
+  auto metrics_again = session.metrics();
+  auto svg_again = session.graph_svg(0);
+  EXPECT_EQ(session.stats().misses, cold.misses);
+  EXPECT_EQ(metrics.get(), metrics_again.get());
+  EXPECT_EQ(svg.get(), svg_again.get());
+
+  // A reached symbol does invalidate the metrics...
+  session.set_symbol("K", 4);
+  session.metrics();
+  EXPECT_GT(session.stats().misses, cold.misses);
+}
+
+TEST(SessionTest, SymbolicArtifactsSurviveResimulation) {
+  Session session(small_hdiff(), test_config());
+  session.set_binding(small_binding(3));
+  auto volume = session.movement_volume();
+  auto layout = session.layout(0);
+
+  for (std::int64_t k : {4, 5, 6}) {
+    session.set_symbol("K", k);
+    session.metrics();
+    // Binding-independent artifacts: same shared object, no recompute.
+    EXPECT_EQ(session.movement_volume().get(), volume.get());
+    EXPECT_EQ(session.layout(0).get(), layout.get());
+  }
+
+  // movement_bytes is keyed by the symbols the volume reaches.
+  const std::int64_t at6 = session.movement_bytes();
+  const SessionStats before = session.stats();
+  EXPECT_EQ(session.movement_bytes(), at6);  // Hit.
+  EXPECT_EQ(session.stats().misses, before.misses);
+  SymbolMap expected_binding = small_binding(6);
+  EXPECT_EQ(at6, volume->evaluate(expected_binding));
+}
+
+TEST(SessionTest, ProgramEditChangesContentHash) {
+  const SessionConfig config = test_config();
+  Session session(small_hdiff(), config);
+  session.set_binding(small_binding(3));
+  auto baseline = session.metrics();
+  auto baseline_volume = session.movement_volume();
+
+  session.edit_program([](ir::Sdfg& sdfg) {
+    transforms::permute_dimensions(sdfg, "in_field", {2, 0, 1});
+  });
+  auto permuted = session.metrics();
+  // metrics + movement_volume before the edit, metrics after: the edited
+  // program hashes to a new content key, so the third call cannot hit.
+  EXPECT_EQ(session.stats().misses, 3);
+  EXPECT_EQ(session.stats().hits, 0);
+  // The permuted layout changes physical reuse, hence the metrics.
+  ir::Sdfg reference = small_hdiff();
+  transforms::permute_dimensions(reference, "in_field", {2, 0, 1});
+  expect_identical(*permuted, uncached(reference, small_binding(3), config));
+  // Symbolic volume is recomputed for the new program version.
+  EXPECT_NE(session.movement_volume().get(), baseline_volume.get());
+  EXPECT_NE(baseline.get(), permuted.get());
+}
+
+TEST(SessionTest, LruEvictionUnderTinyByteBudget) {
+  SessionConfig config = test_config();
+  config.cache_budget_bytes = 1;  // Every insert evicts its predecessors.
+  Session session(small_hdiff(), config);
+
+  for (std::int64_t k : {2, 3, 4, 2, 3, 4}) {
+    session.set_binding(small_binding(k));
+    expect_identical(*session.metrics(),
+                     uncached(small_hdiff(), small_binding(k), config));
+  }
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.misses, 6);  // Nothing survives the budget...
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_EQ(stats.cache_entries, 1u);  // ...except the newest entry.
+}
+
+TEST(SessionTest, PrefetchVsColdBitIdentity) {
+  SessionConfig cold_config = test_config();
+  SessionConfig prefetch_config = test_config();
+  prefetch_config.prefetch = true;
+  prefetch_config.prefetch_depth = 2;
+
+  Session cold(small_hdiff(), cold_config);
+  Session warm(small_hdiff(), prefetch_config);
+  cold.set_binding(small_binding(2));
+  warm.set_binding(small_binding(2));
+
+  // A forward slider drag: after the first move establishes the stride,
+  // the prefetcher should stay ahead of the slider.
+  for (std::int64_t k = 2; k <= 8; ++k) {
+    cold.set_symbol("K", k);
+    warm.set_symbol("K", k);
+    expect_identical(*warm.metrics(), *cold.metrics());
+  }
+  EXPECT_GT(warm.stats().prefetch_issued, 0);
+  EXPECT_GT(warm.stats().prefetch_hits, 0);
+  // Prefetching converts misses into hits; it must never add misses.
+  EXPECT_LT(warm.stats().misses, cold.stats().misses);
+}
+
+TEST(SessionDeterminismTest, OneVsEightThreadsBitIdentical) {
+  SessionConfig config = test_config();
+  config.prefetch = true;
+  config.prefetch_depth = 3;
+
+  auto sweep = [&](int threads) {
+    par::ThreadScope scope(threads);
+    Session session(small_hdiff(), config);
+    session.set_binding(small_binding(2));
+    std::vector<std::shared_ptr<const PipelineResult>> results;
+    for (std::int64_t k = 2; k <= 7; ++k) {
+      session.set_symbol("K", k);
+      results.push_back(session.metrics());
+    }
+    return std::make_pair(std::move(results), session.stats());
+  };
+
+  auto [serial, serial_stats] = sweep(1);
+  auto [parallel, parallel_stats] = sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(*serial[i], *parallel[i]);
+  }
+  // The cache schedule (hits, misses, insertions, evictions) is also
+  // thread-count independent: prefetch results are inserted serially
+  // in candidate order.
+  EXPECT_EQ(serial_stats.hits, parallel_stats.hits);
+  EXPECT_EQ(serial_stats.misses, parallel_stats.misses);
+  EXPECT_EQ(serial_stats.prefetch_issued, parallel_stats.prefetch_issued);
+  EXPECT_EQ(serial_stats.prefetch_hits, parallel_stats.prefetch_hits);
+  EXPECT_EQ(serial_stats.evictions, parallel_stats.evictions);
+  EXPECT_EQ(serial_stats.cache_entries, parallel_stats.cache_entries);
+  EXPECT_EQ(serial_stats.cache_bytes, parallel_stats.cache_bytes);
+}
+
+TEST(SessionTest, GraphSvgReusesLayoutAcrossBindings) {
+  Session session(small_hdiff(), test_config());
+  session.set_binding(small_binding(3));
+  auto svg3 = session.graph_svg(0);
+  EXPECT_EQ(session.graph_svg(0).get(), svg3.get());  // Same binding: hit.
+  session.set_symbol("K", 4);
+  auto svg4 = session.graph_svg(0);
+  // K reaches the hdiff volumes, so the render is keyed separately (a
+  // distinct cache entry even though hdiff's fit-normalized heat happens
+  // to produce identical bytes — every volume shares the factor K-1).
+  EXPECT_NE(svg3.get(), svg4.get());
+  const SessionStats stats = session.stats();
+  session.layout(0);
+  EXPECT_EQ(session.graph_svg(0).get(), svg4.get());
+  // Layout is binding-independent: re-rendering at K=4 reused the cached
+  // layout, and asking for it directly adds no miss.
+  EXPECT_EQ(session.stats().misses, stats.misses);
+}
+
+TEST(SessionTest, SimulationSymbolsReachability) {
+  ir::Sdfg sdfg = small_hdiff();
+  sdfg.add_symbol("UNUSED");
+  const std::set<std::string> reached = analysis::simulation_symbols(sdfg);
+  EXPECT_EQ(reached, (std::set<std::string>{"I", "J", "K"}));
+
+  // The expression-level query the analysis is built from.
+  const symbolic::Expr expr =
+      symbolic::Expr::symbol("I") * 4 + symbolic::Expr::symbol("K");
+  EXPECT_TRUE(expr.depends_on("I"));
+  EXPECT_TRUE(expr.depends_on("K"));
+  EXPECT_FALSE(expr.depends_on("J"));
+  EXPECT_TRUE(symbolic::depends_on_any(expr, {"J", "K"}));
+  EXPECT_FALSE(symbolic::depends_on_any(expr, {"J", "UNUSED"}));
+}
+
+}  // namespace
+}  // namespace dmv::session

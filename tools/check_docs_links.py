@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown documentation.
+
+Checks every inline markdown link ``[text](target)`` in README.md,
+DESIGN.md, and docs/**/*.md. External links (http/https/mailto) are
+skipped; everything else is resolved relative to the file containing
+the link (or the repo root for ``/``-prefixed targets) and must exist.
+Fragments (``file.md#section``) are checked for file existence only.
+
+Run from anywhere:  python3 tools/check_docs_links.py
+Exit code 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr). CI runs this as the docs job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links, skipping images' leading "!" handled by the same regex.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files():
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: Path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    # Strip fenced code blocks: snippets often contain [..](..)-shaped
+    # text that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if target.startswith("/"):
+            resolved = REPO_ROOT / target.lstrip("/")
+        else:
+            resolved = path.parent / target
+        if not resolved.exists():
+            broken.append((target, match.group(0)))
+    return broken
+
+
+def main() -> int:
+    any_broken = False
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for target, link in check_file(path):
+            any_broken = True
+            rel = path.relative_to(REPO_ROOT)
+            print(f"{rel}: broken link {link} -> {target}", file=sys.stderr)
+    if any_broken:
+        return 1
+    print(f"checked {checked} markdown files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
