@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "dmv/analysis/analysis.hpp"
 #include "dmv/par/par.hpp"
 #include "dmv/session/session.hpp"
 #include "dmv/sim/pipeline.hpp"
@@ -181,6 +182,41 @@ std::int64_t run_sweep(const SweepCase& sweep,
   return total;
 }
 
+// ---- symbolic_ops ----------------------------------------------------
+//
+// The symbolic engine in isolation: the repeated build -> simplify ->
+// analyze -> substitute -> evaluate series the session layer issues on
+// every slider drag, over each workload's real movement-volume
+// expression. Run twice: with the hash-consing memo tables and
+// intern-time metadata on (default engine) and with
+// set_symbolic_memoization(false) (legacy tree walks). Results are
+// checksummed and must match bit for bit — the switch may only change
+// time, never values.
+std::int64_t run_symbolic_ops(const SweepCase& sweep, int rounds) {
+  using dmv::symbolic::Expr;
+  std::int64_t checksum = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // Build: re-derive the symbolic volume from the IR (exercises the
+    // interner and construction-time simplification).
+    const Expr metric = dmv::analysis::total_movement_bytes(sweep.sdfg);
+    // Deep canonicalization pass (simplify-memo hit after round 0).
+    const Expr simple = dmv::symbolic::simplified(metric);
+    // Free-symbol and reachability analyses (intern-time metadata vs
+    // legacy recursive walks).
+    checksum += static_cast<std::int64_t>(simple.free_symbols().size());
+    checksum += simple.depends_on(sweep.symbol) ? 1 : 0;
+    for (const SymbolMap& binding : sweep.bindings) {
+      // Partial substitution of the fixed symbols, then the slider.
+      const Expr partial = simple.substitute(sweep.base);
+      const Expr bound = partial.substitute(binding);
+      checksum += bound.is_constant() ? bound.constant_value() : -1;
+      // Direct evaluation of the full expression under the binding.
+      checksum += simple.evaluate(binding);
+    }
+  }
+  return checksum;
+}
+
 struct Measurement {
   double best_ms = 0;
   std::int64_t checksum = 0;
@@ -291,13 +327,31 @@ bool validate_ablation(const SweepCase& sweep,
   return true;
 }
 
+// symbolic_ops checksum gate: the memoized engine and the legacy walks
+// must produce identical values. Restores memoization even on failure.
+bool validate_symbolic_ops(const SweepCase& sweep, int rounds) {
+  dmv::symbolic::set_symbolic_memoization(true);
+  const std::int64_t memoized = run_symbolic_ops(sweep, rounds);
+  dmv::symbolic::set_symbolic_memoization(false);
+  const std::int64_t legacy = run_symbolic_ops(sweep, rounds);
+  dmv::symbolic::set_symbolic_memoization(true);
+  if (memoized != legacy) {
+    std::cerr << "FATAL: symbolic_ops mismatch on " << sweep.name
+              << ": memoized " << memoized << ", legacy " << legacy << "\n";
+    return false;
+  }
+  return true;
+}
+
 int run_smoke() {
   SimulationOptions compiled;
   compiled.compiled = true;
   for (const SweepCase& sweep : build_cases(/*smoke=*/true)) {
     if (!validate_ablation(sweep, compiled)) return 1;
+    if (!validate_symbolic_ops(sweep, /*rounds=*/2)) return 1;
     std::cout << "smoke " << sweep.name
-              << ": unfused == fused == streaming == session\n";
+              << ": unfused == fused == streaming == session, "
+              << "symbolic_ops memoized == legacy\n";
   }
   std::cout << "smoke OK\n";
   return 0;
@@ -523,6 +577,45 @@ int main(int argc, char** argv) {
     dmv::par::set_num_threads(1);
   }
   json << "  ],\n";
+
+  // Symbolic-engine ablation: the repeated analysis series per workload,
+  // hash-consed engine vs legacy tree walks (identical checksums
+  // enforced; only the time may differ).
+  {
+    dmv::par::set_num_threads(1);
+    constexpr int kSymbolicRounds = 40;
+    json << "  \"symbolic_ops\": [\n";
+    for (std::size_t w = 0; w < cases.size(); ++w) {
+      const SweepCase& sweep = cases[w];
+      dmv::symbolic::set_symbolic_memoization(true);
+      const Measurement memoized = measure(
+          [&] { return run_symbolic_ops(sweep, kSymbolicRounds); },
+          repetitions);
+      dmv::symbolic::set_symbolic_memoization(false);
+      const Measurement legacy = measure(
+          [&] { return run_symbolic_ops(sweep, kSymbolicRounds); },
+          repetitions);
+      dmv::symbolic::set_symbolic_memoization(true);
+      if (memoized.checksum != legacy.checksum) {
+        std::cerr << "FATAL: symbolic_ops mismatch on " << sweep.name << "\n";
+        return 1;
+      }
+      const double speedup = legacy.best_ms / memoized.best_ms;
+      std::cout << "symbolic ops (" << sweep.name << ", " << kSymbolicRounds
+                << " rounds x " << sweep.bindings.size()
+                << " bindings): legacy " << legacy.best_ms
+                << " ms, memoized " << memoized.best_ms << " ms  ("
+                << speedup << "x)\n";
+      json << "    {\"name\": \"" << sweep.name
+           << "\", \"rounds\": " << kSymbolicRounds
+           << ", \"bindings\": " << sweep.bindings.size()
+           << ", \"legacy_ms\": " << legacy.best_ms
+           << ", \"memoized_ms\": " << memoized.best_ms
+           << ", \"speedup\": " << speedup << "}"
+           << (w + 1 < cases.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+  }
 
   // Stack-distance algorithm ablation on a size-capped trace (the naive
   // pass is O(n^2); the cap keeps it to a fraction of a second while

@@ -16,23 +16,29 @@ std::vector<SymbolScaling> scaling_exponents(const Expr& metric,
   }
   // Check the binding covers the metric before any evaluation, so the
   // caller gets one actionable error instead of an evaluation failure.
-  for (const std::string& symbol : metric.free_symbols()) {
+  // free_symbols() reads the metric's intern-time symbol set — O(set),
+  // not a tree walk.
+  const std::set<std::string> free = metric.free_symbols();
+  for (const std::string& symbol : free) {
     if (!base.contains(symbol)) {
       throw std::invalid_argument(
           "scaling_exponents: base binding misses symbol '" + symbol + "'");
     }
   }
-  const std::set<std::string> free = metric.free_symbols();
   const std::vector<std::string> symbols(free.begin(), free.end());
   std::vector<SymbolScaling> result(symbols.size());
-  const double base_value = static_cast<double>(metric.evaluate(base));
+  // Flat (SymbolId, value) binding: probe evaluations copy a contiguous
+  // vector and binary-search it instead of copying a string-keyed map.
+  const symbolic::SymbolBinding base_binding(base);
+  const double base_value =
+      static_cast<double>(metric.evaluate(base_binding));
   // Each symbol's probe evaluation is independent; entries land in
   // symbol order regardless of scheduling.
   par::parallel_for(symbols.size(), 1, [&](std::size_t begin,
                                            std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
-      SymbolMap scaled = base;
-      scaled.find(symbols[s])->second *= factor;
+      symbolic::SymbolBinding scaled = base_binding;
+      scaled.set(symbols[s], base.at(symbols[s]) * factor);
       SymbolScaling& entry = result[s];
       entry.symbol = symbols[s];
       entry.base_value = base_value;

@@ -19,22 +19,37 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dmv/symbolic/expr.hpp"
 
 namespace dmv::symbolic {
 
+class CompiledExpr;
+
 /// Interns symbol names to dense slots. One table is shared by every
 /// expression compiled for the same evaluation context, so a single
 /// `slots`-sized array serves as the environment for all of them.
+///
+/// Slot lookup is keyed by global SymbolId (flat map, no string
+/// hashing); slot assignment stays append-only in first-intern order, so
+/// a table's slot numbering — unlike SymbolId values — is fully
+/// determined by the compile call sequence. The table also memoizes
+/// compilation per interned expression node: re-compiling an expression
+/// this table has seen (slot assignment is append-only, so the earlier
+/// result is still valid) is a pointer-keyed lookup. Not thread-safe —
+/// one table per evaluation context, as before.
 class SymbolTable {
  public:
   /// Slot of `name`, interning it if new.
   int intern(const std::string& name);
+  int intern(SymbolId id);
   /// Slot of `name`, or -1 if never interned.
   int lookup(const std::string& name) const;
+  int lookup(SymbolId id) const;
 
   std::size_t size() const { return names_.size(); }
   const std::vector<std::string>& names() const { return names_; }
@@ -44,10 +59,16 @@ class SymbolTable {
   /// in `symbols` without a slot are ignored (they were never needed).
   void bind(const SymbolMap& symbols, std::vector<std::int64_t>& values,
             std::vector<char>& bound) const;
+  void bind(const SymbolBinding& symbols, std::vector<std::int64_t>& values,
+            std::vector<char>& bound) const;
 
  private:
+  friend class CompiledExpr;
   std::vector<std::string> names_;
-  std::map<std::string, int> slots_;
+  std::unordered_map<SymbolId, int> slots_;
+  /// Compile memo: interned node -> compiled form (shared, immutable).
+  std::unordered_map<const ExprNode*, std::shared_ptr<const CompiledExpr>>
+      memo_;
 };
 
 /// An `Expr` flattened to postfix form over a `SymbolTable`.

@@ -1,34 +1,73 @@
 #pragma once
 
-// Symbolic integer expression engine.
+// Symbolic integer expression engine, hash-consed.
 //
 // Every quantity the analyses reason about (array extents, strides, memlet
-// volumes, map bounds, FLOP counts) is an `Expr`: an immutable tree over
-// 64-bit integer constants and named program symbols. Expressions are
-// value types backed by shared immutable nodes, so copying is cheap and
-// subtrees are freely shared between the IR and analysis results.
+// volumes, map bounds, FLOP counts) is an `Expr`: an immutable expression
+// over 64-bit integer constants and named program symbols. Expressions are
+// value types backed by *interned* immutable nodes: a global hash-consing
+// interner canonicalizes every node by structural identity, so
+//
+//   * structurally identical subtrees are ONE node — an `Expr` is a single
+//     pointer, copying is free, and structural equality is pointer
+//     comparison;
+//   * per-node analysis metadata (free-symbol set, structural hash, tree
+//     size) is computed once at intern time, turning `depends_on` /
+//     `collect_free_symbols` from tree walks into O(1)-to-O(set) lookups
+//     even on heavily shared DAGs;
+//   * memo tables keyed by node pointer let `simplified`, `substitute`,
+//     and `CompiledExpr::compile` reuse work across repeated analyses of
+//     the same program.
+//
+// Symbol names are interned to dense `SymbolId` integers (side table for
+// the names), so hot paths can carry flat sorted `(SymbolId, i64)` vectors
+// (`SymbolBinding`) instead of `std::map<std::string, i64>`. The classic
+// string-keyed `SymbolMap` remains accepted everywhere and is converted at
+// the boundary.
+//
+// Determinism contract: interned node addresses and SymbolId values depend
+// on interning order and may differ between runs — they never leak into
+// results, output text, or iteration order. Canonical operand ordering
+// compares symbols by NAME, and all name-set outputs are sorted
+// `std::set<std::string>`, so rendered expressions and analysis results
+// are bit-identical at any thread count. See docs/symbolic.md.
 //
 // Expressions support partial substitution (bind some symbols, keep the
-// rest symbolic) and full evaluation under a `SymbolMap`, which is what
-// powers the paper's parametric scaling analysis (SC22 paper, section
-// IV-D): the same symbolic volume is re-evaluated as the user moves an
-// input-parameter slider.
+// rest symbolic) and full evaluation under a `SymbolMap`/`SymbolBinding`,
+// which is what powers the paper's parametric scaling analysis (SC22
+// paper, section IV-D): the same symbolic volume is re-evaluated as the
+// user moves an input-parameter slider.
 
+#include <concepts>
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <optional>
 #include <set>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace dmv::symbolic {
 
 /// Binding of symbol names to concrete integer values.
 using SymbolMap = std::map<std::string, std::int64_t>;
+
+/// Dense interned symbol identifier. Assigned in first-intern order and
+/// stable for the process lifetime; never serialized or ordered into
+/// outputs (see the determinism contract above).
+using SymbolId = std::uint32_t;
+
+/// Interns `name`, returning its id (allocating one if new).
+SymbolId intern_symbol(std::string_view name);
+/// Id of `name` if it was ever interned; nullopt otherwise. A symbol that
+/// was never interned cannot occur in any expression.
+std::optional<SymbolId> find_symbol(std::string_view name);
+/// Name of an interned id. The reference is stable for the process
+/// lifetime. Precondition: `id` came from intern_symbol/find_symbol.
+const std::string& symbol_name_of(SymbolId id);
 
 /// Node discriminator. Add and Mul are n-ary (operands flattened and
 /// canonically sorted by the simplifier); the rest are binary.
@@ -48,6 +87,12 @@ enum class ExprKind {
 class Expr;
 struct ExprNode;
 
+namespace detail {
+/// Interner backdoor: wraps/unwraps interned nodes for the engine's own
+/// translation units. Not part of the public API.
+struct InternAccess;
+}  // namespace detail
+
 /// Thrown when `Expr::evaluate` meets a symbol absent from the map.
 class UnboundSymbolError : public std::runtime_error {
  public:
@@ -60,7 +105,38 @@ class UnboundSymbolError : public std::runtime_error {
   std::string symbol_;
 };
 
-/// Immutable symbolic integer expression (value type, cheap to copy).
+/// Flat sorted `(SymbolId, value)` binding — the hot-path replacement for
+/// `SymbolMap`. Lookup is a binary search over a contiguous vector (no
+/// hashing, no string compares, no per-node allocation); copying is one
+/// vector copy. Entry order is by SymbolId and is internal only.
+class SymbolBinding {
+ public:
+  SymbolBinding() = default;
+  explicit SymbolBinding(const SymbolMap& symbols) { assign(symbols); }
+
+  /// Rebuilds from a name-keyed map (interning any new names).
+  void assign(const SymbolMap& symbols);
+  /// Inserts or overwrites one entry, keeping the vector sorted.
+  void set(SymbolId id, std::int64_t value);
+  void set(std::string_view name, std::int64_t value) {
+    set(intern_symbol(name), value);
+  }
+  /// Pointer to the value of `id`, or nullptr if unbound.
+  const std::int64_t* find(SymbolId id) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::span<const std::pair<SymbolId, std::int64_t>> entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<SymbolId, std::int64_t>> entries_;  // sorted by id
+};
+
+/// Immutable symbolic integer expression (value type; one interned
+/// pointer, so copying is free and equality of canonical forms is pointer
+/// identity).
 class Expr {
  public:
   /// Default-constructs the constant 0.
@@ -71,6 +147,7 @@ class Expr {
 
   static Expr constant(std::int64_t value);
   static Expr symbol(std::string name);
+  static Expr symbol(SymbolId id);
   /// Builds an n-ary/binary node of `kind` over `operands` and simplifies.
   static Expr make(ExprKind kind, std::vector<Expr> operands);
 
@@ -84,6 +161,8 @@ class Expr {
   std::int64_t constant_value() const;
   /// Precondition: is_symbol().
   const std::string& symbol_name() const;
+  /// Precondition: is_symbol().
+  SymbolId symbol_id() const;
   /// Child expressions (empty for leaves).
   std::span<const Expr> operands() const;
 
@@ -93,38 +172,88 @@ class Expr {
   /// Like evaluate but returns nullopt instead of throwing.
   std::optional<std::int64_t> try_evaluate(const SymbolMap& symbols) const;
 
+  // SymbolBinding fast paths. Constrained templates (not plain
+  // overloads) so braced-init-list calls like `evaluate({{"N", 4}})`
+  // keep binding to the SymbolMap overloads unambiguously.
+  template <typename B>
+    requires std::same_as<std::remove_cvref_t<B>, SymbolBinding>
+  std::int64_t evaluate(const B& symbols) const {
+    return evaluate_binding(symbols);
+  }
+  template <typename B>
+    requires std::same_as<std::remove_cvref_t<B>, SymbolBinding>
+  std::optional<std::int64_t> try_evaluate(const B& symbols) const {
+    return try_evaluate_binding(symbols);
+  }
+
   /// Replaces bound symbols with constants and re-simplifies. Symbols not
-  /// present in the map stay symbolic (partial binding).
+  /// present in the map stay symbolic (partial binding). Shared subtrees
+  /// are rewritten once (DAG-memoized per call), and subtrees that reach
+  /// none of the bound symbols are returned unchanged in O(1).
   Expr substitute(const SymbolMap& symbols) const;
   /// General substitution of symbols by arbitrary expressions.
   Expr substitute(const std::map<std::string, Expr>& replacements) const;
+  template <typename B>
+    requires std::same_as<std::remove_cvref_t<B>, SymbolBinding>
+  Expr substitute(const B& symbols) const {
+    return substitute_binding(symbols);
+  }
 
   void collect_free_symbols(std::set<std::string>& out) const;
   std::set<std::string> free_symbols() const;
-  /// Reachability query: true iff `symbol` occurs anywhere in the tree.
-  /// Unlike free_symbols() it allocates nothing and stops at the first
-  /// hit — the session layer's per-artifact invalidation check.
+  /// The interned free-symbol set of this node: sorted by SymbolId,
+  /// deduplicated, computed once at intern time. O(1); the reference is
+  /// stable for the process lifetime. Internal ordering only — map to
+  /// names (and re-sort) before anything user-visible.
+  const std::vector<SymbolId>& free_symbol_ids() const;
+
+  /// Reachability query: true iff `symbol` occurs anywhere in the
+  /// expression. O(log |free set|) via intern-time metadata; allocates
+  /// nothing — the session layer's per-artifact invalidation check.
   bool depends_on(std::string_view symbol) const;
+  bool depends_on(SymbolId symbol) const;
 
   /// Structural equality after canonical simplification. Not a full
   /// symbolic equivalence decision procedure, but canonicalization makes
   /// it reliable for the polynomial expressions the IR produces.
+  /// Canonical forms are interned, so this is pointer comparison plus (on
+  /// mismatch) comparison of the expanded polynomial normal forms.
   bool equals(const Expr& other) const;
+
+  /// True iff both wrap the same interned node — structural identity of
+  /// canonical forms, O(1).
+  bool same_node(const Expr& other) const { return node_ == other.node_; }
+
+  /// Structural hash, computed once at intern time. Deterministic across
+  /// runs (built from kinds, values, and symbol NAMES, not ids).
+  std::uint64_t structural_hash() const;
+
+  /// Number of nodes of the expression *tree* (shared nodes counted per
+  /// reference), saturating at uint32 max. O(1).
+  std::uint32_t tree_size() const;
+  /// Number of distinct interned nodes reachable from this expression —
+  /// the DAG footprint. Walks each unique node once.
+  std::size_t dag_size() const;
 
   /// Human-readable form with minimal parenthesization.
   std::string to_string() const;
 
   /// Total order used for canonical operand sorting (constants first,
-  /// then symbols by name, then composites by kind/operands).
+  /// then symbols by name, then composites by kind/operands). Structural
+  /// and deterministic: never consults pointers or SymbolIds except for
+  /// the equal-node fast path.
   static int compare(const Expr& a, const Expr& b);
 
   const ExprNode& node() const { return *node_; }
 
  private:
-  explicit Expr(std::shared_ptr<const ExprNode> node);
-  std::shared_ptr<const ExprNode> node_;
-  friend Expr simplified(const Expr&);
-  friend Expr detail_make_raw(ExprKind, std::vector<Expr>);
+  explicit Expr(const ExprNode* node) : node_(node) {}
+  std::int64_t evaluate_binding(const SymbolBinding& symbols) const;
+  std::optional<std::int64_t> try_evaluate_binding(
+      const SymbolBinding& symbols) const;
+  Expr substitute_binding(const SymbolBinding& symbols) const;
+  const ExprNode* node_;  ///< Interned; owned by the process-lifetime arena.
+  friend struct detail::InternAccess;
 };
 
 /// Builds a composite node WITHOUT simplification. Internal: used by the
@@ -132,11 +261,25 @@ class Expr {
 /// which is what guarantees the simplifier terminates.
 Expr detail_make_raw(ExprKind kind, std::vector<Expr> operands);
 
+/// Interned expression node. Immutable after interning; addresses are
+/// stable for the process lifetime. The metadata fields are computed once
+/// by the interner, never by consumers.
 struct ExprNode {
   ExprKind kind = ExprKind::Constant;
   std::int64_t value = 0;      ///< Constant payload.
-  std::string name;            ///< Symbol payload.
-  std::vector<Expr> operands;  ///< Composite payload.
+  SymbolId sym = 0;            ///< Symbol payload (see symbol_name_of).
+  /// Symbol payload: the interned name (stable address, lock-free reads
+  /// on the compare/print hot paths). Null for non-symbol nodes.
+  const std::string* name = nullptr;
+  std::vector<Expr> operands;  ///< Composite payload (interned children).
+
+  // --- intern-time metadata -------------------------------------------
+  std::uint64_t hash = 0;         ///< Structural hash (run-deterministic).
+  std::uint64_t symbol_mask = 0;  ///< Bloom of free ids: bit (id % 64).
+  /// Interned sorted free-symbol id set (never null; empty set for
+  /// constant subtrees). Shared between nodes with equal sets.
+  const std::vector<SymbolId>* free_syms = nullptr;
+  std::uint32_t tree_size = 1;  ///< Tree node count, saturating.
 };
 
 Expr operator+(const Expr& a, const Expr& b);
@@ -153,12 +296,16 @@ Expr ceil_div(const Expr& a, const Expr& b);
 Expr pow(const Expr& base, const Expr& exponent);
 
 /// True iff any symbol of `symbols` occurs in `e` — the multi-symbol
-/// form of Expr::depends_on, same short-circuit/no-allocation contract.
+/// form of Expr::depends_on, same no-allocation contract.
 bool depends_on_any(const Expr& e, const std::set<std::string>& symbols);
+/// Id-based form; `symbols` must be sorted ascending.
+bool depends_on_any(const Expr& e, std::span<const SymbolId> symbols);
 
 /// Canonical simplification: constant folding, identity elimination,
 /// flattening of nested Add/Mul, like-term collection, operand sorting.
 /// All operators already simplify locally; this is the deep pass.
+/// Memoized by interned node, so re-simplifying a node the process has
+/// seen before is a table lookup.
 Expr simplified(const Expr& e);
 
 /// Distributes products over sums and expands small constant powers,
@@ -173,5 +320,29 @@ std::int64_t floor_div_i64(std::int64_t a, std::int64_t b);
 std::int64_t ceil_div_i64(std::int64_t a, std::int64_t b);
 std::int64_t mod_i64(std::int64_t a, std::int64_t b);
 std::int64_t pow_i64(std::int64_t base, std::int64_t exponent);
+/// pow with overflow detection: nullopt if the exponent is negative or
+/// the result does not fit in int64_t. The simplifier folds `Pow` only
+/// through this, keeping overflowing powers symbolic.
+std::optional<std::int64_t> checked_pow_i64(std::int64_t base,
+                                            std::int64_t exponent);
+
+/// Globally enables/disables the cross-call memo tables (simplify,
+/// substitute) and the intern-time metadata fast paths for
+/// depends_on/collect_free_symbols. On by default; results are
+/// bit-identical either way — the switch exists so the `symbolic_ops`
+/// benchmark can record legacy-walk numbers. Returns the previous value.
+/// Not thread-safe: flip only from single-threaded sections.
+bool set_symbolic_memoization(bool enabled);
+bool symbolic_memoization_enabled();
+
+/// Interner observability (tests, benchmarks, capacity planning).
+struct InternerStats {
+  std::size_t nodes = 0;         ///< Live interned expression nodes.
+  std::size_t symbols = 0;       ///< Interned symbol names.
+  std::size_t symbol_sets = 0;   ///< Distinct free-symbol sets.
+  std::size_t simplify_memo = 0; ///< Entries across simplify memo shards.
+  std::size_t subst_memo = 0;    ///< Entries across substitute memo shards.
+};
+InternerStats interner_stats();
 
 }  // namespace dmv::symbolic

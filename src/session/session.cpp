@@ -33,12 +33,14 @@ std::uint64_t hash_bytes(const std::string& text) {
   return hash;
 }
 
-/// Rough heap footprint of an expression tree (shared subtrees counted
-/// per reference — an upper bound is fine for budget accounting).
+/// Rough heap footprint of an expression: one node's worth per DISTINCT
+/// interned node reachable from it. Hash-consing makes subtree sharing
+/// pervasive, so the DAG footprint (not the tree size, which can be
+/// exponentially larger) is the honest budget number — and the nodes are
+/// shared with the interner anyway, so this intentionally over-charges
+/// the cache for them.
 std::size_t expr_bytes(const Expr& e) {
-  std::size_t bytes = sizeof(symbolic::ExprNode);
-  for (const Expr& op : e.operands()) bytes += expr_bytes(op);
-  return bytes;
+  return e.dag_size() * sizeof(symbolic::ExprNode);
 }
 
 /// Artifact discriminator; part of every cache key, so one LRU holds

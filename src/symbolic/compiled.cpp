@@ -5,14 +5,22 @@
 namespace dmv::symbolic {
 
 int SymbolTable::intern(const std::string& name) {
-  auto [it, inserted] =
-      slots_.emplace(name, static_cast<int>(names_.size()));
-  if (inserted) names_.push_back(name);
+  return intern(intern_symbol(name));
+}
+
+int SymbolTable::intern(SymbolId id) {
+  auto [it, inserted] = slots_.emplace(id, static_cast<int>(names_.size()));
+  if (inserted) names_.push_back(symbol_name_of(id));
   return it->second;
 }
 
 int SymbolTable::lookup(const std::string& name) const {
-  auto it = slots_.find(name);
+  const std::optional<SymbolId> id = find_symbol(name);
+  return id.has_value() ? lookup(*id) : -1;
+}
+
+int SymbolTable::lookup(SymbolId id) const {
+  auto it = slots_.find(id);
   return it == slots_.end() ? -1 : it->second;
 }
 
@@ -29,21 +37,36 @@ void SymbolTable::bind(const SymbolMap& symbols,
   }
 }
 
+void SymbolTable::bind(const SymbolBinding& symbols,
+                       std::vector<std::int64_t>& values,
+                       std::vector<char>& bound) const {
+  values.assign(names_.size(), 0);
+  bound.assign(names_.size(), 0);
+  for (const auto& [id, value] : symbols.entries()) {
+    const int slot = lookup(id);
+    if (slot < 0) continue;
+    values[slot] = value;
+    bound[slot] = 1;
+  }
+}
+
 CompiledExpr::CompiledExpr() {
   code_.push_back({Op::PushConst, 0});
 }
 
-namespace {
-
 // Postfix emission: operands first (left to right), then the operator —
 // the same evaluation order as the recursive tree walk, so exceptions
 // (unbound symbol, division by zero) fire in the same place.
-void flatten(const Expr& expr, SymbolTable& table,
-             std::vector<std::pair<std::uint8_t, std::int64_t>>& out);
-
-}  // namespace
-
 CompiledExpr CompiledExpr::compile(const Expr& expr, SymbolTable& table) {
+  // Expressions are interned, so one pointer-keyed lookup recognizes any
+  // expression this table has compiled before — slot assignment is
+  // append-only, making the cached code permanently valid.
+  const ExprNode* memo_key = &expr.node();
+  if (symbolic_memoization_enabled()) {
+    auto it = table.memo_.find(memo_key);
+    if (it != table.memo_.end()) return *it->second;
+  }
+
   CompiledExpr compiled;
   compiled.code_.clear();
 
@@ -69,7 +92,7 @@ CompiledExpr CompiledExpr::compile(const Expr& expr, SymbolTable& table) {
         break;
       case ExprKind::Symbol:
         compiled.code_.push_back(
-            {Op::PushSlot, table.intern(node.name)});
+            {Op::PushSlot, table.intern(node.sym)});
         break;
       case ExprKind::Add:
         compiled.code_.push_back(
@@ -128,6 +151,10 @@ CompiledExpr CompiledExpr::compile(const Expr& expr, SymbolTable& table) {
   compiled.slots_.erase(
       std::unique(compiled.slots_.begin(), compiled.slots_.end()),
       compiled.slots_.end());
+  if (symbolic_memoization_enabled()) {
+    table.memo_.emplace(memo_key,
+                        std::make_shared<const CompiledExpr>(compiled));
+  }
   return compiled;
 }
 

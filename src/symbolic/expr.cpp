@@ -3,28 +3,38 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "intern.hpp"
 
 namespace dmv::symbolic {
 
 namespace {
 
-std::shared_ptr<const ExprNode> make_constant_node(std::int64_t value) {
-  auto node = std::make_shared<ExprNode>();
-  node->kind = ExprKind::Constant;
-  node->value = value;
-  return node;
-}
+using detail::InternAccess;
+using detail_intern::intern_node;
+using detail_intern::memoization_enabled;
 
-// Small interned constants: shapes and strides are full of 0/1/2.
-const std::shared_ptr<const ExprNode>& cached_small_constant(std::int64_t v) {
-  static const std::shared_ptr<const ExprNode> cache[] = {
-      make_constant_node(0), make_constant_node(1), make_constant_node(2),
-      make_constant_node(3), make_constant_node(4)};
+// Small interned constants resolved once: shapes and strides are full of
+// 0/1/2, and Expr's default constructor builds 0.
+const ExprNode* small_constant(std::int64_t v) {
+  static const ExprNode* const cache[] = {
+      intern_node(ExprKind::Constant, 0, 0, {}),
+      intern_node(ExprKind::Constant, 1, 0, {}),
+      intern_node(ExprKind::Constant, 2, 0, {}),
+      intern_node(ExprKind::Constant, 3, 0, {}),
+      intern_node(ExprKind::Constant, 4, 0, {})};
   assert(v >= 0 && v <= 4);
   return cache[v];
 }
 
-bool is_nary(ExprKind kind) {
+const ExprNode* constant_node(std::int64_t v) {
+  if (v >= 0 && v <= 4) return small_constant(v);
+  return intern_node(ExprKind::Constant, v, 0, {});
+}
+
+[[maybe_unused]] bool is_nary(ExprKind kind) {
   return kind == ExprKind::Add || kind == ExprKind::Mul;
 }
 
@@ -32,40 +42,29 @@ int kind_rank(ExprKind kind) { return static_cast<int>(kind); }
 
 }  // namespace
 
-Expr::Expr() : node_(cached_small_constant(0)) {}
+Expr::Expr() : node_(small_constant(0)) {}
 
-Expr::Expr(std::int64_t value)
-    : node_(value >= 0 && value <= 4 ? cached_small_constant(value)
-                                     : make_constant_node(value)) {}
-
-Expr::Expr(std::shared_ptr<const ExprNode> node) : node_(std::move(node)) {
-  assert(node_ != nullptr);
-}
+Expr::Expr(std::int64_t value) : node_(constant_node(value)) {}
 
 Expr Expr::constant(std::int64_t value) { return Expr(value); }
 
 Expr Expr::symbol(std::string name) {
   assert(!name.empty());
-  auto node = std::make_shared<ExprNode>();
-  node->kind = ExprKind::Symbol;
-  node->name = std::move(name);
-  return Expr(std::move(node));
+  return symbol(intern_symbol(name));
+}
+
+Expr Expr::symbol(SymbolId id) {
+  return Expr(intern_node(ExprKind::Symbol, 0, id, {}));
 }
 
 Expr detail_make_raw(ExprKind kind, std::vector<Expr> operands) {
-  auto node = std::make_shared<ExprNode>();
-  node->kind = kind;
-  node->operands = std::move(operands);
-  return Expr(std::move(node));
+  return InternAccess::wrap(intern_node(kind, 0, 0, std::move(operands)));
 }
 
 Expr Expr::make(ExprKind kind, std::vector<Expr> operands) {
   assert(kind != ExprKind::Constant && kind != ExprKind::Symbol);
   assert(is_nary(kind) ? !operands.empty() : operands.size() == 2);
-  auto node = std::make_shared<ExprNode>();
-  node->kind = kind;
-  node->operands = std::move(operands);
-  return simplified(Expr(std::move(node)));
+  return simplified(detail_make_raw(kind, std::move(operands)));
 }
 
 ExprKind Expr::kind() const { return node_->kind; }
@@ -81,10 +80,64 @@ std::int64_t Expr::constant_value() const {
 
 const std::string& Expr::symbol_name() const {
   assert(is_symbol());
-  return node_->name;
+  return *node_->name;
+}
+
+SymbolId Expr::symbol_id() const {
+  assert(is_symbol());
+  return node_->sym;
 }
 
 std::span<const Expr> Expr::operands() const { return node_->operands; }
+
+std::uint64_t Expr::structural_hash() const { return node_->hash; }
+
+std::uint32_t Expr::tree_size() const { return node_->tree_size; }
+
+std::size_t Expr::dag_size() const {
+  std::unordered_set<const ExprNode*> seen;
+  std::vector<const ExprNode*> stack{node_};
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    for (const Expr& op : node->operands) {
+      stack.push_back(InternAccess::unwrap(op));
+    }
+  }
+  return seen.size();
+}
+
+// --- SymbolBinding ----------------------------------------------------
+
+void SymbolBinding::assign(const SymbolMap& symbols) {
+  entries_.clear();
+  entries_.reserve(symbols.size());
+  for (const auto& [name, value] : symbols) {
+    entries_.emplace_back(intern_symbol(name), value);
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+void SymbolBinding::set(SymbolId id, std::int64_t value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& entry, SymbolId key) { return entry.first < key; });
+  if (it != entries_.end() && it->first == id) {
+    it->second = value;
+  } else {
+    entries_.insert(it, {id, value});
+  }
+}
+
+const std::int64_t* SymbolBinding::find(SymbolId id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const auto& entry, SymbolId key) { return entry.first < key; });
+  return it != entries_.end() && it->first == id ? &it->second : nullptr;
+}
+
+// --- integer helpers --------------------------------------------------
 
 std::int64_t floor_div_i64(std::int64_t a, std::int64_t b) {
   if (b == 0) throw std::domain_error("symbolic: division by zero");
@@ -110,46 +163,90 @@ std::int64_t pow_i64(std::int64_t base, std::int64_t exponent) {
   return result;
 }
 
-std::int64_t Expr::evaluate(const SymbolMap& symbols) const {
-  switch (kind()) {
+std::optional<std::int64_t> checked_pow_i64(std::int64_t base,
+                                            std::int64_t exponent) {
+  if (exponent < 0) return std::nullopt;
+  // Trivial bases first: they terminate the loop bound below AND make
+  // huge exponents well-defined (0**0 == 1 matches pow_i64).
+  if (base == 0) return exponent == 0 ? 1 : 0;
+  if (base == 1) return 1;
+  if (base == -1) return (exponent % 2 == 0) ? 1 : -1;
+  // |base| >= 2: any exponent >= 63 overflows int64.
+  if (exponent >= 63) return std::nullopt;
+  std::int64_t result = 1;
+  for (std::int64_t i = 0; i < exponent; ++i) {
+    if (__builtin_mul_overflow(result, base, &result)) return std::nullopt;
+  }
+  return result;
+}
+
+// --- evaluation -------------------------------------------------------
+
+namespace {
+
+// One tree-walk evaluator over any symbol lookup policy; SymbolMap and
+// SymbolBinding evaluation share every arithmetic case so they can never
+// disagree.
+template <typename Lookup>
+std::int64_t evaluate_node(const ExprNode& node, const Lookup& lookup) {
+  switch (node.kind) {
     case ExprKind::Constant:
-      return node_->value;
-    case ExprKind::Symbol: {
-      auto it = symbols.find(node_->name);
-      if (it == symbols.end()) throw UnboundSymbolError(node_->name);
-      return it->second;
-    }
+      return node.value;
+    case ExprKind::Symbol:
+      return lookup(node);
     case ExprKind::Add: {
       std::int64_t acc = 0;
-      for (const Expr& op : node_->operands) acc += op.evaluate(symbols);
+      for (const Expr& op : node.operands) {
+        acc += evaluate_node(op.node(), lookup);
+      }
       return acc;
     }
     case ExprKind::Mul: {
       std::int64_t acc = 1;
-      for (const Expr& op : node_->operands) acc *= op.evaluate(symbols);
+      for (const Expr& op : node.operands) {
+        acc *= evaluate_node(op.node(), lookup);
+      }
       return acc;
     }
     case ExprKind::FloorDiv:
-      return floor_div_i64(node_->operands[0].evaluate(symbols),
-                           node_->operands[1].evaluate(symbols));
+      return floor_div_i64(evaluate_node(node.operands[0].node(), lookup),
+                           evaluate_node(node.operands[1].node(), lookup));
     case ExprKind::CeilDiv:
-      return ceil_div_i64(node_->operands[0].evaluate(symbols),
-                          node_->operands[1].evaluate(symbols));
+      return ceil_div_i64(evaluate_node(node.operands[0].node(), lookup),
+                          evaluate_node(node.operands[1].node(), lookup));
     case ExprKind::Mod:
-      return mod_i64(node_->operands[0].evaluate(symbols),
-                     node_->operands[1].evaluate(symbols));
+      return mod_i64(evaluate_node(node.operands[0].node(), lookup),
+                     evaluate_node(node.operands[1].node(), lookup));
     case ExprKind::Min:
-      return std::min(node_->operands[0].evaluate(symbols),
-                      node_->operands[1].evaluate(symbols));
+      return std::min(evaluate_node(node.operands[0].node(), lookup),
+                      evaluate_node(node.operands[1].node(), lookup));
     case ExprKind::Max:
-      return std::max(node_->operands[0].evaluate(symbols),
-                      node_->operands[1].evaluate(symbols));
+      return std::max(evaluate_node(node.operands[0].node(), lookup),
+                      evaluate_node(node.operands[1].node(), lookup));
     case ExprKind::Pow:
-      return pow_i64(node_->operands[0].evaluate(symbols),
-                     node_->operands[1].evaluate(symbols));
+      return pow_i64(evaluate_node(node.operands[0].node(), lookup),
+                     evaluate_node(node.operands[1].node(), lookup));
   }
   assert(false && "unreachable");
   return 0;
+}
+
+}  // namespace
+
+std::int64_t Expr::evaluate(const SymbolMap& symbols) const {
+  return evaluate_node(*node_, [&symbols](const ExprNode& node) {
+    auto it = symbols.find(*node.name);
+    if (it == symbols.end()) throw UnboundSymbolError(*node.name);
+    return it->second;
+  });
+}
+
+std::int64_t Expr::evaluate_binding(const SymbolBinding& symbols) const {
+  return evaluate_node(*node_, [&symbols](const ExprNode& node) {
+    const std::int64_t* value = symbols.find(node.sym);
+    if (value == nullptr) throw UnboundSymbolError(*node.name);
+    return *value;
+  });
 }
 
 std::optional<std::int64_t> Expr::try_evaluate(const SymbolMap& symbols) const {
@@ -162,39 +259,170 @@ std::optional<std::int64_t> Expr::try_evaluate(const SymbolMap& symbols) const {
   }
 }
 
-Expr Expr::substitute(const SymbolMap& symbols) const {
-  std::map<std::string, Expr> replacements;
-  for (const auto& [name, value] : symbols) {
-    replacements.emplace(name, Expr(value));
+std::optional<std::int64_t> Expr::try_evaluate_binding(
+    const SymbolBinding& symbols) const {
+  try {
+    return evaluate_binding(symbols);
+  } catch (const UnboundSymbolError&) {
+    return std::nullopt;
+  } catch (const std::domain_error&) {
+    return std::nullopt;
   }
-  return substitute(replacements);
+}
+
+// --- substitution -----------------------------------------------------
+
+namespace {
+
+struct SubstEntry {
+  SymbolId id;
+  Expr replacement;
+};
+
+// Exact reachability test: does this subtree contain any substituted
+// symbol? Bloom mask first (one AND), then a sorted-merge intersection of
+// two small id vectors. Both are intern-time metadata — no tree walk.
+bool reaches_any(const ExprNode* node, const std::vector<SubstEntry>& entries,
+                 std::uint64_t entry_mask) {
+  if ((node->symbol_mask & entry_mask) == 0) return false;
+  const std::vector<SymbolId>& free = *node->free_syms;
+  std::size_t a = 0, b = 0;
+  while (a < free.size() && b < entries.size()) {
+    if (free[a] < entries[b].id) {
+      ++a;
+    } else if (entries[b].id < free[a]) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Expr* find_replacement(const std::vector<SubstEntry>& entries,
+                             SymbolId id) {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const SubstEntry& entry, SymbolId key) { return entry.id < key; });
+  return it != entries.end() && it->id == id ? &it->replacement : nullptr;
+}
+
+// DAG-memoized rewrite: every distinct node is rewritten at most once per
+// call, so heavily shared subtrees cost their DAG size, not their tree
+// size. With memoization disabled (benchmark legacy mode) the prune and
+// per-call memo are skipped and this is the historical tree walk.
+Expr substitute_rec(const Expr& e, const std::vector<SubstEntry>& entries,
+                    std::uint64_t entry_mask,
+                    std::unordered_map<const ExprNode*, Expr>* memo) {
+  const ExprNode* node = InternAccess::unwrap(e);
+  if (memo != nullptr && !reaches_any(node, entries, entry_mask)) return e;
+  switch (node->kind) {
+    case ExprKind::Constant:
+      return e;
+    case ExprKind::Symbol: {
+      const Expr* replacement = find_replacement(entries, node->sym);
+      return replacement != nullptr ? *replacement : e;
+    }
+    default: {
+      if (memo != nullptr) {
+        auto it = memo->find(node);
+        if (it != memo->end()) return it->second;
+      }
+      std::vector<Expr> new_operands;
+      new_operands.reserve(node->operands.size());
+      bool changed = false;
+      for (const Expr& op : node->operands) {
+        new_operands.push_back(substitute_rec(op, entries, entry_mask, memo));
+        changed = changed || !new_operands.back().same_node(op);
+      }
+      Expr result = changed
+                        ? Expr::make(node->kind, std::move(new_operands))
+                        : e;
+      if (memo != nullptr) memo->emplace(node, result);
+      return result;
+    }
+  }
+}
+
+// Shared top level of every substitute overload. `entries` must be sorted
+// by id and deduplicated.
+Expr substitute_entries(const Expr& e, const std::vector<SubstEntry>& entries) {
+  if (entries.empty()) return e;
+  const ExprNode* node = InternAccess::unwrap(e);
+  if (!memoization_enabled()) {
+    return substitute_rec(e, entries, 0, nullptr);
+  }
+  std::uint64_t entry_mask = 0;
+  for (const SubstEntry& entry : entries) {
+    entry_mask |= std::uint64_t{1} << (entry.id % 64);
+  }
+  if (!reaches_any(node, entries, entry_mask)) return e;
+  // Cross-call memo: the binding is interned, so the key is exact.
+  std::vector<std::pair<SymbolId, const ExprNode*>> key;
+  key.reserve(entries.size());
+  for (const SubstEntry& entry : entries) {
+    key.emplace_back(entry.id, InternAccess::unwrap(entry.replacement));
+  }
+  const detail_intern::BindingRecord* record =
+      detail_intern::intern_binding(std::move(key));
+  if (const ExprNode* hit = detail_intern::lookup_subst_memo(node, record)) {
+    return InternAccess::wrap(hit);
+  }
+  std::unordered_map<const ExprNode*, Expr> memo;
+  Expr result = substitute_rec(e, entries, entry_mask, &memo);
+  detail_intern::store_subst_memo(node, record,
+                                  InternAccess::unwrap(result));
+  return result;
+}
+
+std::vector<SubstEntry> entries_from_binding(const SymbolBinding& symbols) {
+  std::vector<SubstEntry> entries;
+  entries.reserve(symbols.size());
+  for (const auto& [id, value] : symbols.entries()) {
+    entries.push_back({id, Expr(value)});
+  }
+  return entries;  // SymbolBinding is already sorted by id.
+}
+
+}  // namespace
+
+Expr Expr::substitute(const SymbolMap& symbols) const {
+  return substitute_binding(SymbolBinding(symbols));
+}
+
+Expr Expr::substitute_binding(const SymbolBinding& symbols) const {
+  return substitute_entries(*this, entries_from_binding(symbols));
 }
 
 Expr Expr::substitute(const std::map<std::string, Expr>& replacements) const {
-  switch (kind()) {
-    case ExprKind::Constant:
-      return *this;
-    case ExprKind::Symbol: {
-      auto it = replacements.find(node_->name);
-      return it == replacements.end() ? *this : it->second;
-    }
-    default: {
-      std::vector<Expr> new_operands;
-      new_operands.reserve(node_->operands.size());
-      bool changed = false;
-      for (const Expr& op : node_->operands) {
-        new_operands.push_back(op.substitute(replacements));
-        changed = changed || new_operands.back().node_ != op.node_;
-      }
-      if (!changed) return *this;
-      return make(kind(), std::move(new_operands));
-    }
+  std::vector<SubstEntry> entries;
+  entries.reserve(replacements.size());
+  for (const auto& [name, replacement] : replacements) {
+    entries.push_back({intern_symbol(name), replacement});
   }
+  std::sort(entries.begin(), entries.end(),
+            [](const SubstEntry& a, const SubstEntry& b) {
+              return a.id < b.id;
+            });
+  return substitute_entries(*this, entries);
+}
+
+// --- free-symbol queries ----------------------------------------------
+
+const std::vector<SymbolId>& Expr::free_symbol_ids() const {
+  return *node_->free_syms;
 }
 
 void Expr::collect_free_symbols(std::set<std::string>& out) const {
+  if (memoization_enabled()) {
+    for (const SymbolId id : *node_->free_syms) {
+      out.insert(symbol_name_of(id));
+    }
+    return;
+  }
+  // Legacy tree walk (benchmark ablation only).
   if (is_symbol()) {
-    out.insert(node_->name);
+    out.insert(*node_->name);
     return;
   }
   for (const Expr& op : node_->operands) op.collect_free_symbols(out);
@@ -206,24 +434,75 @@ std::set<std::string> Expr::free_symbols() const {
   return out;
 }
 
-bool Expr::depends_on(std::string_view symbol) const {
-  if (is_symbol()) return node_->name == symbol;
-  for (const Expr& op : node_->operands) {
-    if (op.depends_on(symbol)) return true;
+namespace {
+
+// Exact membership test against intern-time metadata: bloom mask, then
+// binary search of the interned sorted id set.
+bool node_depends_on(const ExprNode* node, SymbolId id) {
+  if ((node->symbol_mask & (std::uint64_t{1} << (id % 64))) == 0) {
+    return false;
+  }
+  const std::vector<SymbolId>& free = *node->free_syms;
+  return std::binary_search(free.begin(), free.end(), id);
+}
+
+bool depends_on_walk(const ExprNode* node, std::string_view symbol) {
+  if (node->kind == ExprKind::Symbol) return *node->name == symbol;
+  for (const Expr& op : node->operands) {
+    if (depends_on_walk(InternAccess::unwrap(op), symbol)) return true;
   }
   return false;
+}
+
+}  // namespace
+
+bool Expr::depends_on(SymbolId symbol) const {
+  return node_depends_on(node_, symbol);
+}
+
+bool Expr::depends_on(std::string_view symbol) const {
+  if (!memoization_enabled()) return depends_on_walk(node_, symbol);
+  const std::optional<SymbolId> id = find_symbol(symbol);
+  // Never interned => cannot occur in any expression.
+  return id.has_value() && node_depends_on(node_, *id);
 }
 
 bool depends_on_any(const Expr& e, const std::set<std::string>& symbols) {
   if (symbols.empty()) return false;
-  if (e.is_symbol()) return symbols.contains(e.symbol_name());
-  for (const Expr& op : e.operands()) {
-    if (depends_on_any(op, symbols)) return true;
+  if (!symbolic_memoization_enabled()) {
+    // Legacy tree walk (benchmark ablation only).
+    if (e.is_symbol()) return symbols.contains(e.symbol_name());
+    for (const Expr& op : e.operands()) {
+      if (depends_on_any(op, symbols)) return true;
+    }
+    return false;
+  }
+  for (const std::string& symbol : symbols) {
+    if (e.depends_on(std::string_view(symbol))) return true;
   }
   return false;
 }
 
+bool depends_on_any(const Expr& e, std::span<const SymbolId> symbols) {
+  const ExprNode* node = InternAccess::unwrap(e);
+  const std::vector<SymbolId>& free = *node->free_syms;
+  std::size_t a = 0, b = 0;
+  while (a < free.size() && b < symbols.size()) {
+    if (free[a] < symbols[b]) {
+      ++a;
+    } else if (symbols[b] < free[a]) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- ordering and equality --------------------------------------------
+
 int Expr::compare(const Expr& a, const Expr& b) {
+  // Interned: structural identity IS pointer identity.
   if (a.node_ == b.node_) return 0;
   // Constants sort before symbols, symbols before composites; this keeps
   // canonical forms like `4 + 2*N + N*M` stable.
@@ -255,6 +534,8 @@ bool Expr::equals(const Expr& other) const {
   if (compare(*this, other) == 0) return true;
   return compare(expanded(*this), expanded(other)) == 0;
 }
+
+// --- printing ---------------------------------------------------------
 
 namespace {
 
@@ -375,6 +656,8 @@ std::string Expr::to_string() const {
   print_expr(*this, os, 0);
   return os.str();
 }
+
+// --- operators --------------------------------------------------------
 
 Expr operator+(const Expr& a, const Expr& b) {
   return Expr::make(ExprKind::Add, {a, b});

@@ -1,0 +1,59 @@
+#pragma once
+
+// Private interface between the symbolic engine's translation units and
+// the global interner (intern.cpp). Not installed; nothing outside
+// src/symbolic may include this.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dmv/symbolic/expr.hpp"
+
+namespace dmv::symbolic {
+
+namespace detail {
+
+struct InternAccess {
+  static Expr wrap(const ExprNode* node) { return Expr(node); }
+  static const ExprNode* unwrap(const Expr& e) { return &e.node(); }
+};
+
+}  // namespace detail
+
+namespace detail_intern {
+
+/// Canonicalized (interned) substitution binding: sorted by SymbolId,
+/// deduplicated. Pointer identity ⇔ equal bindings.
+struct BindingRecord {
+  std::vector<std::pair<SymbolId, const ExprNode*>> entries;
+  std::uint64_t hash = 0;
+};
+
+/// Cached hash of a symbol's NAME (run-deterministic, unlike its id).
+std::uint64_t symbol_name_hash(SymbolId id);
+
+/// Interns a node (computing its metadata); `operands` must already be
+/// interned Exprs. Returns the canonical node for the structure.
+const ExprNode* intern_node(ExprKind kind, std::int64_t value, SymbolId sym,
+                            std::vector<Expr> operands);
+
+/// Simplify memo: raw node -> canonical node. Lookup returns nullptr on
+/// miss or when memoization is disabled.
+const ExprNode* lookup_simplify_memo(const ExprNode* raw);
+void store_simplify_memo(const ExprNode* raw, const ExprNode* canonical);
+
+/// Substitution binding interning + cross-call memo keyed by
+/// (node, binding) with exact pointer equality.
+const BindingRecord* intern_binding(
+    std::vector<std::pair<SymbolId, const ExprNode*>> entries);
+const ExprNode* lookup_subst_memo(const ExprNode* node,
+                                  const BindingRecord* binding);
+void store_subst_memo(const ExprNode* node, const BindingRecord* binding,
+                      const ExprNode* result);
+
+bool memoization_enabled();
+
+}  // namespace detail_intern
+
+}  // namespace dmv::symbolic

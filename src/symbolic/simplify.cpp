@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dmv/symbolic/expr.hpp"
+#include "intern.hpp"
 
 namespace dmv::symbolic {
 
@@ -236,7 +237,9 @@ Expr expanded(const Expr& e) {
   return sum;
 }
 
-Expr simplified(const Expr& e) {
+namespace {
+
+Expr simplified_impl(const Expr& e) {
   // Operands are canonical already (every construction path runs through
   // Expr::make, which simplifies), so a single local pass suffices.
   switch (e.kind()) {
@@ -297,15 +300,38 @@ Expr simplified(const Expr& e) {
       if (exponent.is_constant(0)) return Expr(1);
       if (exponent.is_constant(1)) return base;
       if (base.is_constant(0) || base.is_constant(1)) return base;
-      if (base.is_constant() && exponent.is_constant() &&
-          exponent.constant_value() >= 0) {
-        return Expr(pow_i64(base.constant_value(), exponent.constant_value()));
+      if (base.is_constant() && exponent.is_constant()) {
+        // Fold only when the result provably fits in int64_t; negative
+        // exponents and overflowing powers stay symbolic (evaluation will
+        // then surface the domain error / wrap exactly as the tree-walk
+        // evaluator defines it).
+        if (const std::optional<std::int64_t> folded = checked_pow_i64(
+                base.constant_value(), exponent.constant_value())) {
+          return Expr(*folded);
+        }
       }
       return e;
     }
   }
   assert(false && "unreachable");
   return e;
+}
+
+}  // namespace
+
+Expr simplified(const Expr& e) {
+  if (e.is_constant() || e.is_symbol()) return e;
+  // Memoized by interned node: identical (sub)expressions are one node,
+  // so any expression the process has simplified before — from any layer,
+  // on any thread — is a table hit. Raced recomputation is harmless: the
+  // simplifier is deterministic and its result interns to the same node.
+  const ExprNode* raw = detail::InternAccess::unwrap(e);
+  if (const ExprNode* hit = detail_intern::lookup_simplify_memo(raw)) {
+    return detail::InternAccess::wrap(hit);
+  }
+  const Expr result = simplified_impl(e);
+  detail_intern::store_simplify_memo(raw, detail::InternAccess::unwrap(result));
+  return result;
 }
 
 }  // namespace dmv::symbolic
