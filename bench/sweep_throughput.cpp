@@ -165,6 +165,38 @@ std::int64_t run_simulate_only(const SweepCase& sweep,
   return total;
 }
 
+// Order-sensitive checksum over every event field: any reordered,
+// duplicated, dropped, or mis-stamped event under parallel generation
+// changes the value. This is the identity gate for the trace-generation
+// series — executions + events.size() would miss a permutation.
+std::int64_t trace_checksum(const AccessTrace& trace) {
+  std::uint64_t h = 1469598103934665603ull ^
+                    static_cast<std::uint64_t>(trace.executions);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const dmv::sim::AccessEvent event = trace.events[i];
+    std::uint64_t word = static_cast<std::uint64_t>(event.flat);
+    word = word * 31 + static_cast<std::uint64_t>(event.container);
+    word = word * 31 + (event.is_write ? 1 : 0);
+    word = word * 31 + static_cast<std::uint64_t>(event.timestep);
+    word = word * 31 + static_cast<std::uint64_t>(event.execution);
+    word = word * 31 + static_cast<std::uint64_t>(event.tasklet);
+    h = (h ^ word) * 1099511628211ull;
+  }
+  return static_cast<std::int64_t>(h);
+}
+
+// Trace generation ONLY (no metric passes), checksummed per binding —
+// the tentpole's serial-vs-parallel series measures exactly the stage
+// the chunk planner parallelizes.
+std::int64_t run_trace_generation(const SweepCase& sweep,
+                                  const SimulationOptions& options) {
+  std::int64_t total = 0;
+  for (const SymbolMap& binding : sweep.bindings) {
+    total += trace_checksum(dmv::sim::simulate(sweep.sdfg, binding, options));
+  }
+  return total;
+}
+
 std::int64_t run_sweep(const SweepCase& sweep,
                        const SimulationOptions& options) {
   std::vector<std::int64_t> checksums(sweep.bindings.size());
@@ -343,14 +375,48 @@ bool validate_symbolic_ops(const SweepCase& sweep, int rounds) {
   return true;
 }
 
+// Serial-vs-parallel trace identity gate: the chunked generator at 8
+// (oversubscribed) threads must reproduce the serial trace checksum for
+// every binding, materialized and streaming alike.
+bool validate_parallel_trace(const SweepCase& sweep,
+                             const SimulationOptions& options) {
+  SimulationOptions serial_options = options;
+  serial_options.parallel_trace = false;
+  SimulationOptions parallel_options = options;
+  parallel_options.parallel_trace = true;
+  for (const SymbolMap& binding : sweep.bindings) {
+    std::int64_t serial = 0;
+    std::int64_t parallel = 0;
+    {
+      dmv::par::ThreadScope scope(1);
+      serial =
+          trace_checksum(dmv::sim::simulate(sweep.sdfg, binding, serial_options));
+    }
+    {
+      dmv::par::ThreadScope scope(8);
+      parallel = trace_checksum(
+          dmv::sim::simulate(sweep.sdfg, binding, parallel_options));
+    }
+    if (serial != parallel) {
+      std::cerr << "FATAL: parallel trace mismatch on " << sweep.name
+                << ": serial " << serial << ", parallel(8) " << parallel
+                << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 int run_smoke() {
   SimulationOptions compiled;
   compiled.compiled = true;
   for (const SweepCase& sweep : build_cases(/*smoke=*/true)) {
     if (!validate_ablation(sweep, compiled)) return 1;
+    if (!validate_parallel_trace(sweep, compiled)) return 1;
     if (!validate_symbolic_ops(sweep, /*rounds=*/2)) return 1;
     std::cout << "smoke " << sweep.name
               << ": unfused == fused == streaming == session, "
+              << "serial trace == parallel trace (8 threads), "
               << "symbolic_ops memoized == legacy\n";
   }
   std::cout << "smoke OK\n";
@@ -402,6 +468,34 @@ int main(int argc, char** argv) {
       std::cerr << "FATAL: engine mismatch on " << sweep.name << "\n";
       return 1;
     }
+
+    // Trace generation, serial vs chunk-parallel (the tentpole series).
+    // Identity is enforced on an order-sensitive full-trace checksum; on
+    // a single-core runner parallel_trace auto-disables and the series
+    // records planner overhead instead of a speedup.
+    SimulationOptions trace_serial_options = compiled;
+    trace_serial_options.parallel_trace = false;
+    dmv::par::set_num_threads(1);
+    const Measurement trace_serial = measure(
+        [&] { return run_trace_generation(sweep, trace_serial_options); },
+        repetitions);
+    dmv::par::set_num_threads(hardware);
+    const Measurement trace_parallel = measure(
+        [&] { return run_trace_generation(sweep, compiled); }, repetitions);
+    dmv::par::set_num_threads(1);
+    if (trace_serial.checksum != trace_parallel.checksum) {
+      std::cerr << "FATAL: trace-generation checksum mismatch on "
+                << sweep.name << "\n";
+      return 1;
+    }
+    const double trace_speedup = trace_serial.best_ms / trace_parallel.best_ms;
+    std::cout << "  trace generation: serial " << trace_serial.best_ms
+              << " ms, parallel(" << hardware << ") "
+              << trace_parallel.best_ms << " ms  (" << trace_speedup << "x";
+    if (hardware == 1) {
+      std::cout << "; parallel trace auto-disabled, ratio = planner overhead";
+    }
+    std::cout << ")\n";
 
     // Pipeline ablation: same metrics, same engine, 1 thread — the
     // only variable is fusion/streaming.
@@ -486,6 +580,17 @@ int main(int argc, char** argv) {
     const double warm_speedup = session_cold.best_ms / session_warm.best_ms;
     const double prefetched_speedup =
         session_cold.best_ms / session_prefetched.best_ms;
+    // What the prefetcher actually did under the current thread knob —
+    // on a 1-worker runner speculation is skipped, and "prefetched"
+    // above degenerates to a second cold pass. Record it so the numbers
+    // aren't misread as "prefetch doesn't help".
+    std::string prefetch_mode;
+    {
+      dmv::session::Session probe =
+          fresh_session(sweep, compiled, /*prefetch=*/true);
+      run_session_pass(probe, sweep);
+      prefetch_mode = probe.stats().prefetch;
+    }
 
     const double simulate_speedup = sim_interp.best_ms / sim_compiled.best_ms;
     const double compiled_speedup =
@@ -508,7 +613,8 @@ int main(int argc, char** argv) {
               << " ms, warm " << session_warm.best_ms << " ms ("
               << warm_speedup << "x), prefetched "
               << session_prefetched.best_ms << " ms ("
-              << prefetched_speedup << "x)\n";
+              << prefetched_speedup << "x, prefetch: " << prefetch_mode
+              << ")\n";
 
     json << "    {\n      \"name\": \"" << sweep.name << "\",\n";
     json << "      \"bindings\": " << sweep.bindings.size() << ",\n";
@@ -523,6 +629,17 @@ int main(int argc, char** argv) {
          << ",\n";
     json << "      \"pipeline_compiled_speedup\": " << compiled_speedup
          << ",\n";
+    json << "      \"trace_generation\": {\n";
+    json << "        \"serial_ms\": " << trace_serial.best_ms << ",\n";
+    json << "        \"parallel_ms\": " << trace_parallel.best_ms << ",\n";
+    json << "        \"parallel_threads\": " << hardware << ",\n";
+    json << "        \"speedup\": " << trace_speedup << ",\n";
+    json << "        \"checksum_identical\": true";
+    if (hardware == 1) {
+      json << ",\n        \"note\": \"parallel trace auto-disabled "
+              "(1 hardware thread); ratio measures planner overhead\"";
+    }
+    json << "\n      },\n";
     json << "      \"pipeline_ablation\": {\n";
     json << "        \"unfused_ms\": " << serial_compiled.best_ms << ",\n";
     json << "        \"fused_ms\": " << fused.best_ms << ",\n";
@@ -545,7 +662,8 @@ int main(int argc, char** argv) {
     json << "        \"prefetched_ms\": " << session_prefetched.best_ms
          << ",\n";
     json << "        \"warm_speedup\": " << warm_speedup << ",\n";
-    json << "        \"prefetched_speedup\": " << prefetched_speedup << "\n";
+    json << "        \"prefetched_speedup\": " << prefetched_speedup << ",\n";
+    json << "        \"prefetch\": \"" << prefetch_mode << "\"\n";
     json << "      },\n";
 
     if (hardware == 1) {

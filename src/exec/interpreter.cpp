@@ -39,15 +39,10 @@ class Interpreter {
   void run() {
     for (const ir::State& state : sdfg_.states()) {
       state_ = &state;
-      order_ = state.topological_order();
-      // Adjacency index, built once per state: the per-iteration tasklet
-      // loop must not rescan the whole edge list.
-      in_adjacency_.assign(state.num_nodes(), {});
-      out_adjacency_.assign(state.num_nodes(), {});
-      for (const Edge& edge : state.edges()) {
-        out_adjacency_[edge.src].push_back(&edge);
-        in_adjacency_[edge.dst].push_back(&edge);
-      }
+      // Topo order + adjacency built once per state (shared with the
+      // trace simulator via ir::StateSchedule): the per-iteration
+      // tasklet loop must not rescan the whole edge list.
+      schedule_ = ir::StateSchedule(state);
       Wires wires;
       execute_scope(ir::kNoNode, symbols_, wires);
     }
@@ -59,7 +54,7 @@ class Interpreter {
   using Wires = std::map<std::pair<NodeId, std::string>, double>;
 
   void execute_scope(NodeId scope, const SymbolMap& env, Wires& wires) {
-    for (NodeId id : order_) {
+    for (NodeId id : schedule_.order) {
       const Node& node = state_->node(id);
       if (node.scope_parent != scope) continue;
       switch (node.kind) {
@@ -104,7 +99,7 @@ class Interpreter {
         values[name] = static_cast<double>(symbol->second);
       }
     }
-    for (const Edge* edge : in_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.in_adjacency[node.id]) {
       if (edge->memlet.is_empty()) {
         if (edge->dst_conn.empty()) continue;  // Pure dependency edge.
         auto it = wires.find({edge->src, edge->src_conn});
@@ -123,7 +118,7 @@ class Interpreter {
 
     node.code.execute(values);
 
-    for (const Edge* edge : out_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.out_adjacency[node.id]) {
       auto it = values.find(edge->src_conn);
       if (edge->memlet.is_empty()) {
         if (edge->src_conn.empty()) continue;
@@ -161,7 +156,7 @@ class Interpreter {
   }
 
   void execute_copies(const Node& node, const SymbolMap& env) {
-    for (const Edge* edge : out_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.out_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       const Node& dst = state_->node(edge->dst);
       if (dst.kind != NodeKind::Access) continue;
@@ -218,9 +213,7 @@ class Interpreter {
   const SymbolMap& symbols_;
   Buffers& buffers_;
   const ir::State* state_ = nullptr;
-  std::vector<NodeId> order_;
-  std::vector<std::vector<const Edge*>> in_adjacency_;
-  std::vector<std::vector<const Edge*>> out_adjacency_;
+  ir::StateSchedule schedule_;
 };
 
 }  // namespace

@@ -115,4 +115,19 @@ class State {
   std::vector<Edge> edges_;
 };
 
+/// Per-state traversal schedule shared by every engine that walks a
+/// state's dataflow (the trace simulator, the numeric interpreter, the
+/// chunked parallel trace writers): topological node order plus per-node
+/// in/out edge adjacency, built once per state instead of once per walk.
+/// Edge pointers alias `state.edges()` — the schedule is valid only while
+/// the state outlives it unmodified.
+struct StateSchedule {
+  std::vector<NodeId> order;
+  std::vector<std::vector<const Edge*>> in_adjacency;
+  std::vector<std::vector<const Edge*>> out_adjacency;
+
+  StateSchedule() = default;
+  explicit StateSchedule(const State& state);
+};
+
 }  // namespace dmv::ir

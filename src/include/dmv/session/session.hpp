@@ -96,6 +96,12 @@ struct SessionStats {
   std::int64_t evictions = 0;       ///< Entries dropped by the byte budget.
   std::size_t cache_bytes = 0;      ///< Current payload bytes cached.
   std::size_t cache_entries = 0;    ///< Current entry count.
+  /// Prefetch mode actually in effect: "speculative" once a speculative
+  /// evaluation ran, "skipped (1 worker)" when the thread knob was 1 at
+  /// prefetch time (speculation would serialize in front of the next
+  /// interaction, so it is skipped), "off" when disabled by config, ""
+  /// before the first prefetch decision.
+  std::string prefetch;
 };
 
 /// One interactive client: a program, a current binding, a metric

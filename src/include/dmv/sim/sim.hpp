@@ -120,6 +120,35 @@ struct IterationSpace {
     iterate(0, values, bounds, fn);
   }
 
+  /// Iterates the contiguous slice of `outer_count` outermost-parameter
+  /// ORDINALS starting at ordinal `outer_begin` (value = begin +
+  /// ordinal*step), visiting the inner dimensions in full. This is how a
+  /// chunked trace writer starts mid-iteration-space; for_each over the
+  /// full outer ordinal range visits the identical point sequence. A
+  /// zero-dimensional space counts as one outer ordinal.
+  template <typename Fn>
+  void for_each_slice(std::int64_t outer_begin, std::int64_t outer_count,
+                      Fn&& fn) const {
+    detail::CompiledSpaceBounds bounds(*this);
+    std::vector<std::int64_t> values(params.size());
+    if (params.empty()) {
+      if (outer_begin == 0 && outer_count > 0) {
+        fn(std::span<const std::int64_t>(values));
+      }
+      return;
+    }
+    const auto [begin, end, step] = bounds.eval(0);
+    if (step <= 0) {
+      throw std::invalid_argument("IterationSpace: non-positive step");
+    }
+    for (std::int64_t o = outer_begin; o < outer_begin + outer_count; ++o) {
+      const std::int64_t v = begin + o * step;
+      values[0] = v;
+      bounds.set_param(0, v);
+      iterate(1, values, bounds, fn);
+    }
+  }
+
   static IterationSpace from(const ir::MapInfo& info,
                              const SymbolMap& symbols);
 
@@ -192,6 +221,31 @@ class EventList {
     timestep_.push_back(event.timestep);
     execution_.push_back(event.execution);
     tasklet_.push_back(event.tasklet);
+  }
+
+  /// Sizes every column to exactly n events (new slots zero-filled).
+  /// The parallel trace writer sizes the list from the plan's total ONCE,
+  /// then chunks fill disjoint slices via set() — no writer ever grows
+  /// the columns, so concurrent slice stores never invalidate each other.
+  void resize(std::size_t n) {
+    container_.resize(n);
+    flat_.resize(n);
+    is_write_.resize(n);
+    timestep_.resize(n);
+    execution_.resize(n);
+    tasklet_.resize(n);
+  }
+
+  /// Overwrites event i (must be < size()). Writing DISTINCT indices
+  /// from different threads is safe: each store touches only element i
+  /// of each pre-sized column.
+  void set(std::size_t i, const AccessEvent& event) {
+    container_[i] = event.container;
+    flat_[i] = event.flat;
+    is_write_[i] = event.is_write ? 1 : 0;
+    timestep_[i] = event.timestep;
+    execution_[i] = event.execution;
+    tasklet_[i] = event.tasklet;
   }
 
   AccessEvent operator[](std::size_t i) const {
@@ -294,7 +348,21 @@ struct SimulationOptions {
   /// interpreted engine (kept as `compiled = false` for A/B validation
   /// and the ablation benchmark).
   bool compiled = true;
+  /// Generate the trace in parallel on the dmv::par pool: a planning
+  /// pass (sim/trace_plan.hpp) splits top-level maps into chunks with
+  /// exact precomputed event/execution offsets, and each chunk writes
+  /// its disjoint EventList slice (or streams through an ordered
+  /// sequencer). Output is bit-identical to serial at any thread count;
+  /// automatically off at num_threads()==1, inside a pool task, or when
+  /// the plan finds nothing worth splitting (see docs/simulation.md).
+  bool parallel_trace = true;
 };
+
+/// Reusable buffers for parallel trace generation (plan storage and
+/// streaming chunk buffers); see sim/trace_plan.hpp. Passing one to
+/// simulate_into/simulate_stream lets a sweep pay the chunk-buffer
+/// allocations once instead of once per binding.
+struct TraceArena;
 
 /// Simulates every state of the SDFG under the given parameter binding
 /// and returns the exact access trace (§V-C "iteration space simulation").
@@ -305,8 +373,11 @@ AccessTrace simulate(const Sdfg& sdfg, const SymbolMap& symbols,
 /// are cleared and rewritten while the event columns KEEP their
 /// capacity. This is the sweep-arena entry point — one trace buffer
 /// serves every slider position instead of reallocating per binding.
+/// `arena` (optional) additionally reuses the parallel-generation plan
+/// storage across calls.
 void simulate_into(const Sdfg& sdfg, const SymbolMap& symbols,
-                   const SimulationOptions& options, AccessTrace& trace);
+                   const SimulationOptions& options, AccessTrace& trace,
+                   TraceArena* arena = nullptr);
 
 /// Receiver for streaming simulation: events are delivered in timestep
 /// order as they are produced, and no event vector is materialized.
@@ -322,13 +393,17 @@ class EventSink {
   virtual void on_trace_end(std::int64_t executions) = 0;
 };
 
-/// Streaming simulation (§V-C at O(1) event memory): identical traversal
-/// to simulate(), but every event goes to `sink` instead of a vector.
-/// The stream of on_event calls equals simulate()'s event sequence
-/// bit for bit. Returns the header trace (layouts placed, no events).
+/// Streaming simulation (§V-C at bounded event memory): identical
+/// traversal to simulate(), but every event goes to `sink` instead of a
+/// vector. The stream of on_event calls equals simulate()'s event
+/// sequence bit for bit — including under parallel_trace, where chunks
+/// are generated out of order into reusable buffers and a sequencer
+/// drains them to the sink in serial chunk order. `arena` (optional)
+/// reuses those chunk buffers across calls.
 AccessTrace simulate_stream(const Sdfg& sdfg, const SymbolMap& symbols,
                             EventSink& sink,
-                            const SimulationOptions& options = {});
+                            const SimulationOptions& options = {},
+                            TraceArena* arena = nullptr);
 
 /// One-shot materialization of per-event cache-line ids plus the dense
 /// line-id range each container spans, computed once per

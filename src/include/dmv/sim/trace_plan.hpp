@@ -1,0 +1,110 @@
+#pragma once
+
+// Deterministic chunk planning for parallel trace generation.
+//
+// The simulator's event stream is fully determined by the SDFG and the
+// symbol binding: every top-level map's iteration counts and every
+// tasklet/copy's per-iteration memlet event count are exactly computable
+// BEFORE generation. plan_trace() exploits that to split the trace into
+// contiguous chunks — one or more per top-level map (sliced along the
+// outermost dimension), one per top-level tasklet or copy — each with a
+// precomputed (event_offset, event_count, execution_offset,
+// execution_count). Because the simulator stamps `timestep` with the
+// global event index, event_offset doubles as the chunk's timestep base.
+//
+// With the plan in hand, generation parallelizes without stitching or
+// locks: the EventList is sized to total_events once, and each chunk's
+// Simulator clone writes its disjoint column slice (materialized path)
+// or fills a reusable buffer drained in chunk order by a sequencer
+// (streaming path). Either way the output is bit-identical to serial at
+// any thread count. See docs/simulation.md for the full safety argument.
+//
+// Planning is exact, not estimated: an analytic fast path multiplies
+// iteration-count products by per-iteration event counts when extents
+// are invariant in the map's own parameters, and falls back to
+// enumerating dependent (triangular/tiled) dimensions. Anything the
+// planner cannot model exactly — non-positive steps, unbound symbols,
+// copy size mismatches — marks the plan non-parallelizable and the
+// caller runs the serial engine, which surfaces the identical error
+// behavior.
+
+#include <cstdint>
+#include <vector>
+
+#include "dmv/sim/sim.hpp"
+
+namespace dmv::sim {
+
+/// One contiguous slice of the serial event stream.
+struct TraceChunk {
+  int state = 0;                  ///< Index into sdfg.states().
+  ir::NodeId node = ir::kNoNode;  ///< Top-level map entry/tasklet/access.
+  /// For map chunks: the half-open range of outermost-dimension ORDINALS
+  /// this chunk executes (value = begin + ordinal*step). Serial chunks
+  /// (tasklet/copy) use [0, 1).
+  std::int64_t outer_begin = 0;
+  std::int64_t outer_count = 0;
+  /// Position of the chunk's events in the serial stream. event_offset
+  /// is also the chunk's first timestep (timestep == global event index).
+  std::int64_t event_offset = 0;
+  std::int64_t event_count = 0;
+  /// Position of the chunk's tasklet-execution ids.
+  std::int64_t execution_offset = 0;
+  std::int64_t execution_count = 0;
+};
+
+struct TracePlan {
+  /// False when any part of the program could not be modeled exactly;
+  /// the caller must fall back to serial generation.
+  bool parallelizable = false;
+  std::int64_t total_events = 0;
+  std::int64_t total_executions = 0;
+  /// Chunks in serial emission order; offsets are contiguous.
+  std::vector<TraceChunk> chunks;
+};
+
+/// Computes the exact chunk decomposition of simulate()'s event stream
+/// under `symbols`. Top-level maps are split along their outermost
+/// dimension into at most `max_chunks_per_map` pieces balanced by event
+/// count (0 = derive from dmv::par::num_threads()). Never throws: any
+/// modeling failure yields parallelizable == false.
+TracePlan plan_trace(const Sdfg& sdfg, const SymbolMap& symbols,
+                     const SimulationOptions& options,
+                     int max_chunks_per_map = 0);
+
+/// Arena variant reusing `plan.chunks` capacity across sweep steps.
+void plan_trace_into(const Sdfg& sdfg, const SymbolMap& symbols,
+                     const SimulationOptions& options, int max_chunks_per_map,
+                     TracePlan& plan);
+
+/// Reusable parallel-generation state, kept alongside the sweep arena so
+/// a slider sweep pays the allocations once (sim.hpp forward-declares
+/// this for the simulate_into/simulate_stream parameters).
+struct TraceArena {
+  TracePlan plan;
+  /// Streaming sequencer ring: chunk c fills buffers[c % window].
+  std::vector<EventList> chunk_buffers;
+
+  std::size_t buffer_bytes() const {
+    std::size_t total = 0;
+    for (const EventList& buffer : chunk_buffers) {
+      total += buffer.capacity_bytes();
+    }
+    return total;
+  }
+};
+
+/// Generates exactly `chunk` of a plan for this (sdfg, symbols, options)
+/// triple, appending its events — with absolute timestep/execution
+/// stamps — to `out`. `header` supplies the placed container layouts
+/// (any trace returned by simulate/simulate_stream for the same binding
+/// and options). This is the streaming producers' worker and the test
+/// hook that validates a plan chunk-by-chunk against serial emission.
+/// Throws std::logic_error if the chunk's generated event or execution
+/// count disagrees with the plan.
+void simulate_chunk(const Sdfg& sdfg, const SymbolMap& symbols,
+                    const SimulationOptions& options,
+                    const AccessTrace& header, const TraceChunk& chunk,
+                    EventList& out);
+
+}  // namespace dmv::sim

@@ -197,4 +197,14 @@ std::vector<NodeId> State::erase_nodes(const std::vector<NodeId>& ids) {
   return remap;
 }
 
+StateSchedule::StateSchedule(const State& state)
+    : order(state.topological_order()),
+      in_adjacency(state.num_nodes()),
+      out_adjacency(state.num_nodes()) {
+  for (const Edge& edge : state.edges()) {
+    out_adjacency[edge.src].push_back(&edge);
+    in_adjacency[edge.dst].push_back(&edge);
+  }
+}
+
 }  // namespace dmv::ir

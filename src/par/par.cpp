@@ -41,7 +41,11 @@ class Pool {
     return pool;
   }
 
-  void run(std::size_t count, const std::function<void(std::size_t)>& task) {
+  /// `on_caller`, when set, runs on the calling thread INSTEAD of
+  /// drain() — the ordered_pipeline consumer loop. Workers handle every
+  /// task; the call still waits for all of them before returning.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task,
+           const std::function<void()>* on_caller = nullptr) {
     std::unique_lock<std::mutex> run_lock(run_mutex_);
     ensure_workers(num_threads() - 1);
     {
@@ -54,7 +58,16 @@ class Pool {
       ++generation_;
     }
     work_ready_.notify_all();
-    drain();
+    if (on_caller) {
+      try {
+        (*on_caller)();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    } else {
+      drain();
+    }
     {
       // Wait for completion AND for every worker to leave drain(): a
       // straggler from this job must not observe the next job's reset
@@ -161,6 +174,88 @@ ThreadScope::ThreadScope(int threads) : previous_(num_threads()) {
 
 ThreadScope::~ThreadScope() { set_num_threads(previous_); }
 
+bool in_parallel_region() { return in_pool_task; }
+
+void ordered_pipeline(std::size_t n, std::size_t window,
+                      const std::function<void(std::size_t)>& produce,
+                      const std::function<void(std::size_t)>& consume) {
+  if (n == 0) return;
+  if (window == 0) window = 1;
+  if (n == 1 || num_threads() <= 1 || in_pool_task) {
+    for (std::size_t i = 0; i < n; ++i) {
+      produce(i);
+      consume(i);
+    }
+    return;
+  }
+
+  // Ring of `window` slots shared between producers (pool workers) and
+  // the consumer (this thread). Producers wait for their slot to be
+  // free, fill it, and flag it ready; the consumer drains slots in
+  // ascending item order. Slot i % window is free once `consumed > i -
+  // window`, i.e. after consume(i - window) returned — so a producer
+  // never overwrites data the consumer is still reading. The producer
+  // of item `consumed` can never be the one waiting (consumed + window >
+  // consumed always holds), which rules out deadlock. Either side's
+  // first exception flips `failed`, releasing everyone.
+  std::mutex mutex;
+  std::condition_variable ready_cv;  // Producer -> consumer: slot filled.
+  std::condition_variable free_cv;   // Consumer -> producers: slot freed.
+  std::vector<char> ready(window, 0);
+  std::size_t consumed = 0;
+  bool failed = false;
+  std::exception_ptr first_error;
+
+  const std::function<void(std::size_t)> producer = [&](std::size_t i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      free_cv.wait(lock, [&] { return failed || consumed + window > i; });
+      if (failed) return;
+    }
+    try {
+      produce(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      failed = true;
+      if (!first_error) first_error = std::current_exception();
+      ready_cv.notify_all();
+      free_cv.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ready[i % window] = 1;
+      ready_cv.notify_all();
+    }
+  };
+  const std::function<void()> consumer = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ready_cv.wait(lock, [&] { return failed || ready[i % window] != 0; });
+        if (failed) return;
+        ready[i % window] = 0;
+      }
+      try {
+        consume(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        failed = true;
+        if (!first_error) first_error = std::current_exception();
+        free_cv.notify_all();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++consumed;
+        free_cv.notify_all();
+      }
+    }
+  };
+  detail::run_tasks_with_caller(n, producer, consumer);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 namespace detail {
 
 void run_tasks(std::size_t count,
@@ -171,6 +266,20 @@ void run_tasks(std::size_t count,
     return;
   }
   Pool::instance().run(count, task);
+}
+
+void run_tasks_with_caller(std::size_t count,
+                           const std::function<void(std::size_t)>& task,
+                           const std::function<void()>& on_caller) {
+  if (num_threads() <= 1 || in_pool_task) {
+    // Degenerate fallback: produce everything, then run the caller side
+    // (which finds every slot ready). ordered_pipeline normally handles
+    // serial execution itself with the cheaper alternating loop.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    on_caller();
+    return;
+  }
+  Pool::instance().run(count, task, &on_caller);
 }
 
 }  // namespace detail

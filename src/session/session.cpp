@@ -244,7 +244,19 @@ struct Session::Impl {
   }
 
   void maybe_prefetch() {
-    if (!config.prefetch || config.prefetch_depth <= 0) return;
+    if (!config.prefetch || config.prefetch_depth <= 0) {
+      stats.prefetch = "off";
+      return;
+    }
+    // With a single worker, speculative evaluation runs serially IN
+    // FRONT of the next interaction instead of overlapping it — pure
+    // added latency. Skip it and record why, so benchmarks and clients
+    // can tell "prefetch never helped" from "prefetch never ran".
+    if (par::num_threads() <= 1) {
+      stats.prefetch = "skipped (1 worker)";
+      return;
+    }
+    stats.prefetch = "speculative";
     if (moved_symbol.empty() || moved_delta == 0) return;
     // A symbol the metrics cannot reach would prefetch identical keys.
     if (!metric_symbols.contains(moved_symbol)) return;

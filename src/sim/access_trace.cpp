@@ -2,7 +2,9 @@
 #include <array>
 #include <stdexcept>
 
+#include "dmv/par/par.hpp"
 #include "dmv/sim/sim.hpp"
+#include "dmv/sim/trace_plan.hpp"
 
 namespace dmv::sim {
 
@@ -44,6 +46,24 @@ std::vector<layout::Index> subset_elements(const Subset& subset,
   return elements;
 }
 
+// Container placement shared by the serial simulator and the parallel
+// drivers (which place once up front and hand the layouts to every
+// chunk). Iterates sdfg.arrays() — an ordered map — so the container
+// index assignment is deterministic.
+void place_containers_into(const Sdfg& sdfg, const SymbolMap& symbols,
+                           const SimulationOptions& options,
+                           AccessTrace& trace,
+                           std::map<std::string, int>* ids) {
+  layout::AddressSpace space(options.placement_alignment);
+  for (const auto& [name, descriptor] : sdfg.arrays()) {
+    ConcreteLayout layout = ConcreteLayout::from(descriptor, symbols);
+    space.place(layout);
+    if (ids) ids->emplace(name, static_cast<int>(trace.layouts.size()));
+    trace.containers.push_back(name);
+    trace.layouts.push_back(std::move(layout));
+  }
+}
+
 class Simulator {
  public:
   Simulator(const Sdfg& sdfg, const SymbolMap& symbols,
@@ -64,18 +84,13 @@ class Simulator {
     trace.events.clear();
     trace.executions = 0;
     trace_ = &trace;
-    place_containers();
+    place_containers_into(sdfg_, symbols_, options_, trace, &container_ids_);
+    layouts_ = &trace.layouts;
     if (sink_) sink_->on_trace_header(trace);
     for (const State& state : sdfg_.states()) {
-      order_ = state.topological_order();
-      // Adjacency index: in_edges/out_edges scan all edges, which would
-      // be paid once per tasklet per iteration otherwise.
-      in_adjacency_.assign(state.num_nodes(), {});
-      out_adjacency_.assign(state.num_nodes(), {});
-      for (const Edge& edge : state.edges()) {
-        out_adjacency_[edge.src].push_back(&edge);
-        in_adjacency_[edge.dst].push_back(&edge);
-      }
+      // Topo order + adjacency built once per state (in_edges/out_edges
+      // scan all edges, which would be paid per tasklet per iteration).
+      schedule_ = ir::StateSchedule(state);
       if (options_.compiled) {
         compile_state(state);
         execute_scope_compiled(state, ir::kNoNode);
@@ -85,6 +100,66 @@ class Simulator {
     }
     trace.executions = execution_;
     if (sink_) sink_->on_trace_end(execution_);
+  }
+
+  /// Generates exactly one plan chunk, starting mid-iteration-space with
+  /// absolute timestep/execution stamps from the plan. `header` supplies
+  /// the placed layouts; events go to `out` — written at their absolute
+  /// slice indices when `absolute` (the pre-sized disjoint-slice path),
+  /// appended otherwise (streaming chunk buffers, test validation).
+  void run_chunk(const AccessTrace& header, const TraceChunk& chunk,
+                 EventList& out, bool absolute) {
+    layouts_ = &header.layouts;
+    container_ids_.clear();
+    for (std::size_t i = 0; i < header.containers.size(); ++i) {
+      container_ids_.emplace(header.containers[i], static_cast<int>(i));
+    }
+    const State& state =
+        sdfg_.states().at(static_cast<std::size_t>(chunk.state));
+    schedule_ = ir::StateSchedule(state);
+    timestep_ = chunk.event_offset;
+    execution_ = chunk.execution_offset;
+    out_ = &out;
+    out_absolute_ = absolute;
+    chunk_limit_ = chunk.event_offset + chunk.event_count;
+    const Node& node = state.node(chunk.node);
+    if (options_.compiled) {
+      compile_state(state);
+      switch (node.kind) {
+        case NodeKind::MapEntry:
+          execute_map_compiled(state, node, chunk.outer_begin,
+                               chunk.outer_count);
+          break;
+        case NodeKind::Tasklet:
+          execute_tasklet_compiled(state, node);
+          break;
+        case NodeKind::Access:
+          execute_copies_compiled(state, node);
+          break;
+        case NodeKind::MapExit:
+          break;
+      }
+    } else {
+      switch (node.kind) {
+        case NodeKind::MapEntry:
+          execute_map(state, node, symbols_, chunk.outer_begin,
+                      chunk.outer_count);
+          break;
+        case NodeKind::Tasklet:
+          execute_tasklet(state, node, symbols_);
+          break;
+        case NodeKind::Access:
+          execute_copies(state, node, symbols_);
+          break;
+        case NodeKind::MapExit:
+          break;
+      }
+    }
+    if (timestep_ != chunk.event_offset + chunk.event_count ||
+        execution_ != chunk.execution_offset + chunk.execution_count) {
+      throw std::logic_error(
+          "simulate: trace plan chunk count mismatch (planner bug)");
+    }
   }
 
  private:
@@ -174,7 +249,7 @@ class Simulator {
   }
 
   void execute_scope_compiled(const State& state, NodeId scope) {
-    for (NodeId id : order_) {
+    for (NodeId id : schedule_.order) {
       const Node& node = state.node(id);
       if (node.scope_parent != scope) continue;
       switch (node.kind) {
@@ -193,7 +268,14 @@ class Simulator {
     }
   }
 
-  void execute_map_compiled(const State& state, const Node& node) {
+  /// `outer_count` < 0 runs the full map; otherwise only the outermost
+  /// dimension's ordinals [outer_begin, outer_begin + outer_count) run —
+  /// the chunked writers' mid-iteration-space entry. The full run over
+  /// ordinal slices partitioning [0, trips) visits the identical point
+  /// sequence, which is what makes chunked output bit-identical.
+  void execute_map_compiled(const State& state, const Node& node,
+                            std::int64_t outer_begin = 0,
+                            std::int64_t outer_count = -1) {
     const CompiledMap& map = compiled_maps_[node.id];
     // Save the parameter slots' outer bindings: a nested map may reuse a
     // parameter name, and the outer value must survive the inner scope
@@ -203,7 +285,29 @@ class Simulator {
     for (int slot : map.param_slots) {
       saved.emplace_back(env_values_[slot], env_bound_[slot]);
     }
-    iterate_map_compiled(state, node, map, 0);
+    if (outer_count < 0) {
+      iterate_map_compiled(state, node, map, 0);
+    } else if (map.bounds.empty()) {
+      // Zero-dimensional map: the planner models it as one outer ordinal.
+      if (outer_begin == 0 && outer_count > 0) {
+        execute_scope_compiled(state, node.id);
+      }
+    } else {
+      for (std::size_t q = 0; q < map.param_slots.size(); ++q) {
+        env_bound_[map.param_slots[q]] = 0;
+      }
+      const std::int64_t begin = eval(map.bounds[0].begin);
+      const std::int64_t step = eval(map.bounds[0].step);
+      if (step <= 0) {
+        throw std::invalid_argument("IterationSpace: non-positive step");
+      }
+      const int slot = map.param_slots[0];
+      for (std::int64_t o = outer_begin; o < outer_begin + outer_count; ++o) {
+        env_values_[slot] = begin + o * step;
+        env_bound_[slot] = 1;
+        iterate_map_compiled(state, node, map, 1);
+      }
+    }
     for (std::size_t p = 0; p < map.param_slots.size(); ++p) {
       env_values_[map.param_slots[p]] = saved[p].first;
       env_bound_[map.param_slots[p]] = saved[p].second;
@@ -279,11 +383,11 @@ class Simulator {
   }
 
   void execute_tasklet_compiled(const State& state, const Node& node) {
-    for (const Edge* edge : in_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.in_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       emit_subset_compiled(state, edge, /*is_write=*/false, node.id);
     }
-    for (const Edge* edge : out_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.out_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       emit_subset_compiled(state, edge, /*is_write=*/true, node.id);
     }
@@ -291,7 +395,7 @@ class Simulator {
   }
 
   void execute_copies_compiled(const State& state, const Node& node) {
-    for (const Edge* edge : out_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.out_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       const Node& dst = state.node(edge->dst);
       if (dst.kind != NodeKind::Access) continue;
@@ -328,20 +432,9 @@ class Simulator {
 
   // -- Shared infrastructure -----------------------------------------
 
-  void place_containers() {
-    layout::AddressSpace space(options_.placement_alignment);
-    for (const auto& [name, descriptor] : sdfg_.arrays()) {
-      ConcreteLayout layout = ConcreteLayout::from(descriptor, symbols_);
-      space.place(layout);
-      container_ids_.emplace(name, static_cast<int>(trace_->layouts.size()));
-      trace_->containers.push_back(name);
-      trace_->layouts.push_back(std::move(layout));
-    }
-  }
-
   void emit(int container, const layout::Index& indices, bool is_write,
             NodeId tasklet) {
-    const ConcreteLayout& layout = trace_->layouts[container];
+    const ConcreteLayout& layout = (*layouts_)[container];
     if (!layout.in_bounds(indices)) {
       std::string text;
       for (std::int64_t i : indices) text += std::to_string(i) + ",";
@@ -357,6 +450,19 @@ class Simulator {
     event.tasklet = tasklet;
     if (sink_) {
       sink_->on_event(event);  // Streaming: nothing is materialized.
+    } else if (out_) {
+      // Chunk mode: the plan fixed this chunk's event range up front, so
+      // emitting past it means the planner under-counted — fail loudly
+      // instead of corrupting a neighboring slice.
+      if (event.timestep >= chunk_limit_) {
+        throw std::logic_error(
+            "simulate: trace plan chunk overflow (planner bug)");
+      }
+      if (out_absolute_) {
+        out_->set(static_cast<std::size_t>(event.timestep), event);
+      } else {
+        out_->push_back(event);
+      }
     } else {
       trace_->events.push_back(event);
     }
@@ -376,21 +482,13 @@ class Simulator {
   }
 
   void execute_scope(const State& state, NodeId scope, const SymbolMap& env) {
-    for (NodeId id : order_) {
+    for (NodeId id : schedule_.order) {
       const Node& node = state.node(id);
       if (node.scope_parent != scope) continue;
       switch (node.kind) {
-        case NodeKind::MapEntry: {
-          IterationSpace space = IterationSpace::from(node.map, env);
-          space.for_each([&](std::span<const std::int64_t> values) {
-            SymbolMap inner = env;
-            for (std::size_t p = 0; p < space.params.size(); ++p) {
-              inner[space.params[p]] = values[p];
-            }
-            execute_scope(state, node.id, inner);
-          });
+        case NodeKind::MapEntry:
+          execute_map(state, node, env);
           break;
-        }
         case NodeKind::Tasklet:
           execute_tasklet(state, node, env);
           break;
@@ -403,14 +501,35 @@ class Simulator {
     }
   }
 
+  /// Interpreted analogue of execute_map_compiled: `outer_count` < 0
+  /// runs the full map, otherwise the outermost-ordinal slice
+  /// [outer_begin, outer_begin + outer_count).
+  void execute_map(const State& state, const Node& node, const SymbolMap& env,
+                   std::int64_t outer_begin = 0,
+                   std::int64_t outer_count = -1) {
+    IterationSpace space = IterationSpace::from(node.map, env);
+    auto body = [&](std::span<const std::int64_t> values) {
+      SymbolMap inner = env;
+      for (std::size_t p = 0; p < space.params.size(); ++p) {
+        inner[space.params[p]] = values[p];
+      }
+      execute_scope(state, node.id, inner);
+    };
+    if (outer_count < 0) {
+      space.for_each(body);
+    } else {
+      space.for_each_slice(outer_begin, outer_count, body);
+    }
+  }
+
   void execute_tasklet(const State& state, const Node& node,
                        const SymbolMap& env) {
     (void)state;
-    for (const Edge* edge : in_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.in_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       emit_subset(edge->memlet, env, /*is_write=*/false, node.id);
     }
-    for (const Edge* edge : out_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.out_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       emit_subset(edge->memlet, env, /*is_write=*/true, node.id);
     }
@@ -421,7 +540,7 @@ class Simulator {
   // paired with a write of the destination subset.
   void execute_copies(const State& state, const Node& node,
                       const SymbolMap& env) {
-    for (const Edge* edge : out_adjacency_[node.id]) {
+    for (const Edge* edge : schedule_.out_adjacency[node.id]) {
       if (edge->memlet.is_empty()) continue;
       const Node& dst = state.node(edge->dst);
       if (dst.kind != NodeKind::Access) continue;
@@ -451,10 +570,16 @@ class Simulator {
   const SimulationOptions& options_;
   EventSink* sink_ = nullptr;
   AccessTrace* trace_ = nullptr;
+  /// Placed layouts events resolve against: the owned trace's layouts in
+  /// a full run, the shared header's in chunk mode.
+  const std::vector<ConcreteLayout>* layouts_ = nullptr;
+  /// Chunk mode only: target list, write discipline, and the absolute
+  /// event index one past the chunk's slice.
+  EventList* out_ = nullptr;
+  bool out_absolute_ = false;
+  std::int64_t chunk_limit_ = 0;
   std::map<std::string, int> container_ids_;
-  std::vector<NodeId> order_;
-  std::vector<std::vector<const Edge*>> in_adjacency_;
-  std::vector<std::vector<const Edge*>> out_adjacency_;
+  ir::StateSchedule schedule_;
   SymbolTable table_;
   std::vector<std::int64_t> env_values_;
   std::vector<char> env_bound_;
@@ -479,22 +604,120 @@ const ConcreteLayout& AccessTrace::layout_of(const std::string& name) const {
   return layouts[container_id(name)];
 }
 
+namespace {
+
+// Below this many total events, per-chunk setup (state schedule +
+// compilation per chunk) outweighs the parallel win.
+constexpr std::int64_t kMinParallelEvents = 8192;
+
+// Parallel generation is worth attempting at all: it is requested, more
+// than one thread would run it, and we are not already inside a pool
+// task (where parallel constructs serialize and the plan is pure
+// overhead).
+bool parallel_trace_enabled(const SimulationOptions& options) {
+  return options.parallel_trace && par::num_threads() > 1 &&
+         !par::in_parallel_region();
+}
+
+bool plan_is_worthwhile(const TracePlan& plan) {
+  return plan.parallelizable && plan.chunks.size() > 1 &&
+         plan.total_events >= kMinParallelEvents;
+}
+
+}  // namespace
+
 AccessTrace simulate(const Sdfg& sdfg, const SymbolMap& symbols,
                      const SimulationOptions& options) {
-  return Simulator(sdfg, symbols, options).run();
+  AccessTrace trace;
+  simulate_into(sdfg, symbols, options, trace);
+  return trace;
 }
 
 void simulate_into(const Sdfg& sdfg, const SymbolMap& symbols,
-                   const SimulationOptions& options, AccessTrace& trace) {
+                   const SimulationOptions& options, AccessTrace& trace,
+                   TraceArena* arena) {
+  if (parallel_trace_enabled(options)) {
+    TracePlan local_plan;
+    TracePlan& plan = arena ? arena->plan : local_plan;
+    plan_trace_into(sdfg, symbols, options, 0, plan);
+    if (plan_is_worthwhile(plan)) {
+      trace.containers.clear();
+      trace.layouts.clear();
+      trace.executions = 0;
+      place_containers_into(sdfg, symbols, options, trace, nullptr);
+      // Size the columns once from the plan total; every chunk then
+      // writes only its disjoint [event_offset, event_offset +
+      // event_count) slice, so no writer ever moves another's memory.
+      trace.events.resize(static_cast<std::size_t>(plan.total_events));
+      par::parallel_for(plan.chunks.size(), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t c = begin; c < end; ++c) {
+                            Simulator chunk_sim(sdfg, symbols, options);
+                            chunk_sim.run_chunk(trace, plan.chunks[c],
+                                                trace.events,
+                                                /*absolute=*/true);
+                          }
+                        });
+      trace.executions = plan.total_executions;
+      return;
+    }
+  }
   Simulator(sdfg, symbols, options).run_into(trace);
 }
 
 AccessTrace simulate_stream(const Sdfg& sdfg, const SymbolMap& symbols,
-                            EventSink& sink,
-                            const SimulationOptions& options) {
+                            EventSink& sink, const SimulationOptions& options,
+                            TraceArena* arena) {
+  if (parallel_trace_enabled(options)) {
+    TracePlan local_plan;
+    TracePlan& plan = arena ? arena->plan : local_plan;
+    plan_trace_into(sdfg, symbols, options, 0, plan);
+    if (plan_is_worthwhile(plan)) {
+      AccessTrace header;
+      place_containers_into(sdfg, symbols, options, header, nullptr);
+      sink.on_trace_header(header);
+      // Ordered hand-off: producers fill per-chunk buffers out of order;
+      // the sequencer (ordered_pipeline's consumer side, this thread)
+      // drains them to the sink in chunk order. Events carry absolute
+      // timestep/execution stamps, so the sink sees simulate()'s exact
+      // serial call sequence. window = threads + 1 keeps every producer
+      // busy while the chunk being drained stays untouched.
+      const std::size_t window =
+          static_cast<std::size_t>(par::num_threads()) + 1;
+      std::vector<EventList> local_buffers;
+      std::vector<EventList>& buffers =
+          arena ? arena->chunk_buffers : local_buffers;
+      if (buffers.size() < window) buffers.resize(window);
+      par::ordered_pipeline(
+          plan.chunks.size(), window,
+          [&](std::size_t c) {
+            EventList& buffer = buffers[c % window];
+            buffer.clear();
+            Simulator chunk_sim(sdfg, symbols, options);
+            chunk_sim.run_chunk(header, plan.chunks[c], buffer,
+                                /*absolute=*/false);
+          },
+          [&](std::size_t c) {
+            const EventList& buffer = buffers[c % window];
+            const std::size_t n = buffer.size();
+            for (std::size_t i = 0; i < n; ++i) sink.on_event(buffer[i]);
+          });
+      sink.on_trace_end(plan.total_executions);
+      header.executions = plan.total_executions;
+      return header;
+    }
+  }
   AccessTrace header;
   Simulator(sdfg, symbols, options, &sink).run_into(header);
   return header;
+}
+
+void simulate_chunk(const Sdfg& sdfg, const SymbolMap& symbols,
+                    const SimulationOptions& options,
+                    const AccessTrace& header, const TraceChunk& chunk,
+                    EventList& out) {
+  Simulator chunk_sim(sdfg, symbols, options);
+  chunk_sim.run_chunk(header, chunk, out, /*absolute=*/false);
 }
 
 }  // namespace dmv::sim

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dmv/par/par.hpp"
+#include "dmv/sim/trace_plan.hpp"
 #include "metric_detail.hpp"
 
 namespace dmv::sim {
@@ -86,6 +87,7 @@ CacheGeometry cache_geometry(const CacheConfig& config) {
 // scratch once instead of once per binding.
 struct ArenaState {
   AccessTrace trace;        ///< run(sdfg) materialization target.
+  TraceArena trace_arena;   ///< Chunk plan + streaming ring buffers.
   LineTable table;          ///< Distance-granularity line ids.
   LineTable cache_table;    ///< Only if the cache uses another line size.
   detail::Fenwick fenwick;
@@ -503,7 +505,7 @@ PipelineResult MetricPipeline::run(const AccessTrace& trace) {
 
 PipelineResult MetricPipeline::run(const Sdfg& sdfg, const SymbolMap& symbols,
                                    const SimulationOptions& options) {
-  simulate_into(sdfg, symbols, options, arena_->trace);
+  simulate_into(sdfg, symbols, options, arena_->trace, &arena_->trace_arena);
   return run(arena_->trace);
 }
 
@@ -512,7 +514,8 @@ PipelineResult MetricPipeline::run_streaming(const Sdfg& sdfg,
                                              const SimulationOptions& options) {
   FusedPass pass(config_, *arena_);
   StreamingSink sink(config_, pass);
-  AccessTrace header = simulate_stream(sdfg, symbols, sink, options);
+  AccessTrace header =
+      simulate_stream(sdfg, symbols, sink, options, &arena_->trace_arena);
   return pass.finish(header, static_cast<std::int64_t>(sink.events()),
                      sink.executions());
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "dmv/analysis/analysis.hpp"
@@ -61,6 +62,97 @@ TEST(Determinism, CompiledSimulatorMatchesInterpreterOnBert) {
   compiled.compiled = true;
   expect_traces_identical(simulate(sdfg, binding, interpreted),
                           simulate(sdfg, binding, compiled));
+}
+
+// Records the exact sink call sequence so streaming runs can be
+// compared call-for-call across thread counts.
+class RecordingSink : public EventSink {
+ public:
+  void on_trace_header(const AccessTrace& header) override {
+    containers = header.containers;
+  }
+  void on_event(const AccessEvent& event) override {
+    events.push_back(event);
+  }
+  void on_trace_end(std::int64_t n) override { executions = n; }
+
+  std::vector<std::string> containers;
+  std::vector<AccessEvent> events;
+  std::int64_t executions = 0;
+};
+
+void expect_events_identical(const std::vector<AccessEvent>& a,
+                             const std::vector<AccessEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].container, b[i].container) << "event " << i;
+    ASSERT_EQ(a[i].flat, b[i].flat) << "event " << i;
+    ASSERT_EQ(a[i].is_write, b[i].is_write) << "event " << i;
+    ASSERT_EQ(a[i].timestep, b[i].timestep) << "event " << i;
+    ASSERT_EQ(a[i].execution, b[i].execution) << "event " << i;
+    ASSERT_EQ(a[i].tasklet, b[i].tasklet) << "event " << i;
+  }
+}
+
+TEST(Determinism, ParallelTraceBitIdenticalAcrossThreadCounts) {
+  // The tentpole contract: chunked parallel generation is a pure
+  // performance change. 1 thread (serial fallback), 8 threads (chunked),
+  // and parallel_trace = false must produce byte-identical traces.
+  for (const bool compiled : {true, false}) {
+    SimulationOptions options;
+    options.compiled = compiled;
+    const std::vector<std::pair<ir::Sdfg, symbolic::SymbolMap>> cases = [] {
+      std::vector<std::pair<ir::Sdfg, symbolic::SymbolMap>> list;
+      list.emplace_back(workloads::hdiff(workloads::HdiffVariant::Baseline),
+                        workloads::hdiff_local());
+      list.emplace_back(workloads::matmul(),
+                        symbolic::SymbolMap{{"M", 12}, {"N", 10}, {"K", 8}});
+      list.emplace_back(workloads::bert_encoder(workloads::BertStage::Fused1),
+                        workloads::bert_small());
+      return list;
+    }();
+    for (const auto& [sdfg, binding] : cases) {
+      SimulationOptions serial_options = options;
+      serial_options.parallel_trace = false;
+      const AccessTrace reference = simulate(sdfg, binding, serial_options);
+      AccessTrace one;
+      AccessTrace eight;
+      {
+        par::ThreadScope scope(1);
+        one = simulate(sdfg, binding, options);
+      }
+      {
+        par::ThreadScope scope(8);
+        eight = simulate(sdfg, binding, options);
+      }
+      expect_traces_identical(reference, one);
+      expect_traces_identical(reference, eight);
+    }
+  }
+}
+
+TEST(Determinism, StreamingSinkSequenceIdenticalAcrossThreadCounts) {
+  // simulate_stream's ordered sequencer: out-of-order chunk completion
+  // must not reorder, duplicate, or drop a single sink call.
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding = workloads::hdiff_local();
+  RecordingSink serial;
+  RecordingSink parallel;
+  {
+    par::ThreadScope scope(1);
+    simulate_stream(sdfg, binding, serial);
+  }
+  {
+    par::ThreadScope scope(8);
+    simulate_stream(sdfg, binding, parallel);
+  }
+  EXPECT_EQ(serial.containers, parallel.containers);
+  EXPECT_EQ(serial.executions, parallel.executions);
+  expect_events_identical(serial.events, parallel.events);
+  // And the stream agrees with the materialized trace.
+  const AccessTrace reference = simulate(sdfg, binding);
+  ASSERT_EQ(parallel.events.size(), reference.events.size());
+  EXPECT_EQ(parallel.executions, reference.executions);
 }
 
 TEST(Determinism, MetricPassesBitIdenticalAcrossThreadCounts) {
