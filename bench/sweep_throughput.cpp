@@ -8,8 +8,11 @@
 // Measured configurations:
 //   * serial, interpreted engine (options.compiled = false, threads = 1)
 //     — the pre-optimization baseline;
-//   * serial, compiled engine (CompiledExpr evaluation, threads = 1)
-//     — isolates the expression-compilation speedup;
+//   * serial, compiled engine (CompiledExpr evaluation, threads = 1,
+//     lane_width = 1) — isolates the expression-compilation speedup;
+//   * serial, batched compiled engine (lane_width 4 and 8) — the
+//     simulate_batched series; a lane-width ablation whose traces are
+//     checksum-validated against the scalar engine per binding;
 //   * compiled engine at 2 / 8 / hardware threads, sweep parallel
 //     across bindings — the interactive-rate configuration (skipped and
 //     recorded as such when the machine has a single hardware thread);
@@ -375,6 +378,32 @@ bool validate_symbolic_ops(const SweepCase& sweep, int rounds) {
   return true;
 }
 
+// Lane-width identity gate: the batched innermost loop at W=4 and W=8
+// must reproduce the scalar (W=1) order-sensitive trace checksum for
+// every binding. Serial threads so only the lane width varies.
+bool validate_batched_trace(const SweepCase& sweep,
+                            const SimulationOptions& options) {
+  dmv::par::ThreadScope scope(1);
+  SimulationOptions serial = options;
+  serial.parallel_trace = false;
+  for (const SymbolMap& binding : sweep.bindings) {
+    std::int64_t checksums[3];
+    const int widths[3] = {1, 4, 8};
+    for (int i = 0; i < 3; ++i) {
+      serial.lane_width = widths[i];
+      checksums[i] =
+          trace_checksum(dmv::sim::simulate(sweep.sdfg, binding, serial));
+    }
+    if (checksums[0] != checksums[1] || checksums[0] != checksums[2]) {
+      std::cerr << "FATAL: batched trace mismatch on " << sweep.name
+                << ": W=1 " << checksums[0] << ", W=4 " << checksums[1]
+                << ", W=8 " << checksums[2] << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 // Serial-vs-parallel trace identity gate: the chunked generator at 8
 // (oversubscribed) threads must reproduce the serial trace checksum for
 // every binding, materialized and streaming alike.
@@ -413,10 +442,12 @@ int run_smoke() {
   for (const SweepCase& sweep : build_cases(/*smoke=*/true)) {
     if (!validate_ablation(sweep, compiled)) return 1;
     if (!validate_parallel_trace(sweep, compiled)) return 1;
+    if (!validate_batched_trace(sweep, compiled)) return 1;
     if (!validate_symbolic_ops(sweep, /*rounds=*/2)) return 1;
     std::cout << "smoke " << sweep.name
               << ": unfused == fused == streaming == session, "
               << "serial trace == parallel trace (8 threads), "
+              << "batched trace (W=4/8) == scalar, "
               << "symbolic_ops memoized == legacy\n";
   }
   std::cout << "smoke OK\n";
@@ -450,21 +481,39 @@ int main(int argc, char** argv) {
     const SweepCase& sweep = cases[w];
     SimulationOptions interpreted;
     interpreted.compiled = false;
+    // `compiled` keeps the default lane width (the shipping
+    // configuration, batched); `compiled_scalar` pins lane_width = 1 so
+    // the simulate_compiled series still isolates expression
+    // compilation alone, and the batched ratio is measured against it.
     SimulationOptions compiled;
     compiled.compiled = true;
+    SimulationOptions compiled_scalar = compiled;
+    compiled_scalar.lane_width = 1;
+    SimulationOptions compiled_w4 = compiled;
+    compiled_w4.lane_width = 4;
 
     dmv::par::set_num_threads(1);
     const Measurement sim_interp =
         measure([&] { return run_simulate_only(sweep, interpreted); },
                 repetitions);
     const Measurement sim_compiled = measure(
+        [&] { return run_simulate_only(sweep, compiled_scalar); },
+        repetitions);
+    // Lane-width ablation (W=1 is sim_compiled above). Identity is
+    // enforced on full order-sensitive trace checksums, untimed.
+    const Measurement sim_batched4 = measure(
+        [&] { return run_simulate_only(sweep, compiled_w4); }, repetitions);
+    const Measurement sim_batched = measure(
         [&] { return run_simulate_only(sweep, compiled); }, repetitions);
+    if (!validate_batched_trace(sweep, compiled)) return 1;
     const Measurement serial_interp =
         measure([&] { return run_sweep(sweep, interpreted); }, repetitions);
     const Measurement serial_compiled =
         measure([&] { return run_sweep(sweep, compiled); }, repetitions);
     if (serial_interp.checksum != serial_compiled.checksum ||
-        sim_interp.checksum != sim_compiled.checksum) {
+        sim_interp.checksum != sim_compiled.checksum ||
+        sim_compiled.checksum != sim_batched.checksum ||
+        sim_compiled.checksum != sim_batched4.checksum) {
       std::cerr << "FATAL: engine mismatch on " << sweep.name << "\n";
       return 1;
     }
@@ -595,9 +644,14 @@ int main(int argc, char** argv) {
     const double simulate_speedup = sim_interp.best_ms / sim_compiled.best_ms;
     const double compiled_speedup =
         serial_interp.best_ms / serial_compiled.best_ms;
+    const double batched_speedup = sim_compiled.best_ms / sim_batched.best_ms;
     std::cout << sweep.name << ": simulate-only interpreted "
               << sim_interp.best_ms << " ms, compiled " << sim_compiled.best_ms
               << " ms  (CompiledExpr alone: " << simulate_speedup << "x)\n";
+    std::cout << "  simulate batched: W=1 " << sim_compiled.best_ms
+              << " ms, W=4 " << sim_batched4.best_ms << " ms, W=8 "
+              << sim_batched.best_ms << " ms  (" << batched_speedup
+              << "x vs compiled scalar)\n";
     std::cout << "  pipeline: interpreted " << serial_interp.best_ms
               << " ms, compiled " << serial_compiled.best_ms << " ms  ("
               << compiled_speedup << "x end to end)\n";
@@ -623,6 +677,14 @@ int main(int argc, char** argv) {
     json << "      \"simulate_compiled_ms\": " << sim_compiled.best_ms
          << ",\n";
     json << "      \"compiled_speedup\": " << simulate_speedup << ",\n";
+    json << "      \"simulate_batched_ms\": " << sim_batched.best_ms << ",\n";
+    json << "      \"batched_speedup\": " << batched_speedup << ",\n";
+    json << "      \"lane_ablation\": {\n";
+    json << "        \"w1_ms\": " << sim_compiled.best_ms << ",\n";
+    json << "        \"w4_ms\": " << sim_batched4.best_ms << ",\n";
+    json << "        \"w8_ms\": " << sim_batched.best_ms << ",\n";
+    json << "        \"checksum_identical\": true\n";
+    json << "      },\n";
     json << "      \"serial_interpreted_ms\": " << serial_interp.best_ms
          << ",\n";
     json << "      \"serial_compiled_ms\": " << serial_compiled.best_ms

@@ -356,6 +356,16 @@ struct SimulationOptions {
   /// automatically off at num_threads()==1, inside a pool task, or when
   /// the plan finds nothing worth splitting (see docs/simulation.md).
   bool parallel_trace = true;
+  /// Lane width W of the batched compiled engine: innermost map loops
+  /// whose scope is pure tasklets advance W iteration points per step
+  /// and evaluate each memlet subset expression for all W lanes in one
+  /// SoA pass (symbolic/batched.hpp); loop-invariant expressions are
+  /// hoisted out of the innermost loop entirely. Output is bit-identical
+  /// to the scalar loop at any width — including which exception fires
+  /// at which iteration point, via scalar replay of faulting batches —
+  /// and composes with parallel_trace (threads x lanes). 1 disables
+  /// batching; values are clamped to [1, symbolic::kMaxLaneWidth].
+  int lane_width = 8;
 };
 
 /// Reusable buffers for parallel trace generation (plan storage and

@@ -28,6 +28,7 @@
 
 namespace dmv::symbolic {
 
+class BatchedCompiledExpr;
 class CompiledExpr;
 
 /// Interns symbol names to dense slots. One table is shared by every
@@ -44,6 +45,12 @@ class CompiledExpr;
 /// one table per evaluation context, as before.
 class SymbolTable {
  public:
+  /// Compile-memo capacity. When an insert would exceed it the memo is
+  /// cleared wholesale — the same capped-eviction discipline as the
+  /// interner's substitution memo: recompiling is cheap, an unbounded
+  /// map on a long-lived table is not.
+  static constexpr std::size_t kCompileMemoCap = std::size_t{1} << 14;
+
   /// Slot of `name`, interning it if new.
   int intern(const std::string& name);
   int intern(SymbolId id);
@@ -53,6 +60,8 @@ class SymbolTable {
 
   std::size_t size() const { return names_.size(); }
   const std::vector<std::string>& names() const { return names_; }
+  /// Current compile-memo population (bounded by kCompileMemoCap).
+  std::size_t memo_size() const { return memo_.size(); }
 
   /// Builds a slot-indexed environment from a SymbolMap: values for
   /// bound slots, and a parallel mask of which slots are bound. Symbols
@@ -108,6 +117,10 @@ class CompiledExpr {
   bool reads_any(const std::vector<int>& query) const;
 
  private:
+  /// The lane-batched evaluator runs the same instruction stream over W
+  /// environments at once (see batched.hpp).
+  friend class BatchedCompiledExpr;
+
   enum class Op : std::uint8_t {
     PushConst,
     PushSlot,

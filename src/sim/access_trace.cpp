@@ -5,6 +5,7 @@
 #include "dmv/par/par.hpp"
 #include "dmv/sim/sim.hpp"
 #include "dmv/sim/trace_plan.hpp"
+#include "dmv/symbolic/batched.hpp"
 
 namespace dmv::sim {
 
@@ -15,7 +16,9 @@ using ir::Node;
 using ir::NodeId;
 using ir::NodeKind;
 using ir::Subset;
+using symbolic::BatchedCompiledExpr;
 using symbolic::CompiledExpr;
+using symbolic::LaneEnv;
 using symbolic::SymbolTable;
 
 // Enumerates the concrete element index tuples of an evaluated subset in
@@ -188,6 +191,125 @@ class Simulator {
     std::vector<CompiledRange> bounds;
   };
 
+  // -- Lane-batched innermost loops ----------------------------------
+  //
+  // For a map whose scope is pure tasklets, the innermost loop advances
+  // `lane_width_` iteration points per step: every subset-bound
+  // expression that reads the innermost parameter is evaluated for all
+  // W lanes in one batched pass (symbolic/batched.hpp), expressions
+  // invariant in that parameter are evaluated once per loop entry, and
+  // the lanes are then drained in serial order through the ordinary
+  // emit path — so the event stream is bit-identical to the scalar
+  // loop. Expressions are deduplicated by interned node, which collapses
+  // e.g. every "k" bound of a stencil's memlets into one batched
+  // evaluation. Batches where any active lane would throw are replayed
+  // through the scalar engine so the exception (and every event before
+  // it) lands exactly where serial order puts it.
+
+  /// Where a subset bound's value lives during the drain: lane-varying
+  /// results sit in `lane_out_` (index * W + lane), invariants in
+  /// `invariant_vals_` (index).
+  struct BatchedRef {
+    std::int32_t index = 0;
+    bool varying = false;
+  };
+  struct BatchedRangeRef {
+    BatchedRef begin, end, step;
+  };
+  /// One memlet of one tasklet, in emission order.
+  struct BatchedRun {
+    int container = -1;
+    bool is_write = false;
+    bool wcr_read = false;
+    std::vector<BatchedRangeRef> ranges;
+  };
+  struct BatchedTasklet {
+    NodeId id = ir::kNoNode;
+    std::vector<BatchedRun> runs;
+  };
+  struct BatchedScope {
+    bool enabled = false;
+    int lane_slot = -1;  ///< Innermost map parameter's slot.
+    std::vector<BatchedCompiledExpr> varying;
+    std::vector<CompiledExpr> invariant;
+    std::vector<BatchedTasklet> tasklets;
+  };
+
+  /// Analyzes `node`'s scope for lane batching; leaves the scope
+  /// disabled (scalar fallback) on any construct the drain cannot
+  /// reproduce exactly: nested maps, access-node copies, or an empty
+  /// iteration signature.
+  void build_batched_scope(const State& state, const Node& node) {
+    const CompiledMap& map = compiled_maps_[node.id];
+    if (map.bounds.empty()) return;
+    BatchedScope& scope = batched_scopes_[node.id];
+    for (NodeId id : schedule_.order) {
+      const Node& child = state.node(id);
+      if (child.scope_parent != node.id) continue;
+      if (child.kind == NodeKind::MapExit) continue;
+      if (child.kind != NodeKind::Tasklet) return;
+    }
+    const int lane_slot = map.param_slots.back();
+    // Dedup by interned node: one evaluation per distinct expression,
+    // shared by every memlet bound that names it.
+    std::unordered_map<const symbolic::ExprNode*, BatchedRef> seen;
+    auto ref_of = [&](const symbolic::Expr& expr) {
+      const symbolic::ExprNode* key = &expr.node();
+      auto it = seen.find(key);
+      if (it != seen.end()) return it->second;
+      CompiledExpr compiled = CompiledExpr::compile(expr, table_);
+      BatchedRef ref;
+      if (compiled.reads_any({lane_slot})) {
+        ref.varying = true;
+        ref.index = static_cast<std::int32_t>(scope.varying.size());
+        scope.varying.emplace_back(std::move(compiled));
+      } else {
+        ref.varying = false;
+        ref.index = static_cast<std::int32_t>(scope.invariant.size());
+        scope.invariant.push_back(std::move(compiled));
+      }
+      seen.emplace(key, ref);
+      return ref;
+    };
+    auto add_run = [&](BatchedTasklet& tasklet, const Edge* edge,
+                       bool is_write) {
+      BatchedRun run;
+      run.container = container_ids_.at(edge->memlet.data);
+      run.is_write = is_write;
+      run.wcr_read = is_write && edge->memlet.wcr != ir::Wcr::None &&
+                     options_.wcr_reads;
+      run.ranges.reserve(edge->memlet.subset.ranges.size());
+      for (const ir::Range& range : edge->memlet.subset.ranges) {
+        run.ranges.push_back(
+            {ref_of(range.begin), ref_of(range.end), ref_of(range.step)});
+      }
+      tasklet.runs.push_back(std::move(run));
+    };
+    // Tasklets in schedule order, each memlet in execute_tasklet_compiled
+    // order (in-edges then out-edges, empty memlets skipped) — the drain
+    // replays this list verbatim.
+    for (NodeId id : schedule_.order) {
+      const Node& child = state.node(id);
+      if (child.scope_parent != node.id ||
+          child.kind != NodeKind::Tasklet) {
+        continue;
+      }
+      BatchedTasklet tasklet;
+      tasklet.id = id;
+      for (const Edge* edge : schedule_.in_adjacency[id]) {
+        if (edge->memlet.is_empty()) continue;
+        add_run(tasklet, edge, /*is_write=*/false);
+      }
+      for (const Edge* edge : schedule_.out_adjacency[id]) {
+        if (edge->memlet.is_empty()) continue;
+        add_run(tasklet, edge, /*is_write=*/true);
+      }
+      scope.tasklets.push_back(std::move(tasklet));
+    }
+    scope.lane_slot = lane_slot;
+    scope.enabled = true;
+  }
+
   CompiledRange compile_range(const ir::Range& range) {
     CompiledRange compiled;
     compiled.begin = CompiledExpr::compile(range.begin, table_);
@@ -234,6 +356,14 @@ class Simulator {
         compiled.other =
             compile_subset(edge.memlet.other_subset, dst.data);
         compiled.has_other = true;
+      }
+    }
+    lane_width_ = std::clamp(options_.lane_width, 1, symbolic::kMaxLaneWidth);
+    batched_scopes_.assign(state.num_nodes(), {});
+    if (lane_width_ > 1) {
+      for (const Node& node : state.nodes()) {
+        if (node.kind != NodeKind::MapEntry) continue;
+        build_batched_scope(state, node);
       }
     }
     table_.bind(symbols_, env_values_, env_bound_);
@@ -302,10 +432,19 @@ class Simulator {
         throw std::invalid_argument("IterationSpace: non-positive step");
       }
       const int slot = map.param_slots[0];
-      for (std::int64_t o = outer_begin; o < outer_begin + outer_count; ++o) {
-        env_values_[slot] = begin + o * step;
-        env_bound_[slot] = 1;
-        iterate_map_compiled(state, node, map, 1);
+      const BatchedScope& scope = batched_scopes_[node.id];
+      if (map.bounds.size() == 1 && scope.enabled) {
+        // A 1-D chunk's outer-ordinal slice IS an innermost slice.
+        execute_innermost_batched(state, node, scope,
+                                  begin + outer_begin * step, outer_count,
+                                  step);
+      } else {
+        for (std::int64_t o = outer_begin; o < outer_begin + outer_count;
+             ++o) {
+          env_values_[slot] = begin + o * step;
+          env_bound_[slot] = 1;
+          iterate_map_compiled(state, node, map, 1);
+        }
       }
     }
     for (std::size_t p = 0; p < map.param_slots.size(); ++p) {
@@ -333,11 +472,147 @@ class Simulator {
       throw std::invalid_argument("IterationSpace: non-positive step");
     }
     const int slot = map.param_slots[dim];
+    const BatchedScope& scope = batched_scopes_[node.id];
+    if (dim + 1 == map.bounds.size() && scope.enabled) {
+      const std::int64_t trips =
+          end >= begin ? (end - begin) / step + 1 : 0;
+      execute_innermost_batched(state, node, scope, begin, trips, step);
+      return;
+    }
     for (std::int64_t v = begin; v <= end; v += step) {
       env_values_[slot] = v;
       env_bound_[slot] = 1;
       iterate_map_compiled(state, node, map, dim + 1);
     }
+  }
+
+  /// The scalar innermost loop over `count` points starting at `first`:
+  /// the replay target when a batch would throw, and the exact loop the
+  /// batched path must match byte for byte.
+  void run_innermost_scalar(const State& state, const Node& node, int slot,
+                            std::int64_t first, std::int64_t count,
+                            std::int64_t step) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      env_values_[slot] = first + i * step;
+      env_bound_[slot] = 1;
+      execute_scope_compiled(state, node.id);
+    }
+  }
+
+  /// Runs `count` innermost iteration points (values first, first+step,
+  /// ...) of a batchable scope, `lane_width_` lanes at a time. Bounds
+  /// invariant in the lane parameter are evaluated once per entry (the
+  /// scalar loop recomputes them per point against an identical
+  /// environment, so the values — and any exception — are the same);
+  /// lane-varying bounds are evaluated W lanes per dispatch; events then
+  /// drain lane by lane through emit(), preserving serial order. The
+  /// tail batch pads inactive lanes with the last active point's value —
+  /// never out of the loop's domain — and ignores their faults.
+  void execute_innermost_batched(const State& state, const Node& node,
+                                 const BatchedScope& scope,
+                                 std::int64_t begin, std::int64_t count,
+                                 std::int64_t step) {
+    if (count <= 0) return;
+    const int W = lane_width_;
+    const int slot = scope.lane_slot;
+    invariant_vals_.resize(scope.invariant.size());
+    try {
+      for (std::size_t e = 0; e < scope.invariant.size(); ++e) {
+        invariant_vals_[e] = eval(scope.invariant[e]);
+      }
+    } catch (...) {
+      // An invariant bound throws on every point; the scalar loop
+      // throws it at the first point, after zero events.
+      run_innermost_scalar(state, node, slot, begin, count, step);
+      return;
+    }
+    lane_env_.reset(env_values_, env_bound_, W);
+    lane_out_.resize(scope.varying.size() * static_cast<std::size_t>(W));
+    lane_param_.resize(static_cast<std::size_t>(W));
+    for (std::int64_t base = 0; base < count; base += W) {
+      const int active =
+          static_cast<int>(std::min<std::int64_t>(W, count - base));
+      for (int l = 0; l < W; ++l) {
+        const std::int64_t o =
+            base + std::min<std::int64_t>(l, active - 1);
+        lane_param_[static_cast<std::size_t>(l)] = begin + o * step;
+      }
+      lane_env_.set_lanes(slot, lane_param_);
+      std::uint32_t faults = 0;
+      for (std::size_t e = 0; e < scope.varying.size(); ++e) {
+        faults |= scope.varying[e].evaluate(
+            lane_env_, lane_out_.data() + e * static_cast<std::size_t>(W));
+      }
+      const std::uint32_t active_mask =
+          active >= 32 ? 0xffffffffu
+                       : ((std::uint32_t{1} << active) - 1u);
+      if ((faults & active_mask) != 0) {
+        // Some active lane would throw: replay the batch scalar so the
+        // exception fires at the exact point — after the exact events —
+        // serial order produces.
+        run_innermost_scalar(state, node, slot, begin + base * step, active,
+                             step);
+        continue;
+      }
+      for (int l = 0; l < active; ++l) {
+        drain_lane(scope, l, W);
+      }
+    }
+    // Leave the parameter as the scalar loop does: bound to the last
+    // point (re-unbound by the next bounds evaluation anyway).
+    env_values_[slot] = begin + (count - 1) * step;
+    env_bound_[slot] = 1;
+  }
+
+  /// Emits one lane's events: every tasklet's memlet runs in order,
+  /// bounds read from the batched results, elements walked by the same
+  /// odometer as enumerate_subset.
+  void drain_lane(const BatchedScope& scope, int lane, int width) {
+    for (const BatchedTasklet& tasklet : scope.tasklets) {
+      for (const BatchedRun& run : tasklet.runs) {
+        auto& bounds = bounds_scratch_;
+        bounds.clear();
+        for (const BatchedRangeRef& range : run.ranges) {
+          bounds.push_back({lane_value(range.begin, lane, width),
+                            lane_value(range.end, lane, width),
+                            lane_value(range.step, lane, width)});
+        }
+        layout::Index& cursor = cursor_scratch_;
+        cursor.assign(bounds.size(), 0);
+        for (std::size_t d = 0; d < bounds.size(); ++d) {
+          cursor[d] = bounds[d][0];
+        }
+        if (bounds.empty()) {
+          emit_run_element(run, cursor, tasklet.id);
+          continue;
+        }
+        for (;;) {
+          emit_run_element(run, cursor, tasklet.id);
+          int d = static_cast<int>(bounds.size()) - 1;
+          for (; d >= 0; --d) {
+            cursor[d] += bounds[d][2];
+            if (cursor[d] <= bounds[d][1]) break;
+            cursor[d] = bounds[d][0];
+          }
+          if (d < 0) break;
+        }
+      }
+      ++execution_;
+    }
+  }
+
+  std::int64_t lane_value(const BatchedRef& ref, int lane, int width) const {
+    return ref.varying
+               ? lane_out_[static_cast<std::size_t>(ref.index) * width + lane]
+               : invariant_vals_[static_cast<std::size_t>(ref.index)];
+  }
+
+  void emit_run_element(const BatchedRun& run, const layout::Index& element,
+                        NodeId tasklet) {
+    if (run.wcr_read) {
+      emit(run.container, element, /*is_write=*/false, tasklet);
+    }
+    emit(run.container, element, run.is_write, tasklet);
   }
 
   // Evaluates a compiled subset's bounds into scratch and emits every
@@ -585,6 +860,14 @@ class Simulator {
   std::vector<char> env_bound_;
   std::vector<CompiledMap> compiled_maps_;
   std::vector<CompiledEdge> compiled_edges_;
+  /// Lane batching (indexed by node id; disabled entries fall back to
+  /// the scalar loop). Scratch buffers are reused across loop entries.
+  std::vector<BatchedScope> batched_scopes_;
+  LaneEnv lane_env_;
+  std::vector<std::int64_t> lane_out_;        ///< [varying index * W + lane].
+  std::vector<std::int64_t> invariant_vals_;  ///< [invariant index].
+  std::vector<std::int64_t> lane_param_;      ///< W point values, scratch.
+  int lane_width_ = 1;
   std::vector<std::array<std::int64_t, 3>> bounds_scratch_;
   layout::Index cursor_scratch_;
   std::int64_t timestep_ = 0;

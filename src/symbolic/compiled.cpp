@@ -152,6 +152,9 @@ CompiledExpr CompiledExpr::compile(const Expr& expr, SymbolTable& table) {
       std::unique(compiled.slots_.begin(), compiled.slots_.end()),
       compiled.slots_.end());
   if (symbolic_memoization_enabled()) {
+    if (table.memo_.size() >= SymbolTable::kCompileMemoCap) {
+      table.memo_.clear();
+    }
     table.memo_.emplace(memo_key,
                         std::make_shared<const CompiledExpr>(compiled));
   }

@@ -143,6 +143,27 @@ TEST(CompiledExpr, CheckedEvaluateReportsUnboundSymbolByName) {
   EXPECT_EQ(compiled.evaluate(env.data(), bound.data(), &table.names()), 7);
 }
 
+TEST(CompiledExpr, CompileMemoIsBounded) {
+  // A long-lived table compiling an unbounded stream of distinct
+  // expressions must not grow its memo without bound: at the cap it is
+  // cleared wholesale (the interner's substitution-memo discipline).
+  SymbolTable table;
+  const std::size_t cap = SymbolTable::kCompileMemoCap;
+  for (std::size_t n = 0; n < cap + 100; ++n) {
+    CompiledExpr::compile(
+        Expr::constant(static_cast<std::int64_t>(n)) + Expr::symbol("N"),
+        table);
+    ASSERT_LE(table.memo_size(), cap);
+  }
+  // Compilation after eviction still produces working programs (and
+  // re-memoizes them).
+  const CompiledExpr again = CompiledExpr::compile(parse("N + 1"), table);
+  std::vector<std::int64_t> env(table.size(), 0);
+  env[static_cast<std::size_t>(table.lookup("N"))] = 41;
+  EXPECT_EQ(again.evaluate(env), 42);
+  EXPECT_GT(table.memo_size(), 0u);
+}
+
 TEST(CompiledExpr, DeepExpressionExceedsInlineStack) {
   // Chain deep enough to exercise the heap-stack fallback (inline
   // capacity is 32).

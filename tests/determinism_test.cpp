@@ -131,6 +131,37 @@ TEST(Determinism, ParallelTraceBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Determinism, BatchedTraceBitIdenticalAcrossThreadsAndLanes) {
+  // Lane batching is a pure latency knob on top of chunk parallelism:
+  // every (thread count, lane width) combination must reproduce the
+  // scalar serial trace byte for byte, full EventList column equality.
+  const std::vector<std::pair<ir::Sdfg, symbolic::SymbolMap>> cases = [] {
+    std::vector<std::pair<ir::Sdfg, symbolic::SymbolMap>> list;
+    list.emplace_back(workloads::hdiff(workloads::HdiffVariant::Baseline),
+                      workloads::hdiff_local());
+    list.emplace_back(workloads::matmul(),
+                      symbolic::SymbolMap{{"M", 12}, {"N", 10}, {"K", 8}});
+    list.emplace_back(workloads::bert_encoder(workloads::BertStage::Fused1),
+                      workloads::bert_small());
+    return list;
+  }();
+  for (const auto& [sdfg, binding] : cases) {
+    SimulationOptions reference_options;
+    reference_options.parallel_trace = false;
+    reference_options.lane_width = 1;
+    const AccessTrace reference = simulate(sdfg, binding, reference_options);
+    for (const int threads : {1, 8}) {
+      for (const int lanes : {1, 8}) {
+        SimulationOptions options;
+        options.lane_width = lanes;
+        par::ThreadScope scope(threads);
+        const AccessTrace trace = simulate(sdfg, binding, options);
+        expect_traces_identical(reference, trace);
+      }
+    }
+  }
+}
+
 TEST(Determinism, StreamingSinkSequenceIdenticalAcrossThreadCounts) {
   // simulate_stream's ordered sequencer: out-of-order chunk completion
   // must not reorder, duplicate, or drop a single sink call.
