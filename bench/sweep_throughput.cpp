@@ -436,6 +436,60 @@ bool validate_parallel_trace(const SweepCase& sweep,
   return true;
 }
 
+// The fixed-capacity interactive build the delta engine is designed
+// around: arrays allocated at KMAX, the K slider bounding only the
+// chunked outermost loop. I and J sized so one k slice clears the delta
+// planner's per-chunk event floor (slices map one-to-one onto chunks).
+dmv::ir::Sdfg fixed_capacity_hdiff() {
+  return dmv::workloads::fixed_capacity(
+      dmv::workloads::hdiff(dmv::workloads::HdiffVariant::Reordered),
+      {{"K", "KMAX"}});
+}
+
+// Delta-vs-cold identity gate: a persistent run_delta pipeline dragged
+// across the sweep must reproduce a fresh cold pipeline's checksum at
+// every binding (whatever path each step took), and a fixed-capacity
+// append step must actually take the chunk-delta path with a resumed
+// checkpoint.
+bool validate_delta_recompute(const SweepCase& sweep,
+                              const SimulationOptions& options) {
+  dmv::par::ThreadScope scope(1);
+  dmv::sim::MetricPipeline delta(bench_config());
+  for (const SymbolMap& binding : sweep.bindings) {
+    const std::int64_t warm =
+        pipeline_checksum(delta.run_delta(sweep.sdfg, 1, binding, options));
+    dmv::sim::MetricPipeline fresh(bench_config());
+    const std::int64_t cold =
+        pipeline_checksum(fresh.run(sweep.sdfg, binding, options));
+    if (warm != cold) {
+      std::cerr << "FATAL: delta recompute mismatch on " << sweep.name
+                << ": delta " << warm << ", cold " << cold << "\n";
+      return false;
+    }
+  }
+  dmv::ir::Sdfg fc = fixed_capacity_hdiff();
+  SymbolMap binding{{"I", 20}, {"J", 20}, {"K", 4}, {"KMAX", 8}};
+  dmv::sim::MetricPipeline delta_fc(bench_config());
+  delta_fc.run_delta(fc, 1, binding, options);
+  binding["K"] = 5;
+  dmv::sim::DeltaOutcome outcome;
+  const std::int64_t stepped = pipeline_checksum(
+      delta_fc.run_delta(fc, 1, binding, options, &outcome));
+  dmv::sim::MetricPipeline fresh(bench_config());
+  const std::int64_t cold =
+      pipeline_checksum(fresh.run(fc, binding, options));
+  if (stepped != cold ||
+      outcome.path != dmv::sim::DeltaOutcome::Path::kChunkDelta ||
+      !outcome.resumed) {
+    std::cerr << "FATAL: fixed-capacity delta step on hdiff: checksum "
+              << stepped << " vs cold " << cold << ", path "
+              << static_cast<int>(outcome.path) << ", resumed "
+              << outcome.resumed << " (" << outcome.reason << ")\n";
+    return false;
+  }
+  return true;
+}
+
 int run_smoke() {
   SimulationOptions compiled;
   compiled.compiled = true;
@@ -444,11 +498,13 @@ int run_smoke() {
     if (!validate_parallel_trace(sweep, compiled)) return 1;
     if (!validate_batched_trace(sweep, compiled)) return 1;
     if (!validate_symbolic_ops(sweep, /*rounds=*/2)) return 1;
+    if (!validate_delta_recompute(sweep, compiled)) return 1;
     std::cout << "smoke " << sweep.name
               << ": unfused == fused == streaming == session, "
               << "serial trace == parallel trace (8 threads), "
               << "batched trace (W=4/8) == scalar, "
-              << "symbolic_ops memoized == legacy\n";
+              << "symbolic_ops memoized == legacy, "
+              << "delta recompute == cold\n";
   }
   std::cout << "smoke OK\n";
   return 0;
@@ -757,6 +813,130 @@ int main(int argc, char** argv) {
     dmv::par::set_num_threads(1);
   }
   json << "  ],\n";
+
+  // ---- slider_step ---------------------------------------------------
+  //
+  // The interactive latency the delta engine exists for: ONE K-slider
+  // step on the fixed-capacity hdiff build, timed per mechanism.
+  //   cold        fresh session, empty cache, no checkpoint;
+  //   warm        re-request of a binding the session has seen
+  //               (artifact-cache hit);
+  //   symbolic    only the Tier-1 closed-form bundle, at unseen
+  //               bindings (no simulation at all);
+  //   chunk_delta a warm checkpoint stepped to an UNSEEN binding: only
+  //               the appended k slice simulates and the fused metric
+  //               state resumes in place.
+  // Identity gate: the final delta step's checksum must equal a fresh
+  // cold evaluation of the same binding, and every measured step must
+  // actually classify as a chunk delta.
+  {
+    dmv::par::set_num_threads(1);
+    dmv::ir::Sdfg fc = fixed_capacity_hdiff();
+    const std::int64_t ij = 64;
+    const std::int64_t kmax = 40;
+    auto bind = [&](std::int64_t k) {
+      return SymbolMap{{"I", ij}, {"J", ij}, {"K", k}, {"KMAX", kmax}};
+    };
+    // Per-step metric set: the interactive subscription (counts + miss
+    // classification). element_stats stays off — its finalize re-sorts
+    // every finite distance pair, an O(events) cost per request that
+    // belongs to a details-panel click, not to every slider step.
+    dmv::sim::PipelineConfig step_config;
+    step_config.counts = true;
+    step_config.miss_threshold_lines = 512;
+    SimulationOptions compiled;
+    compiled.compiled = true;
+    dmv::session::SessionConfig cfg;
+    cfg.pipeline = step_config;
+    cfg.simulation = compiled;
+    cfg.prefetch = false;
+    const std::int64_t k_cold = 36;
+
+    const Measurement cold = measure(
+        [&] {
+          dmv::session::Session s(fc, cfg);
+          s.set_binding(bind(k_cold));
+          return pipeline_checksum(*s.metrics());
+        },
+        repetitions);
+
+    dmv::session::Session warm_s(fc, cfg);
+    warm_s.set_binding(bind(k_cold));
+    warm_s.metrics();
+    const Measurement warm = measure(
+        [&] {
+          warm_s.set_symbol("K", k_cold);
+          return pipeline_checksum(*warm_s.metrics());
+        },
+        repetitions);
+
+    dmv::session::Session symbolic_s(fc, cfg);
+    symbolic_s.set_binding(bind(2));
+    symbolic_s.closed_form();  // Bundle built and cached up front.
+    std::int64_t k_sym = 2;
+    const Measurement symbolic = measure(
+        [&] {
+          symbolic_s.set_symbol("K", 2 + (++k_sym % 30));
+          return symbolic_s.closed_form()->total_events;
+        },
+        repetitions);
+
+    // Walk K upward through never-seen values so each measured step is
+    // an artifact-cache MISS satisfied by the chunk-delta path alone.
+    dmv::session::Session delta_s(fc, cfg);
+    std::int64_t k_delta =
+        k_cold - static_cast<std::int64_t>(repetitions) - 1;
+    delta_s.set_binding(bind(k_delta));
+    delta_s.metrics();  // Warm checkpoint at the drag's start.
+    delta_s.reset_stats();
+    const Measurement chunk_delta = measure(
+        [&] {
+          delta_s.set_symbol("K", ++k_delta);
+          return pipeline_checksum(*delta_s.metrics());
+        },
+        repetitions);
+    const dmv::session::SessionStats delta_stats = delta_s.stats();
+
+    dmv::session::Session check(fc, cfg);
+    check.set_binding(bind(k_delta));
+    const bool identical =
+        pipeline_checksum(*check.metrics()) == chunk_delta.checksum;
+    if (!identical) {
+      std::cerr << "FATAL: slider_step delta checksum mismatch\n";
+      return 1;
+    }
+    if (delta_stats.steps_chunk_delta !=
+        static_cast<std::int64_t>(repetitions)) {
+      std::cerr << "FATAL: slider_step expected " << repetitions
+                << " chunk-delta steps, got "
+                << delta_stats.steps_chunk_delta << " (cold "
+                << delta_stats.steps_cold << ")\n";
+      return 1;
+    }
+
+    const double delta_speedup = cold.best_ms / chunk_delta.best_ms;
+    std::cout << "slider step (fixed-capacity hdiff, I=J=" << ij
+              << ", KMAX=" << kmax << ", K=" << k_cold << "): cold "
+              << cold.best_ms << " ms, warm " << warm.best_ms
+              << " ms, symbolic " << symbolic.best_ms
+              << " ms, chunk-delta " << chunk_delta.best_ms << " ms  ("
+              << delta_speedup << "x vs cold, checksums identical)\n";
+    json << "  \"slider_step\": {\n";
+    json << "    \"workload\": \"hdiff fixed-capacity Reordered\",\n";
+    json << "    \"I\": " << ij << ", \"J\": " << ij << ", \"KMAX\": "
+         << kmax << ", \"K\": " << k_cold << ",\n";
+    json << "    \"cold_ms\": " << cold.best_ms << ",\n";
+    json << "    \"warm_ms\": " << warm.best_ms << ",\n";
+    json << "    \"symbolic_delta_ms\": " << symbolic.best_ms << ",\n";
+    json << "    \"chunk_delta_ms\": " << chunk_delta.best_ms << ",\n";
+    json << "    \"chunk_delta_speedup\": " << delta_speedup << ",\n";
+    json << "    \"checksum_identical\": true,\n";
+    json << "    \"steps\": {\"full_hit\": " << delta_stats.steps_full_hit
+         << ", \"symbolic\": " << delta_stats.steps_symbolic
+         << ", \"chunk_delta\": " << delta_stats.steps_chunk_delta
+         << ", \"cold\": " << delta_stats.steps_cold << "}\n";
+    json << "  },\n";
+  }
 
   // Symbolic-engine ablation: the repeated analysis series per workload,
   // hash-consed engine vs legacy tree walks (identical checksums

@@ -72,6 +72,57 @@ Expr total_movement_bytes(const Sdfg& sdfg);
 /// hit, not an invalidation).
 std::set<std::string> simulation_symbols(const Sdfg& sdfg);
 
+/// Closed-form metric bundle (delta-recomputation Tier 1): every metric
+/// with a simulation-free answer, kept as interned symbolic expressions
+/// over the program's declared symbols. Evaluating the bundle under a
+/// binding is O(DAG) with memoized simplify — a slider step that only
+/// touches these metrics never runs the simulator. The event/execution
+/// totals mirror the trace planner's exact counting, so for any binding
+/// the planner can model, `total_events` evaluates to
+/// TracePlan::total_events (fuzz-checked by incremental_test).
+struct ClosedFormMetrics {
+  Expr total_events;      ///< Simulated access events (all containers).
+  Expr total_executions;  ///< Tasklet-execution instances.
+  Expr flops;             ///< total_operations(sdfg).
+  Expr movement_bytes;    ///< total_movement_bytes(sdfg) (logical).
+  Expr footprint_bytes;   ///< Sum of logical container sizes.
+  /// Container names in simulation placement order, index-aligned with
+  /// the per-container event expressions below.
+  std::vector<std::string> containers;
+  std::vector<Expr> reads_per_container;   ///< Simulated read events.
+  std::vector<Expr> writes_per_container;  ///< Simulated write events.
+  /// Declared program symbols any expression above reaches.
+  std::set<std::string> symbols;
+  /// True when every expression is closed over the declared symbols.
+  /// False for structures whose counts depend on locally-bound map
+  /// parameters in a way simplification cannot eliminate (e.g.
+  /// triangular iteration spaces) — evaluation would throw.
+  bool exact = true;
+};
+/// Builds the bundle. `wcr_reads` mirrors SimulationOptions::wcr_reads
+/// (a WCR output contributes read events when set).
+ClosedFormMetrics closed_form_metrics(const Sdfg& sdfg,
+                                      bool wcr_reads = false);
+
+/// One evaluation of a ClosedFormMetrics bundle under a binding.
+struct ClosedFormValues {
+  std::int64_t total_events = 0;
+  std::int64_t total_executions = 0;
+  std::int64_t flops = 0;
+  std::int64_t movement_bytes = 0;
+  std::int64_t footprint_bytes = 0;
+  /// flops / movement_bytes (0 when no movement).
+  double arithmetic_intensity = 0;
+  std::vector<std::string> containers;
+  std::vector<std::int64_t> reads;
+  std::vector<std::int64_t> writes;
+};
+/// Evaluates every expression of the bundle. Throws
+/// symbolic::UnboundSymbolError when the bundle is not exact (or the
+/// binding misses a reached symbol).
+ClosedFormValues evaluate_closed_form(const ClosedFormMetrics& metrics,
+                                      const SymbolMap& symbols);
+
 /// Arithmetic operations executed by one tasklet node over the whole
 /// state (per-execution AST count times enclosing map iterations).
 Expr tasklet_operations(const State& state, NodeId tasklet);

@@ -50,6 +50,7 @@
 #include <set>
 #include <string>
 
+#include "dmv/analysis/analysis.hpp"
 #include "dmv/ir/sdfg.hpp"
 #include "dmv/sim/pipeline.hpp"
 #include "dmv/viz/graph_layout.hpp"
@@ -68,6 +69,13 @@ struct SessionConfig {
   /// if raw traces are needed elsewhere. Either mode yields
   /// bit-identical artifacts.
   bool streaming = true;
+  /// Route metric evaluations through the delta recomputation engine
+  /// (sim::MetricPipeline::run_delta): cache misses against a warm
+  /// checkpoint splice clean trace chunks and re-simulate only dirty
+  /// ones instead of recomputing from scratch (docs/incremental.md).
+  /// Takes precedence over `streaming` (the checkpoint is materialized).
+  /// Artifacts stay bit-identical either way.
+  bool delta = true;
 
   /// LRU byte budget over all cached artifacts. The most recently
   /// inserted entry is always kept, even when it alone exceeds the
@@ -102,6 +110,24 @@ struct SessionStats {
   /// interaction, so it is skipped), "off" when disabled by config, ""
   /// before the first prefetch decision.
   std::string prefetch;
+
+  // --- Interaction-step classification -------------------------------
+  // A STEP is the span between binding changes (set_symbol/set_binding)
+  // in which at least one artifact was requested. Each step is
+  // classified by the most expensive mechanism it needed:
+  //   full-hit       every request served from cache;
+  //   symbolic-delta a closed-form/symbolic artifact was (re)evaluated,
+  //                  but nothing was simulated;
+  //   chunk-delta    the pipeline patched its checkpoint (clean chunks
+  //                  spliced, dirty ones re-simulated);
+  //   cold           at least one full simulation ran.
+  // The in-progress step is classified lazily: at the next binding
+  // change or at the next stats() call, whichever comes first.
+  // Speculative prefetch evaluations never count toward any step.
+  std::int64_t steps_full_hit = 0;
+  std::int64_t steps_symbolic = 0;
+  std::int64_t steps_chunk_delta = 0;
+  std::int64_t steps_cold = 0;
 };
 
 /// One interactive client: a program, a current binding, a metric
@@ -139,6 +165,14 @@ class Session {
   /// Cache key: (program, config, binding restricted to
   /// metric_symbols()). Triggers neighbor prefetch after a slider move.
   std::shared_ptr<const sim::PipelineResult> metrics();
+
+  /// Tier-1 delta recomputation: every closed-form metric (event /
+  /// execution / flop counts, movement volume, footprint, arithmetic
+  /// intensity, per-container access counts) evaluated at the current
+  /// binding by plugging values into cached interned expressions — no
+  /// simulation at any point. The expression bundle is program-keyed;
+  /// the value bundle is keyed by the symbols the expressions reach.
+  std::shared_ptr<const analysis::ClosedFormValues> closed_form();
 
   /// Symbolic total-movement volume — binding-independent; survives
   /// any re-simulation.

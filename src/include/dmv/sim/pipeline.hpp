@@ -86,6 +86,26 @@ struct PipelineResult {
   MovementEstimate movement;
 };
 
+/// How run_delta() satisfied one step — the observability record of the
+/// delta recomputation engine (surfaced through session::SessionStats
+/// and the bench harness).
+struct DeltaOutcome {
+  enum class Path {
+    kCold,        ///< Full simulate + full metric replay.
+    kNoChange,    ///< Binding identical to the checkpoint; result reused.
+    kChunkDelta,  ///< Clean chunks spliced, dirty chunks re-simulated.
+  };
+  Path path = Path::kCold;
+  /// Chunk-delta only: true when the metric state was RESUMED from the
+  /// checkpoint (append-only step) instead of replayed from event 0.
+  bool resumed = false;
+  std::int64_t chunks_total = 0;
+  std::int64_t chunks_clean = 0;
+  std::int64_t chunks_dirty = 0;
+  /// Why the engine fell back to kCold (static string, never null).
+  const char* reason = "";
+};
+
 /// Stable 64-bit fingerprint of a config, folding in every field that
 /// can change an output. Two configs with equal fingerprints produce
 /// identical results for the same trace; the session layer uses it as
@@ -130,6 +150,23 @@ class MetricPipeline {
   /// fused pass. One binding of a materialized sweep.
   PipelineResult run(const Sdfg& sdfg, const SymbolMap& symbols,
                      const SimulationOptions& options = {});
+
+  /// Delta recomputation: bit-identical to run(sdfg, symbols, options)
+  /// but reuses the previous call's checkpoint when only `symbols`
+  /// changed. The engine plans the trace at fine fixed granularity,
+  /// classifies each chunk clean/dirty against the binding delta
+  /// (chunk_dependencies), splices clean event slices from the
+  /// checkpointed trace, re-simulates only dirty chunks, and patches the
+  /// fused metric state — resuming it in place for append-only steps.
+  /// `program_version` is the caller's fingerprint of the Sdfg structure
+  /// (the session layer passes its program hash); a mismatch, an options
+  /// change, or an unparallelizable plan falls back to the cold path.
+  /// Interleaving run()/run_streaming() calls invalidates the
+  /// checkpoint. Outcome reporting via `outcome` is optional.
+  PipelineResult run_delta(const Sdfg& sdfg, std::uint64_t program_version,
+                           const SymbolMap& symbols,
+                           const SimulationOptions& options = {},
+                           DeltaOutcome* outcome = nullptr);
 
   /// Streaming: the simulator feeds the fused consumers event by event;
   /// no event vector (and no LineTable column) is allocated —

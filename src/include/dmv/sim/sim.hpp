@@ -32,6 +32,7 @@
 // output is bit-identical at any dmv::par::num_threads() setting; see
 // dmv/par/par.hpp for the contract and determinism_test for the gate.
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -236,6 +237,32 @@ class EventList {
     tasklet_.resize(n);
   }
 
+  /// Copies `count` events from `src` (starting at `src_begin`) into
+  /// this list at `dst_begin`, adding `timestep_delta` / `execution_delta`
+  /// to the copied stamps. Both lists must already be sized; the payload
+  /// columns (container, flat, is_write, tasklet) are copied verbatim.
+  /// This is the delta engine's clean-chunk splice: a chunk whose events
+  /// are unchanged but whose position in the stream shifted is rebased
+  /// with two column-wide adds instead of re-simulation.
+  void assign_range(const EventList& src, std::size_t src_begin,
+                    std::size_t dst_begin, std::size_t count,
+                    std::int64_t timestep_delta,
+                    std::int64_t execution_delta) {
+    std::copy_n(src.container_.begin() + src_begin, count,
+                container_.begin() + dst_begin);
+    std::copy_n(src.flat_.begin() + src_begin, count,
+                flat_.begin() + dst_begin);
+    std::copy_n(src.is_write_.begin() + src_begin, count,
+                is_write_.begin() + dst_begin);
+    std::copy_n(src.tasklet_.begin() + src_begin, count,
+                tasklet_.begin() + dst_begin);
+    for (std::size_t i = 0; i < count; ++i) {
+      timestep_[dst_begin + i] = src.timestep_[src_begin + i] + timestep_delta;
+      execution_[dst_begin + i] =
+          src.execution_[src_begin + i] + execution_delta;
+    }
+  }
+
   /// Overwrites event i (must be < size()). Writing DISTINCT indices
   /// from different threads is safe: each store touches only element i
   /// of each pre-sized column.
@@ -388,6 +415,14 @@ AccessTrace simulate(const Sdfg& sdfg, const SymbolMap& symbols,
 void simulate_into(const Sdfg& sdfg, const SymbolMap& symbols,
                    const SimulationOptions& options, AccessTrace& trace,
                    TraceArena* arena = nullptr);
+
+/// Places every container exactly as simulate() does (deterministic
+/// sdfg.arrays() order, options.placement_alignment), APPENDING to
+/// trace.containers / trace.layouts — callers clear first. Builds the
+/// trace header the delta engine and the chunk writers need without
+/// generating a single event.
+void place_containers(const Sdfg& sdfg, const SymbolMap& symbols,
+                      const SimulationOptions& options, AccessTrace& trace);
 
 /// Receiver for streaming simulation: events are delivered in timestep
 /// order as they are produced, and no event vector is materialized.

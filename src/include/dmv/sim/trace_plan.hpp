@@ -29,6 +29,8 @@
 // behavior.
 
 #include <cstdint>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "dmv/sim/sim.hpp"
@@ -106,5 +108,38 @@ void simulate_chunk(const Sdfg& sdfg, const SymbolMap& symbols,
                     const SimulationOptions& options,
                     const AccessTrace& header, const TraceChunk& chunk,
                     EventList& out);
+
+/// Placement-mode variant: when `absolute`, `out` must be pre-sized to
+/// the plan's total and the chunk's events are written AT their absolute
+/// [event_offset, event_offset + event_count) slice indices (the
+/// delta-recomputation engine's dirty-chunk writer); otherwise appends,
+/// exactly like the overload above.
+void simulate_chunk(const Sdfg& sdfg, const SymbolMap& symbols,
+                    const SimulationOptions& options,
+                    const AccessTrace& header, const TraceChunk& chunk,
+                    EventList& out, bool absolute);
+
+/// Dependency symbol set of each chunk, index-aligned with plan.chunks:
+/// the declared program symbols that can change the chunk's event
+/// PAYLOAD (container / flat / is_write columns) while the plan shape
+/// stays fixed. Per chunk this is a conservative superset of the free
+/// symbols of
+///   * the chunk scope's map range expressions — excluding the already-
+///     chunked outermost dimension's END bound, whose changes can only
+///     add or remove outer ordinals and therefore always surface as a
+///     plan-shape difference (chunk counts/offsets change);
+///   * every EVENT-GENERATING memlet subset inside the scope — tasklet
+///     reads/writes and access-to-access copies (with other_subset).
+///     Map-boundary routing memlets never emit events and are excluded;
+///   * strides / start offset of every container the scope references
+///     (they determine the flat indices). Container SHAPE is excluded:
+///     for an in-bounds program it only sizes the placed buffer, which
+///     is a metric-layer (layout) concern, not an event-payload one.
+/// A chunk whose dependency set is disjoint from a binding delta emits a
+/// byte-identical event slice under the new binding — the CLEAN
+/// classification of the delta engine. Chunks of the same top-level node
+/// share one set.
+std::vector<std::set<std::string>> chunk_dependencies(const Sdfg& sdfg,
+                                                      const TracePlan& plan);
 
 }  // namespace dmv::sim

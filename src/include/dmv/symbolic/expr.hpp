@@ -301,6 +301,12 @@ bool depends_on_any(const Expr& e, const std::set<std::string>& symbols);
 /// Id-based form; `symbols` must be sorted ascending.
 bool depends_on_any(const Expr& e, std::span<const SymbolId> symbols);
 
+/// Binding delta: every symbol bound in only one of the two maps or
+/// bound to different values — the invalidation query of the delta
+/// recomputation engine. Sorted name set, ready for depends_on_any.
+std::set<std::string> changed_symbols(const SymbolMap& before,
+                                      const SymbolMap& after);
+
 /// Canonical simplification: constant folding, identity elimination,
 /// flattening of nested Add/Mul, like-term collection, operand sorting.
 /// All operators already simplify locally; this is the deep pass.

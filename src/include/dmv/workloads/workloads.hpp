@@ -21,12 +21,34 @@
 #include "dmv/ir/sdfg.hpp"
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace dmv::workloads {
 
 using ir::Sdfg;
 using symbolic::SymbolMap;
+
+// ---------------------------------------------------------------------
+// Interactive-tuning builds.
+
+/// Fixed-capacity build of a workload: declares one CAPACITY symbol per
+/// slider symbol and substitutes it into every data descriptor (shape,
+/// strides, start offset), leaving map ranges on the original symbols.
+/// This is the standard interactive-tool setup — arrays allocated at
+/// their maximum extent once, sliders restricting only the computed
+/// region — and it is what makes a slider move layout-invariant for the
+/// delta recomputation engine (docs/incremental.md): container
+/// placement, strides, and per-element vector sizes all stay fixed
+/// while only the iteration domain moves. Bind each capacity symbol to
+/// the slider's maximum value.
+///
+///   Sdfg program = fixed_capacity(hdiff(HdiffVariant::Reordered),
+///                                 {{"K", "KMAX"}});
+///   binding["KMAX"] = 160;  // Allocation. "K" remains the slider.
+Sdfg fixed_capacity(Sdfg sdfg,
+                    const std::map<std::string, std::string>& capacity_of);
 
 // ---------------------------------------------------------------------
 // Outer product C[i,j] = A[i] * B[j].

@@ -52,7 +52,16 @@ enum class Kind : std::uint8_t {
   kStateVolumes,
   kLayout,
   kGraphSvg,
+  kClosedForm,       ///< Closed-form metric EXPRESSIONS (program-keyed).
+  kClosedFormValue,  ///< Those expressions evaluated at a binding.
 };
+
+// Step-classification ranks, ordered by cost; a step's class is the max
+// rank of the work it needed (SessionStats doc block).
+constexpr int kStepFullHit = 0;
+constexpr int kStepSymbolic = 1;
+constexpr int kStepChunkDelta = 2;
+constexpr int kStepCold = 3;
 
 /// The binding component is RESTRICTED to the artifact's reachable
 /// symbols before key construction — that restriction is the whole
@@ -131,6 +140,22 @@ struct Session::Impl {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
   std::size_t cache_bytes = 0;
   SessionStats stats;
+  /// Max rank of the work the current step needed; -1 = no artifact
+  /// requested since the last binding change (nothing to classify).
+  int step_rank = -1;
+
+  void note_step(int rank) { step_rank = std::max(step_rank, rank); }
+
+  void finalize_step() {
+    switch (step_rank) {
+      case kStepFullHit: ++stats.steps_full_hit; break;
+      case kStepSymbolic: ++stats.steps_symbolic; break;
+      case kStepChunkDelta: ++stats.steps_chunk_delta; break;
+      case kStepCold: ++stats.steps_cold; break;
+      default: break;  // -1: idle step, not counted.
+    }
+    step_rank = -1;
+  }
 
   explicit Impl(ir::Sdfg sdfg, SessionConfig session_config)
       : config(std::move(session_config)),
@@ -222,20 +247,30 @@ struct Session::Impl {
 
   // --- Artifacts -----------------------------------------------------
 
-  PipelineResult evaluate(MetricPipeline& on, const SymbolMap& at) {
+  PipelineResult evaluate(MetricPipeline& on, const SymbolMap& at,
+                          sim::DeltaOutcome* outcome = nullptr) {
+    if (config.delta) {
+      return on.run_delta(program, program_hash, at, config.simulation,
+                          outcome);
+    }
     return config.streaming
                ? on.run_streaming(program, at, config.simulation)
                : on.run(program, at, config.simulation);
   }
 
   std::shared_ptr<const PipelineResult> metrics() {
+    note_step(kStepFullHit);
     const Key key = metrics_key(binding);
     std::shared_ptr<const PipelineResult> result;
     if (std::shared_ptr<const void> cached = lookup(key)) {
       result = std::static_pointer_cast<const PipelineResult>(cached);
     } else {
-      result = std::make_shared<const PipelineResult>(evaluate(pipeline,
-                                                               binding));
+      sim::DeltaOutcome outcome;  // Defaults to kCold for the non-delta path.
+      result = std::make_shared<const PipelineResult>(
+          evaluate(pipeline, binding, &outcome));
+      note_step(outcome.path == sim::DeltaOutcome::Path::kCold
+                    ? kStepCold
+                    : kStepChunkDelta);
       insert(key, result, sim::approx_size_bytes(*result),
              /*prefetched=*/false);
     }
@@ -312,15 +347,78 @@ struct Session::Impl {
   }
 
   std::shared_ptr<const Expr> movement_volume() {
+    note_step(kStepFullHit);
     return get<Expr>(
         program_key(Kind::kMovementVolume),
-        [&] { return analysis::total_movement_bytes(program); }, &expr_bytes);
+        [&] {
+          note_step(kStepSymbolic);
+          return analysis::total_movement_bytes(program);
+        },
+        &expr_bytes);
+  }
+
+  std::shared_ptr<const analysis::ClosedFormMetrics> closed_form_exprs() {
+    Key key = program_key(Kind::kClosedForm);
+    key.config_hash = config_hash;  // wcr_reads changes the expressions.
+    return get<analysis::ClosedFormMetrics>(
+        key,
+        [&] {
+          note_step(kStepSymbolic);
+          return analysis::closed_form_metrics(program,
+                                               config.simulation.wcr_reads);
+        },
+        +[](const analysis::ClosedFormMetrics& metrics) {
+          std::size_t bytes = sizeof(analysis::ClosedFormMetrics);
+          bytes += expr_bytes(metrics.total_events) +
+                   expr_bytes(metrics.total_executions) +
+                   expr_bytes(metrics.flops) +
+                   expr_bytes(metrics.movement_bytes) +
+                   expr_bytes(metrics.footprint_bytes);
+          for (const Expr& e : metrics.reads_per_container) {
+            bytes += expr_bytes(e);
+          }
+          for (const Expr& e : metrics.writes_per_container) {
+            bytes += expr_bytes(e);
+          }
+          for (const std::string& name : metrics.containers) {
+            bytes += name.size() + 32;
+          }
+          for (const std::string& name : metrics.symbols) {
+            bytes += name.size() + 32;
+          }
+          return bytes;
+        });
+  }
+
+  std::shared_ptr<const analysis::ClosedFormValues> closed_form() {
+    note_step(kStepFullHit);
+    const std::shared_ptr<const analysis::ClosedFormMetrics> exprs =
+        closed_form_exprs();
+    Key key = program_key(Kind::kClosedFormValue);
+    key.config_hash = config_hash;
+    key.binding = restrict_binding(binding, exprs->symbols);
+    return get<analysis::ClosedFormValues>(
+        key,
+        [&] {
+          note_step(kStepSymbolic);
+          return analysis::evaluate_closed_form(*exprs, binding);
+        },
+        +[](const analysis::ClosedFormValues& values) {
+          std::size_t bytes = sizeof(analysis::ClosedFormValues);
+          bytes += (values.reads.size() + values.writes.size()) *
+                   sizeof(std::int64_t);
+          for (const std::string& name : values.containers) {
+            bytes += name.size() + 32;
+          }
+          return bytes;
+        });
   }
 
   std::shared_ptr<const StateVolumes> state_volumes(int state_index) {
     return get<StateVolumes>(
         program_key(Kind::kStateVolumes, state_index),
         [&] {
+          note_step(kStepSymbolic);
           const ir::State& state = program.states().at(
               static_cast<std::size_t>(state_index));
           StateVolumes volumes;
@@ -350,20 +448,27 @@ struct Session::Impl {
   }
 
   std::int64_t movement_bytes() {
+    note_step(kStepFullHit);
     const std::shared_ptr<const Expr> volume = movement_volume();
     std::set<std::string> reached;
     volume->collect_free_symbols(reached);
     Key key = program_key(Kind::kMovementValue);
     key.binding = restrict_binding(binding, reached);
     return *get<std::int64_t>(
-        key, [&] { return volume->evaluate(binding); },
+        key,
+        [&] {
+          note_step(kStepSymbolic);
+          return volume->evaluate(binding);
+        },
         +[](const std::int64_t&) { return sizeof(std::int64_t); });
   }
 
   std::shared_ptr<const viz::StateLayout> layout(int state_index) {
+    note_step(kStepFullHit);
     return get<viz::StateLayout>(
         program_key(Kind::kLayout, state_index),
         [&] {
+          note_step(kStepSymbolic);
           return viz::layout_state(
               program.states().at(static_cast<std::size_t>(state_index)),
               config.layout);
@@ -376,6 +481,7 @@ struct Session::Impl {
   }
 
   std::shared_ptr<const std::string> graph_svg(int state_index) {
+    note_step(kStepFullHit);
     const std::shared_ptr<const StateVolumes> volumes =
         state_volumes(state_index);
     Key key = program_key(Kind::kGraphSvg, state_index);
@@ -383,6 +489,7 @@ struct Session::Impl {
     return get<std::string>(
         key,
         [&] {
+          note_step(kStepSymbolic);
           const ir::State& state = program.states().at(
               static_cast<std::size_t>(state_index));
           std::vector<double> values;
@@ -431,12 +538,14 @@ void Session::edit_program(const std::function<void(ir::Sdfg&)>& edit) {
 const symbolic::SymbolMap& Session::binding() const { return impl_->binding; }
 
 void Session::set_binding(symbolic::SymbolMap binding) {
+  impl_->finalize_step();
   impl_->binding = std::move(binding);
   impl_->moved_symbol.clear();
   impl_->moved_delta = 0;
 }
 
 void Session::set_symbol(const std::string& symbol, std::int64_t value) {
+  impl_->finalize_step();
   auto it = impl_->binding.find(symbol);
   if (it != impl_->binding.end() && it->second != value) {
     impl_->moved_symbol = symbol;
@@ -447,6 +556,10 @@ void Session::set_symbol(const std::string& symbol, std::int64_t value) {
 
 std::shared_ptr<const sim::PipelineResult> Session::metrics() {
   return impl_->metrics();
+}
+
+std::shared_ptr<const analysis::ClosedFormValues> Session::closed_form() {
+  return impl_->closed_form();
 }
 
 std::shared_ptr<const symbolic::Expr> Session::movement_volume() {
@@ -468,13 +581,17 @@ const std::set<std::string>& Session::metric_symbols() const {
 }
 
 SessionStats Session::stats() const {
+  impl_->finalize_step();  // Classify the in-progress step (header doc).
   SessionStats stats = impl_->stats;
   stats.cache_bytes = impl_->cache_bytes;
   stats.cache_entries = impl_->lru.size();
   return stats;
 }
 
-void Session::reset_stats() { impl_->stats = SessionStats{}; }
+void Session::reset_stats() {
+  impl_->stats = SessionStats{};
+  impl_->step_rank = -1;
+}
 
 void Session::clear_cache() {
   impl_->lru.clear();

@@ -1003,4 +1003,17 @@ void simulate_chunk(const Sdfg& sdfg, const SymbolMap& symbols,
   chunk_sim.run_chunk(header, chunk, out, /*absolute=*/false);
 }
 
+void simulate_chunk(const Sdfg& sdfg, const SymbolMap& symbols,
+                    const SimulationOptions& options,
+                    const AccessTrace& header, const TraceChunk& chunk,
+                    EventList& out, bool absolute) {
+  Simulator chunk_sim(sdfg, symbols, options);
+  chunk_sim.run_chunk(header, chunk, out, absolute);
+}
+
+void place_containers(const Sdfg& sdfg, const SymbolMap& symbols,
+                      const SimulationOptions& options, AccessTrace& trace) {
+  place_containers_into(sdfg, symbols, options, trace, nullptr);
+}
+
 }  // namespace dmv::sim

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <list>
+#include <map>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "dmv/symbolic/expr.hpp"
 
 #include "dmv/par/par.hpp"
 #include "dmv/sim/trace_plan.hpp"
@@ -99,6 +104,24 @@ struct ArenaState {
   std::vector<LruSet> sets;
   std::vector<std::uint8_t> seen;     ///< Cache line ever resident.
   std::int64_t seen_lo = 0;
+
+  // --- run_delta() checkpoint -------------------------------------------
+  // `trace` doubles as the checkpoint's front event buffer; the fields
+  // below remember which (program, options, binding) produced it, the
+  // fine-grained chunk plan that indexes it, and the un-finalized fused
+  // metric state so an append-only step can resume consuming where the
+  // previous one stopped. Any public run()/run_streaming() call clobbers
+  // the shared scratch above and therefore invalidates the checkpoint.
+  bool ckpt_valid = false;
+  std::uint64_t ckpt_program = 0;   ///< Caller's SDFG-structure version.
+  std::uint64_t ckpt_options = 0;   ///< Output-relevant options fingerprint.
+  SymbolMap ckpt_binding;
+  TracePlan ckpt_plan;              ///< Delta-granularity plan of `trace`.
+  TracePlan scratch_plan;           ///< New-binding plan (swapped on commit).
+  EventList back_events;            ///< Patch target (swapped with trace).
+  AccessTrace scratch_header;       ///< New-binding container placement.
+  PipelineResult live;              ///< Raw fused state (never finalized).
+  bool live_valid = false;
 };
 
 }  // namespace
@@ -270,38 +293,63 @@ class FusedPass {
                         std::int64_t executions) {
     result_.events = events;
     result_.executions = executions;
+    finalize_into(header, result_);
+    return std::move(result_);
+  }
 
+  /// Non-destructive counterpart of finish() for the delta engine: folds
+  /// the arena's pending element-stat pairs and `result`'s per-container
+  /// tallies into totals/element-stats/movement IN `result`, leaving the
+  /// arena and the pass's own live state untouched. `result` must be an
+  /// un-finalized raw copy (totals zero, movement empty) — the live
+  /// checkpoint is never finalized, so every snapshot starts from that
+  /// state and the two finalization paths stay bit-identical by
+  /// construction (finish() delegates here).
+  void finalize_into(const AccessTrace& header, PipelineResult& result) {
     if (config_.element_stats) {
       for (std::size_t c = 0; c < header.layouts.size(); ++c) {
         detail::finalize_element_stats(
             header.layouts[c].total_elements(), arena_.finite[c],
-            arena_.offsets, arena_.sorted, result_.element_stats[c]);
+            arena_.offsets, arena_.sorted, result.element_stats[c]);
       }
     }
     if (config_.miss_threshold_lines > 0) {
-      for (const MissStats& stats : result_.misses.per_container) {
-        result_.misses.total.cold += stats.cold;
-        result_.misses.total.capacity += stats.capacity;
-        result_.misses.total.hits += stats.hits;
+      for (const MissStats& stats : result.misses.per_container) {
+        result.misses.total.cold += stats.cold;
+        result.misses.total.capacity += stats.capacity;
+        result.misses.total.hits += stats.hits;
       }
     }
     if (config_.cache) {
-      for (const MissStats& stats : result_.cache.per_container) {
-        result_.cache.total.cold += stats.cold;
-        result_.cache.total.capacity += stats.capacity;
-        result_.cache.total.hits += stats.hits;
+      for (const MissStats& stats : result.cache.per_container) {
+        result.cache.total.cold += stats.cold;
+        result.cache.total.capacity += stats.capacity;
+        result.cache.total.hits += stats.hits;
       }
     }
     if (config_.movement) {
-      result_.movement.line_size = config_.line_size;
-      result_.movement.bytes_per_container.reserve(header.layouts.size());
-      for (const MissStats& stats : result_.misses.per_container) {
+      result.movement.line_size = config_.line_size;
+      result.movement.bytes_per_container.reserve(header.layouts.size());
+      for (const MissStats& stats : result.misses.per_container) {
         const std::int64_t bytes = stats.misses() * config_.line_size;
-        result_.movement.bytes_per_container.push_back(bytes);
-        result_.movement.total_bytes += bytes;
+        result.movement.bytes_per_container.push_back(bytes);
+        result.movement.total_bytes += bytes;
       }
     }
-    return std::move(result_);
+  }
+
+  /// Moves the un-finalized live state out (the delta engine checkpoints
+  /// it in the arena between run_delta calls).
+  PipelineResult take_raw() { return std::move(result_); }
+
+  /// Restores a live state previously moved out with take_raw() so
+  /// consume() can continue where the producing pass stopped. The cache
+  /// geometry is re-derived from the config (it is not part of the
+  /// result); the arena must still hold the matching Fenwick /
+  /// last-position / LRU / finite-pair state.
+  void adopt(PipelineResult&& raw) {
+    result_ = std::move(raw);
+    if (config_.cache) geometry_ = cache_geometry(*config_.cache);
   }
 
   detail::Fenwick& fenwick() { return arena_.fenwick; }
@@ -447,6 +495,11 @@ MetricPipeline& MetricPipeline::operator=(MetricPipeline&&) noexcept =
     default;
 
 PipelineResult MetricPipeline::run(const AccessTrace& trace) {
+  // The fused pass below clobbers the arena scratch the delta engine's
+  // live state depends on (and run(sdfg) overwrote the checkpoint
+  // trace), so any interleaved public run drops the checkpoint.
+  arena_->ckpt_valid = false;
+  arena_->live_valid = false;
   const std::size_t n = trace.events.size();
   const bool needs_lines = config_.needs_distances() || config_.cache;
 
@@ -512,6 +565,8 @@ PipelineResult MetricPipeline::run(const Sdfg& sdfg, const SymbolMap& symbols,
 PipelineResult MetricPipeline::run_streaming(const Sdfg& sdfg,
                                              const SymbolMap& symbols,
                                              const SimulationOptions& options) {
+  arena_->ckpt_valid = false;
+  arena_->live_valid = false;
   FusedPass pass(config_, *arena_);
   StreamingSink sink(config_, pass);
   AccessTrace header =
@@ -533,6 +588,401 @@ std::vector<PipelineResult> MetricPipeline::run_sweep(
                                 : run(sdfg, binding, options));
   }
   return results;
+}
+
+namespace {
+
+// Delta plans use a fixed fine granularity instead of the thread-derived
+// default: with max_chunks_per_map this large, plan_trace clamps the
+// per-chunk target to kMinChunkEvents, so chunk BOUNDARIES depend only
+// on the program and the binding — never on the machine — and the same
+// outer ordinal lands in the same chunk across steps, which is what
+// makes prefix matching against the checkpointed plan meaningful.
+constexpr int kDeltaMaxChunks = 1 << 20;
+
+// Fingerprint of the SimulationOptions fields that can change the
+// simulator's OUTPUT. compiled / parallel_trace / lane_width are
+// excluded on purpose: they are bit-identical execution strategies, so
+// toggling them must not invalidate a checkpoint.
+std::uint64_t delta_options_fingerprint(const SimulationOptions& options) {
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(options.placement_alignment));
+  mix(options.wcr_reads ? 1 : 0);
+  return hash;
+}
+
+// Streaming-style line-id bounds: derived from the header layouts alone
+// (detail::line_range_of), with no widening to observed lines. For
+// simulator-produced traces every event is in bounds, so this matches
+// both run(trace) and run_streaming() bit for bit — the delta engine
+// always replays simulator output, never hand-built traces.
+void delta_line_bounds(const PipelineConfig& config, const AccessTrace& header,
+                       std::int64_t& distance_lo, std::int64_t& distance_span,
+                       std::int64_t& cache_lo, std::int64_t& cache_span) {
+  distance_lo = distance_span = cache_lo = cache_span = 0;
+  detail::line_range_of(header.layouts, config.line_size, distance_lo,
+                        distance_span, nullptr);
+  if (config.cache) {
+    detail::line_range_of(header.layouts, config.cache->line_size, cache_lo,
+                          cache_span, nullptr);
+  }
+}
+
+// Feeds trace events [from, n) into the fused pass, deriving line ids
+// per event from the header's addressing exactly like StreamingSink.
+// With from > 0 the pass must have adopted the checkpointed live state.
+void delta_replay(const PipelineConfig& config, FusedPass& pass,
+                  const AccessTrace& trace, std::size_t from, std::size_t n) {
+  const std::vector<detail::ContainerAddressing> addressing =
+      detail::addressing_for(trace.layouts);
+  const bool shared_cache_line =
+      !config.cache || config.cache->line_size == config.line_size;
+  const bool needs_line = config.needs_distances();
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
+  const std::span<const std::uint8_t> writes = trace.events.write_column();
+  for (std::size_t i = from; i < n; ++i) {
+    const detail::ContainerAddressing& addr =
+        addressing[static_cast<std::size_t>(containers[i])];
+    std::int64_t line = 0;
+    std::int64_t cache_line = 0;
+    if (needs_line || (config.cache && shared_cache_line)) {
+      line = addr.line_of(flats[i], config.line_size);
+      cache_line = line;
+    }
+    if (config.cache && !shared_cache_line) {
+      cache_line = addr.line_of(flats[i], config.cache->line_size);
+    }
+    if (needs_line) pass.fenwick().ensure(i);
+    pass.consume(i, containers[i], flats[i], writes[i] != 0, line,
+                 cache_line);
+  }
+}
+
+// Checkpoints the pass's raw state in the arena and returns a finalized
+// deep copy — the caller-facing result. The raw live state is what the
+// next delta step resumes from; it is never finalized itself.
+PipelineResult delta_snapshot(FusedPass& pass, ArenaState& arena,
+                              const AccessTrace& header, std::int64_t events,
+                              std::int64_t executions) {
+  PipelineResult raw = pass.take_raw();
+  raw.events = events;
+  raw.executions = executions;
+  PipelineResult snapshot = raw;
+  pass.finalize_into(header, snapshot);
+  arena.live = std::move(raw);
+  arena.live_valid = true;
+  return snapshot;
+}
+
+struct ChunkMatch {
+  bool clean = false;
+  std::int64_t old_event_offset = 0;
+  std::int64_t old_execution_offset = 0;
+};
+
+// One warm step against a valid checkpoint. Returns true with `result`
+// populated when the step was satisfied without a cold recompute
+// (kNoChange or kChunkDelta); returns false — checkpoint left intact —
+// when the engine must fall back (outcome.reason says why).
+bool delta_step(const PipelineConfig& config, ArenaState& arena,
+                const Sdfg& sdfg, const SymbolMap& symbols,
+                const SimulationOptions& options, DeltaOutcome& outcome,
+                PipelineResult& result) {
+  const std::set<std::string> changed =
+      symbolic::changed_symbols(arena.ckpt_binding, symbols);
+  if (changed.empty()) {
+    outcome.path = DeltaOutcome::Path::kNoChange;
+    outcome.reason = "";
+    outcome.chunks_total =
+        static_cast<std::int64_t>(arena.ckpt_plan.chunks.size());
+    outcome.chunks_clean = outcome.chunks_total;
+    FusedPass pass(config, arena);
+    result = arena.live;
+    pass.finalize_into(arena.trace, result);
+    return true;
+  }
+
+  const std::int64_t n_old = arena.ckpt_plan.total_events;
+  if (n_old != static_cast<std::int64_t>(arena.trace.events.size())) {
+    outcome.reason = "checkpoint trace out of sync";
+    return false;
+  }
+
+  plan_trace_into(sdfg, symbols, options, kDeltaMaxChunks,
+                  arena.scratch_plan);
+  const TracePlan& plan_new = arena.scratch_plan;
+  const TracePlan& plan_old = arena.ckpt_plan;
+  if (!plan_new.parallelizable) {
+    outcome.reason = "new binding not exactly plannable";
+    return false;
+  }
+
+  const std::vector<std::set<std::string>> deps =
+      chunk_dependencies(sdfg, plan_new);
+
+  // Prefix-match new chunks against old ones of the same (state, node)
+  // group: the k-th new chunk of a group reuses the k-th old one when
+  // its ordinal range and event/execution counts agree AND its
+  // dependency set is disjoint from the binding delta.
+  std::map<std::pair<int, ir::NodeId>, std::pair<std::size_t, std::size_t>>
+      old_groups;
+  for (std::size_t i = 0; i < plan_old.chunks.size();) {
+    std::size_t j = i + 1;
+    while (j < plan_old.chunks.size() &&
+           plan_old.chunks[j].state == plan_old.chunks[i].state &&
+           plan_old.chunks[j].node == plan_old.chunks[i].node) {
+      ++j;
+    }
+    old_groups.emplace(
+        std::make_pair(plan_old.chunks[i].state, plan_old.chunks[i].node),
+        std::make_pair(i, j));
+    i = j;
+  }
+
+  std::vector<ChunkMatch> matches(plan_new.chunks.size());
+  std::int64_t clean_chunks = 0;
+  std::size_t old_reused_in_place = 0;
+  for (std::size_t g = 0; g < plan_new.chunks.size();) {
+    std::size_t h = g + 1;
+    while (h < plan_new.chunks.size() &&
+           plan_new.chunks[h].state == plan_new.chunks[g].state &&
+           plan_new.chunks[h].node == plan_new.chunks[g].node) {
+      ++h;
+    }
+    const auto group = old_groups.find(
+        std::make_pair(plan_new.chunks[g].state, plan_new.chunks[g].node));
+    const std::size_t old_size =
+        group == old_groups.end() ? 0
+                                  : group->second.second - group->second.first;
+    for (std::size_t k = 0; g + k < h; ++k) {
+      const std::size_t idx = g + k;
+      if (k >= old_size) continue;
+      const TraceChunk& oc = plan_old.chunks[group->second.first + k];
+      const TraceChunk& nc = plan_new.chunks[idx];
+      if (oc.outer_begin != nc.outer_begin ||
+          oc.outer_count != nc.outer_count ||
+          oc.event_count != nc.event_count ||
+          oc.execution_count != nc.execution_count) {
+        continue;
+      }
+      bool dirty = false;
+      const std::set<std::string>& dep = deps[idx];
+      for (const std::string& name : changed) {
+        if (dep.count(name)) {
+          dirty = true;
+          break;
+        }
+      }
+      if (dirty) continue;
+      matches[idx].clean = true;
+      matches[idx].old_event_offset = oc.event_offset;
+      matches[idx].old_execution_offset = oc.execution_offset;
+      ++clean_chunks;
+      if (oc.event_offset == nc.event_offset &&
+          oc.execution_offset == nc.execution_offset) {
+        ++old_reused_in_place;
+      }
+    }
+    g = h;
+  }
+
+  if (clean_chunks == 0) {
+    outcome.reason = "binding delta dirties every chunk";
+    return false;
+  }
+
+  // Layouts decide the flat -> line mapping of EVERY event (a container
+  // growing shifts the placed base of all later ones), so the fused
+  // state can only be resumed — and its line-derived tallies only stay
+  // valid — when no changed symbol reaches any container's geometry.
+  bool layout_clean = true;
+  for (const auto& [name, descriptor] : sdfg.arrays()) {
+    for (const auto& extent : descriptor.shape) {
+      if (symbolic::depends_on_any(extent, changed)) layout_clean = false;
+    }
+    for (const auto& stride : descriptor.strides) {
+      if (symbolic::depends_on_any(stride, changed)) layout_clean = false;
+    }
+    if (symbolic::depends_on_any(descriptor.start_offset, changed)) {
+      layout_clean = false;
+    }
+    if (!layout_clean) break;
+  }
+
+  // Patch phase: place containers under the new binding, keep clean
+  // chunks, re-simulate dirty chunks at their absolute slices. When
+  // every clean chunk keeps its exact offsets — the common slider case:
+  // appended, truncated, or overwritten-in-place chunks only — the
+  // front buffer is patched IN PLACE and clean events are never even
+  // copied. Only offset-shifting deltas (a chunk growing mid-trace) pay
+  // for splicing into the back buffer.
+  arena.scratch_header.containers.clear();
+  arena.scratch_header.layouts.clear();
+  arena.scratch_header.events.clear();
+  arena.scratch_header.executions = 0;
+  place_containers(sdfg, symbols, options, arena.scratch_header);
+
+  const std::size_t n_new = static_cast<std::size_t>(plan_new.total_events);
+  bool in_place = true;
+  for (std::size_t idx = 0; idx < plan_new.chunks.size(); ++idx) {
+    const TraceChunk& nc = plan_new.chunks[idx];
+    if (matches[idx].clean &&
+        (matches[idx].old_event_offset != nc.event_offset ||
+         matches[idx].old_execution_offset != nc.execution_offset)) {
+      in_place = false;
+      break;
+    }
+  }
+  if (in_place) {
+    arena.trace.events.resize(n_new);  // Preserves the clean prefix.
+    for (std::size_t idx = 0; idx < plan_new.chunks.size(); ++idx) {
+      if (matches[idx].clean) continue;
+      simulate_chunk(sdfg, symbols, options, arena.scratch_header,
+                     plan_new.chunks[idx], arena.trace.events,
+                     /*absolute=*/true);
+    }
+  } else {
+    arena.back_events.resize(n_new);
+    for (std::size_t idx = 0; idx < plan_new.chunks.size(); ++idx) {
+      const TraceChunk& nc = plan_new.chunks[idx];
+      if (matches[idx].clean) {
+        arena.back_events.assign_range(
+            arena.trace.events,
+            static_cast<std::size_t>(matches[idx].old_event_offset),
+            static_cast<std::size_t>(nc.event_offset),
+            static_cast<std::size_t>(nc.event_count),
+            nc.event_offset - matches[idx].old_event_offset,
+            nc.execution_offset - matches[idx].old_execution_offset);
+      } else {
+        simulate_chunk(sdfg, symbols, options, arena.scratch_header, nc,
+                       arena.back_events, /*absolute=*/true);
+      }
+    }
+    // The patched back buffer becomes the checkpoint trace (the old
+    // front buffer is kept as a future patch target).
+    std::swap(arena.trace.events, arena.back_events);
+  }
+
+  arena.trace.containers = std::move(arena.scratch_header.containers);
+  arena.trace.layouts = std::move(arena.scratch_header.layouts);
+  arena.trace.executions = plan_new.total_executions;
+  // plan_new / plan_old alias scratch_plan / ckpt_plan, so capture every
+  // count needed below BEFORE the swap promotes the new plan to
+  // checkpoint.
+  const std::size_t old_chunk_count = plan_old.chunks.size();
+  const std::size_t new_chunk_count = plan_new.chunks.size();
+  std::swap(arena.ckpt_plan, arena.scratch_plan);
+  arena.ckpt_binding = symbols;
+
+  // Metric phase. Append-only steps — every old chunk reused at its old
+  // offsets, trace only grew, layouts untouched — RESUME the live fused
+  // state and consume just the new suffix; anything else replays the
+  // patched trace from event 0 (still skipping the simulator for clean
+  // chunks, which is where the bulk of a cold step goes).
+  const bool resumed =
+      layout_clean && old_reused_in_place == old_chunk_count &&
+      static_cast<std::int64_t>(n_new) >= n_old;
+  FusedPass pass(config, arena);
+  if (resumed) {
+    pass.adopt(std::move(arena.live));
+    arena.live_valid = false;
+    delta_replay(config, pass, arena.trace,
+                 static_cast<std::size_t>(n_old), n_new);
+  } else {
+    std::int64_t distance_lo = 0, distance_span = 0;
+    std::int64_t cache_lo = 0, cache_span = 0;
+    delta_line_bounds(config, arena.trace, distance_lo, distance_span,
+                      cache_lo, cache_span);
+    pass.begin(arena.trace, n_new, distance_lo, distance_span, cache_lo,
+               cache_span);
+    delta_replay(config, pass, arena.trace, 0, n_new);
+  }
+  result = delta_snapshot(pass, arena, arena.trace,
+                          static_cast<std::int64_t>(n_new),
+                          arena.trace.executions);
+
+  outcome.path = DeltaOutcome::Path::kChunkDelta;
+  outcome.reason = "";
+  outcome.resumed = resumed;
+  outcome.chunks_total = static_cast<std::int64_t>(new_chunk_count);
+  outcome.chunks_clean = clean_chunks;
+  outcome.chunks_dirty = outcome.chunks_total - clean_chunks;
+  return true;
+}
+
+}  // namespace
+
+PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
+                                         std::uint64_t program_version,
+                                         const SymbolMap& symbols,
+                                         const SimulationOptions& options,
+                                         DeltaOutcome* outcome_out) {
+  ArenaState& arena = *arena_;
+  DeltaOutcome outcome;
+  outcome.reason = "no checkpoint";
+  const std::uint64_t options_fp = delta_options_fingerprint(options);
+
+  if (arena.ckpt_valid && arena.live_valid) {
+    if (arena.ckpt_program != program_version) {
+      outcome.reason = "program changed";
+    } else if (arena.ckpt_options != options_fp) {
+      outcome.reason = "options changed";
+    } else {
+      bool warm = false;
+      PipelineResult result;
+      try {
+        warm = delta_step(config_, arena, sdfg, symbols, options, outcome,
+                          result);
+      } catch (...) {
+        // A failed splice leaves the checkpoint inconsistent; drop it and
+        // let the cold path below surface the canonical error behavior.
+        arena.ckpt_valid = false;
+        arena.live_valid = false;
+        outcome.reason = "delta step failed";
+      }
+      if (warm) {
+        if (outcome_out) *outcome_out = outcome;
+        return result;
+      }
+    }
+  }
+
+  // Cold path: full simulation + full fused replay, then arm the
+  // checkpoint for the next step.
+  outcome.path = DeltaOutcome::Path::kCold;
+  arena.ckpt_valid = false;
+  arena.live_valid = false;
+  simulate_into(sdfg, symbols, options, arena.trace, &arena.trace_arena);
+  const std::size_t n = arena.trace.events.size();
+  std::int64_t distance_lo = 0, distance_span = 0;
+  std::int64_t cache_lo = 0, cache_span = 0;
+  delta_line_bounds(config_, arena.trace, distance_lo, distance_span,
+                    cache_lo, cache_span);
+  FusedPass pass(config_, arena);
+  pass.begin(arena.trace, n, distance_lo, distance_span, cache_lo,
+             cache_span);
+  delta_replay(config_, pass, arena.trace, 0, n);
+  PipelineResult result =
+      delta_snapshot(pass, arena, arena.trace, static_cast<std::int64_t>(n),
+                     arena.trace.executions);
+
+  plan_trace_into(sdfg, symbols, options, kDeltaMaxChunks, arena.ckpt_plan);
+  if (arena.ckpt_plan.parallelizable &&
+      arena.ckpt_plan.total_events == static_cast<std::int64_t>(n) &&
+      arena.ckpt_plan.total_executions == arena.trace.executions) {
+    arena.ckpt_valid = true;
+    arena.ckpt_program = program_version;
+    arena.ckpt_options = options_fp;
+    arena.ckpt_binding = symbols;
+  }
+  if (outcome_out) *outcome_out = outcome;
+  return result;
 }
 
 std::size_t MetricPipeline::event_storage_bytes() const {

@@ -1,10 +1,12 @@
 #include "dmv/sim/trace_plan.hpp"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "dmv/par/par.hpp"
 #include "dmv/symbolic/expr.hpp"
@@ -456,6 +458,120 @@ TracePlan plan_trace(const Sdfg& sdfg, const SymbolMap& symbols,
   TracePlan plan;
   plan_trace_into(sdfg, symbols, options, max_chunks_per_map, plan);
   return plan;
+}
+
+namespace {
+
+/// Dependency set of one top-level node's scope (see the header for the
+/// inclusion rules). `outer_chunked` marks map nodes whose outermost
+/// dimension is the plan's chunking axis (its END bound is excluded).
+std::set<std::string> scope_dependencies(const Sdfg& sdfg, const State& state,
+                                         NodeId top, bool outer_chunked) {
+  std::set<std::string> reached;
+  auto visit = [&reached](const symbolic::Expr& e) {
+    e.collect_free_symbols(reached);
+  };
+  auto visit_ranges = [&visit](const std::vector<ir::Range>& ranges) {
+    for (const ir::Range& range : ranges) {
+      visit(range.begin);
+      visit(range.end);
+      visit(range.step);
+    }
+  };
+  // Scope membership: a node is in the scope when `top` is on its
+  // scope_parent chain (or is the node itself).
+  auto in_scope = [&state, top](NodeId id) {
+    for (NodeId current = id; current != ir::kNoNode;
+         current = state.node(current).scope_parent) {
+      if (current == top) return true;
+    }
+    return false;
+  };
+  std::set<std::string> containers;
+  for (const Node& node : state.nodes()) {
+    if (!in_scope(node.id)) continue;
+    if (node.kind == NodeKind::MapEntry) {
+      if (node.id == top && outer_chunked && !node.map.ranges.empty()) {
+        const ir::Range& outer = node.map.ranges[0];
+        visit(outer.begin);
+        visit(outer.step);
+        for (std::size_t d = 1; d < node.map.ranges.size(); ++d) {
+          visit(node.map.ranges[d].begin);
+          visit(node.map.ranges[d].end);
+          visit(node.map.ranges[d].step);
+        }
+      } else {
+        visit_ranges(node.map.ranges);
+      }
+    }
+  }
+  for (const Edge& edge : state.edges()) {
+    if (edge.memlet.is_empty()) continue;
+    if (!in_scope(edge.src) && !in_scope(edge.dst)) continue;
+    // Only event-GENERATING memlets matter: tasklet reads/writes and
+    // access-to-access copies. Map-boundary routing memlets (whose
+    // subsets typically span the whole container, e.g. 0:K-1) never
+    // emit events — including them would pull the slider symbol into
+    // every chunk's dependency set and forfeit the clean-chunk reuse
+    // that the fixed-capacity pattern is designed to enable.
+    const Node& src = state.node(edge.src);
+    const Node& dst = state.node(edge.dst);
+    const bool tasklet_edge = src.kind == NodeKind::Tasklet ||
+                              dst.kind == NodeKind::Tasklet;
+    const bool copy_edge =
+        src.kind == NodeKind::Access && dst.kind == NodeKind::Access;
+    if (!tasklet_edge && !copy_edge) continue;
+    visit_ranges(edge.memlet.subset.ranges);
+    visit_ranges(edge.memlet.other_subset.ranges);
+    containers.insert(edge.memlet.data);
+    if (dst.kind == NodeKind::Access && !dst.data.empty()) {
+      containers.insert(dst.data);
+    }
+  }
+  // Strides and start offsets determine every event's flat index; SHAPE
+  // does not (for an in-bounds program it only sizes the placed buffer,
+  // which is the metric layer's layout concern, handled separately by
+  // the delta engine's layout-clean check). Leaving shape out is what
+  // keeps a fixed-capacity slider workload — extents bound by a capacity
+  // symbol, the slider only in loop ranges — fully clean.
+  for (const std::string& name : containers) {
+    const ir::DataDescriptor& descriptor = sdfg.array(name);
+    for (const symbolic::Expr& stride : descriptor.strides) visit(stride);
+    visit(descriptor.start_offset);
+  }
+  // Map parameters and other locally-bound names are not tunable; only
+  // declared program symbols can appear in a binding delta.
+  std::set<std::string> result;
+  for (const std::string& symbol : sdfg.symbols()) {
+    if (reached.contains(symbol)) result.insert(symbol);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::set<std::string>> chunk_dependencies(const Sdfg& sdfg,
+                                                      const TracePlan& plan) {
+  std::vector<std::set<std::string>> deps;
+  deps.reserve(plan.chunks.size());
+  // Chunks of the same (state, node) share one set; cache by key.
+  std::map<std::pair<int, NodeId>, std::set<std::string>> cache;
+  for (const TraceChunk& chunk : plan.chunks) {
+    const std::pair<int, NodeId> key{chunk.state, chunk.node};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      const State& state =
+          sdfg.states().at(static_cast<std::size_t>(chunk.state));
+      const Node& node = state.node(chunk.node);
+      const bool outer_chunked = node.kind == NodeKind::MapEntry;
+      it = cache
+               .emplace(key, scope_dependencies(sdfg, state, chunk.node,
+                                                outer_chunked))
+               .first;
+    }
+    deps.push_back(it->second);
+  }
+  return deps;
 }
 
 }  // namespace dmv::sim

@@ -697,4 +697,34 @@ Expr pow(const Expr& base, const Expr& exponent) {
   return Expr::make(ExprKind::Pow, {base, exponent});
 }
 
+std::set<std::string> changed_symbols(const SymbolMap& before,
+                                      const SymbolMap& after) {
+  std::set<std::string> changed;
+  // Both maps iterate in sorted name order; a single merge walk finds
+  // every symbol present in only one binding or bound to different
+  // values.
+  auto b = before.begin();
+  auto a = after.begin();
+  while (b != before.end() || a != after.end()) {
+    if (b == before.end()) {
+      changed.insert(a->first);
+      ++a;
+    } else if (a == after.end()) {
+      changed.insert(b->first);
+      ++b;
+    } else if (b->first < a->first) {
+      changed.insert(b->first);
+      ++b;
+    } else if (a->first < b->first) {
+      changed.insert(a->first);
+      ++a;
+    } else {
+      if (b->second != a->second) changed.insert(b->first);
+      ++b;
+      ++a;
+    }
+  }
+  return changed;
+}
+
 }  // namespace dmv::symbolic

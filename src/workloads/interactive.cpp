@@ -1,0 +1,35 @@
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::workloads {
+
+Sdfg fixed_capacity(Sdfg sdfg,
+                    const std::map<std::string, std::string>& capacity_of) {
+  std::map<std::string, symbolic::Expr> replacements;
+  for (const auto& [slider, capacity] : capacity_of) {
+    sdfg.add_symbol(capacity);
+    replacements.emplace(slider, symbolic::Expr::symbol(capacity));
+  }
+  std::vector<std::string> names;
+  names.reserve(sdfg.arrays().size());
+  for (const auto& [name, descriptor] : sdfg.arrays()) {
+    names.push_back(name);
+  }
+  for (const std::string& name : names) {
+    ir::DataDescriptor& descriptor = sdfg.array(name);
+    for (symbolic::Expr& extent : descriptor.shape) {
+      extent = extent.substitute(replacements);
+    }
+    for (symbolic::Expr& stride : descriptor.strides) {
+      stride = stride.substitute(replacements);
+    }
+    descriptor.start_offset = descriptor.start_offset.substitute(replacements);
+  }
+  return sdfg;
+}
+
+}  // namespace dmv::workloads
