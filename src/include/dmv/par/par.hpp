@@ -74,6 +74,15 @@ class ThreadScope {
 /// trace planner) can skip it up front.
 bool in_parallel_region();
 
+/// Number of parallel jobs that ran serially inline because the pool was
+/// busy with another caller's job. The single-job pool never queues: a
+/// second concurrent caller (e.g. one serve session while another is
+/// simulating) immediately degrades to the serial fallback — which is
+/// bit-identical by the determinism contract — instead of blocking for
+/// the whole foreign job. Monotonic process-global counter; the serving
+/// layer surfaces it in stats as a contention signal.
+std::uint64_t busy_fallbacks();
+
 /// Ordered producer/consumer pipeline over [0, n): produce(i) runs on
 /// the pool (concurrently, completing in any order), consume(i) runs on
 /// the CALLING thread in strictly ascending i order as soon as
@@ -95,16 +104,21 @@ namespace detail {
 /// Runs task(0) .. task(count - 1) on the pool (caller participates).
 /// Tasks may run in any order and concurrently; the call returns after
 /// all of them completed. The first exception thrown by a task is
-/// rethrown on the caller. Serial in-order fallback when the knob is 1.
+/// rethrown on the caller. Serial in-order fallback when the knob is 1
+/// or the pool is busy with another caller's job (see busy_fallbacks).
 void run_tasks(std::size_t count, const std::function<void(std::size_t)>& task);
 
 /// Pool entry point for ordered_pipeline: workers drain the task
 /// counter while the CALLER runs `on_caller` instead of participating.
-/// Returns after on_caller returned AND every task completed. Requires
-/// num_threads() > 1 and must not be called from inside a pool task;
-/// `task` and `on_caller` must not let exceptions escape (they own
-/// their error channel).
-void run_tasks_with_caller(std::size_t count,
+/// Returns true after on_caller returned AND every task completed;
+/// returns false WITHOUT running anything when the pool is busy with
+/// another caller's job (the caller owns the serial fallback — the
+/// degenerate produce-all-then-consume loop here is only safe when the
+/// caller asked for it via a serial knob). Requires num_threads() > 1
+/// and must not be called from inside a pool task; `task` and
+/// `on_caller` must not let exceptions escape (they own their error
+/// channel).
+bool run_tasks_with_caller(std::size_t count,
                            const std::function<void(std::size_t)>& task,
                            const std::function<void()>& on_caller);
 

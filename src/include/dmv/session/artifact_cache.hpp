@@ -1,0 +1,118 @@
+#pragma once
+
+// Process-global shared artifact cache tier.
+//
+// A Session's memoization (session.hpp) is private: one client, one
+// LRU. The serving layer (serve/) multiplexes MANY clients onto one
+// process, and their artifacts are highly redundant — every client
+// dragging the hdiff `size` slider recomputes the same keyed results.
+// This module lifts the cache key — (artifact kind, program content
+// hash, pipeline-config hash, binding restricted to the artifact's
+// reachable symbols) — into a sharded process-wide tier that sessions
+// consult between their local LRU and a real computation:
+//
+//   local LRU hit   -> return (counts as hit)
+//   shared tier hit -> copy the shared_ptr into the local LRU, return
+//                      (counts as hit + shared_hit)
+//   miss            -> compute, insert into BOTH tiers
+//
+// Sharding follows the symbolic interner: the key hash picks one of
+// `shards` independently locked segments, so concurrent sessions on
+// different keys never contend on one mutex. Each shard owns a slice
+// of the byte budget (budget_bytes / shards) with LRU eviction inside
+// the shard.
+//
+// Determinism: artifacts are immutable and every producer computes the
+// same bytes for the same key (the session determinism contract), so
+// which session populates an entry — or whether eviction forces a
+// recomputation — can never change returned values, only timing.
+//
+// Thread safety: all methods are safe to call concurrently.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmv::session {
+
+/// The one cache key shared by the per-session LRU and the shared tier.
+/// `binding` must be RESTRICTED to the artifact's reachable symbols and
+/// sorted by symbol name — restriction is the invalidation story
+/// (session.hpp); sorting makes equal bindings compare equal.
+struct ArtifactKey {
+  std::uint8_t kind = 0;  ///< session-internal Kind discriminator.
+  int aux = -1;           ///< State index for per-state artifacts.
+  std::uint64_t program_hash = 0;
+  std::uint64_t config_hash = 0;
+  std::vector<std::pair<std::string, std::int64_t>> binding;
+
+  bool operator==(const ArtifactKey&) const = default;
+};
+
+struct ArtifactKeyHash {
+  std::size_t operator()(const ArtifactKey& key) const;
+};
+
+/// Counters over all shards, cumulative since construction. A snapshot
+/// is internally consistent per shard but not across shards (each shard
+/// is locked in turn) — fine for monitoring, not for invariants.
+struct SharedCacheStats {
+  std::int64_t hits = 0;        ///< lookup() found the key.
+  std::int64_t misses = 0;      ///< lookup() did not.
+  std::int64_t insertions = 0;  ///< Entries actually added (not races).
+  std::int64_t evictions = 0;   ///< Entries dropped by a shard budget.
+  std::size_t bytes = 0;        ///< Current payload bytes, all shards.
+  std::size_t entries = 0;      ///< Current entry count, all shards.
+};
+
+/// Sharded byte-budgeted LRU of immutable artifacts, keyed by
+/// ArtifactKey, holding type-erased shared ownership (the key's `kind`
+/// field discriminates the payload type, exactly as in the session
+/// LRU).
+class SharedArtifactCache {
+ public:
+  struct Config {
+    /// Byte budget over all shards; each shard enforces budget/shards.
+    std::size_t budget_bytes = std::size_t{256} << 20;
+    /// Independently locked segments; rounded up to at least 1.
+    std::size_t shards = 16;
+  };
+
+  SharedArtifactCache();  ///< Default Config.
+  explicit SharedArtifactCache(Config config);
+  ~SharedArtifactCache();
+  SharedArtifactCache(const SharedArtifactCache&) = delete;
+  SharedArtifactCache& operator=(const SharedArtifactCache&) = delete;
+
+  /// Returns the cached value and refreshes its LRU position, or
+  /// nullptr on miss. On a hit, `*bytes_out` (when non-null) receives
+  /// the payload size recorded at insert — sessions use it to account
+  /// the entry when promoting it into their local LRU.
+  std::shared_ptr<const void> lookup(const ArtifactKey& key,
+                                     std::size_t* bytes_out = nullptr);
+
+  /// Presence probe without touching LRU order or hit/miss counters —
+  /// for the prefetcher's "already cached somewhere?" filter.
+  bool contains(const ArtifactKey& key) const;
+
+  /// Inserts unless the key is already present (first writer wins —
+  /// racing producers computed identical bytes anyway). `bytes` is the
+  /// caller's approx payload size, same accounting as the session LRU.
+  void insert(const ArtifactKey& key, std::shared_ptr<const void> value,
+              std::size_t bytes);
+
+  SharedCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Shard;
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  Shard& shard_for(const ArtifactKey& key) const;
+};
+
+}  // namespace dmv::session

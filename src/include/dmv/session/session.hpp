@@ -52,6 +52,7 @@
 
 #include "dmv/analysis/analysis.hpp"
 #include "dmv/ir/sdfg.hpp"
+#include "dmv/session/artifact_cache.hpp"
 #include "dmv/sim/pipeline.hpp"
 #include "dmv/viz/graph_layout.hpp"
 #include "dmv/viz/heatmap.hpp"
@@ -82,6 +83,14 @@ struct SessionConfig {
   /// budget (a cache that cannot hold one result would just thrash).
   std::size_t cache_budget_bytes = std::size_t{64} << 20;
 
+  /// Optional process-global second tier (artifact_cache.hpp). When
+  /// set, local misses consult it before computing, and every computed
+  /// (or prefetched) artifact is also published there — so identical
+  /// programs in DIFFERENT sessions share entries while this session's
+  /// cache_budget_bytes still bounds its private tier. Artifacts are
+  /// immutable and deterministic, so sharing never changes results.
+  std::shared_ptr<SharedArtifactCache> shared_cache;
+
   /// Speculatively evaluate neighboring values of the last-moved
   /// symbol after each metrics() call.
   bool prefetch = true;
@@ -101,6 +110,11 @@ struct SessionStats {
   std::int64_t misses = 0;          ///< Requests that recomputed.
   std::int64_t prefetch_issued = 0; ///< Speculative evaluations run.
   std::int64_t prefetch_hits = 0;   ///< Hits served by a prefetched entry.
+  /// Hits served by the process-global tier (config.shared_cache) after
+  /// a local miss — i.e. another session (or an evicted incarnation of
+  /// this one) computed the artifact. Subset of `hits`; always 0 when
+  /// no shared cache is configured.
+  std::int64_t shared_hits = 0;
   std::int64_t evictions = 0;       ///< Entries dropped by the byte budget.
   std::size_t cache_bytes = 0;      ///< Current payload bytes cached.
   std::size_t cache_entries = 0;    ///< Current entry count.
@@ -192,6 +206,12 @@ class Session {
   /// Symbols that can reach any simulated metric for the current
   /// program (analysis::simulation_symbols).
   const std::set<std::string>& metric_symbols() const;
+
+  /// The exact cache key metrics() would use for the current (program,
+  /// config, binding) — the serving layer keys request coalescing on it
+  /// so concurrent drags that would simulate the same thing collapse
+  /// into one computation (serve/server.hpp).
+  ArtifactKey metrics_cache_key() const;
 
   SessionStats stats() const;
   void reset_stats();

@@ -1,223 +1,25 @@
-#include <cctype>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dmv/ir/json_reader.hpp"
 #include "dmv/symbolic/parser.hpp"
+#include "dmv/util/json.hpp"
 
 namespace dmv::ir {
 
 namespace {
 
 // ---------------------------------------------------------------------
-// A compact generic JSON value + recursive-descent parser. Only what the
-// SDFG schema needs: objects, arrays, strings, numbers, booleans, null.
+// SDFG reconstruction on top of the shared dmv::json parser. Every
+// json::ParseError (both lexical errors and schema-level type/key
+// mismatches from the checked accessors) is rethrown as ir::JsonError
+// at the from_json boundary so callers keep a single exception type.
 
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string text;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
+using json::Value;
 
-  bool has(const std::string& key) const {
-    return type == Type::Object && object.contains(key);
-  }
-  const JsonValue& at(const std::string& key) const {
-    if (!has(key)) throw JsonError("missing key '" + key + "'");
-    return object.at(key);
-  }
-  const std::string& as_string() const {
-    if (type != Type::String) throw JsonError("expected string");
-    return text;
-  }
-  double as_number() const {
-    if (type != Type::Number) throw JsonError("expected number");
-    return number;
-  }
-  bool as_bool() const {
-    if (type != Type::Bool) throw JsonError("expected boolean");
-    return boolean;
-  }
-  const std::vector<JsonValue>& as_array() const {
-    if (type != Type::Array) throw JsonError("expected array");
-    return array;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue run() {
-    JsonValue value = parse_value();
-    skip_whitespace();
-    if (position_ != text_.size()) {
-      fail("trailing characters after document");
-    }
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& message) const {
-    throw JsonError("JSON parse error at offset " +
-                    std::to_string(position_) + ": " + message);
-  }
-
-  void skip_whitespace() {
-    while (position_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[position_]))) {
-      ++position_;
-    }
-  }
-
-  char peek() {
-    skip_whitespace();
-    if (position_ >= text_.size()) fail("unexpected end of input");
-    return text_[position_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++position_;
-  }
-
-  bool try_consume(char c) {
-    skip_whitespace();
-    if (position_ < text_.size() && text_[position_] == c) {
-      ++position_;
-      return true;
-    }
-    return false;
-  }
-
-  bool consume_keyword(std::string_view keyword) {
-    skip_whitespace();
-    if (text_.substr(position_, keyword.size()) == keyword) {
-      position_ += keyword.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') return parse_string();
-    if (consume_keyword("true")) {
-      JsonValue value;
-      value.type = JsonValue::Type::Bool;
-      value.boolean = true;
-      return value;
-    }
-    if (consume_keyword("false")) {
-      JsonValue value;
-      value.type = JsonValue::Type::Bool;
-      return value;
-    }
-    if (consume_keyword("null")) return JsonValue{};
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue value;
-    value.type = JsonValue::Type::Object;
-    if (try_consume('}')) return value;
-    for (;;) {
-      JsonValue key = parse_string();
-      expect(':');
-      value.object.emplace(key.text, parse_value());
-      if (try_consume('}')) return value;
-      expect(',');
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue value;
-    value.type = JsonValue::Type::Array;
-    if (try_consume(']')) return value;
-    for (;;) {
-      value.array.push_back(parse_value());
-      if (try_consume(']')) return value;
-      expect(',');
-    }
-  }
-
-  JsonValue parse_string() {
-    expect('"');
-    JsonValue value;
-    value.type = JsonValue::Type::String;
-    while (position_ < text_.size() && text_[position_] != '"') {
-      char c = text_[position_++];
-      if (c == '\\') {
-        if (position_ >= text_.size()) fail("unterminated escape");
-        const char escape = text_[position_++];
-        switch (escape) {
-          case '"':
-            c = '"';
-            break;
-          case '\\':
-            c = '\\';
-            break;
-          case '/':
-            c = '/';
-            break;
-          case 'n':
-            c = '\n';
-            break;
-          case 't':
-            c = '\t';
-            break;
-          case 'r':
-            c = '\r';
-            break;
-          default:
-            fail(std::string("unsupported escape '\\") + escape + "'");
-        }
-      }
-      value.text += c;
-    }
-    if (position_ >= text_.size()) fail("unterminated string");
-    ++position_;  // Closing quote.
-    return value;
-  }
-
-  JsonValue parse_number() {
-    skip_whitespace();
-    const std::size_t start = position_;
-    while (position_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
-            text_[position_] == '-' || text_[position_] == '+' ||
-            text_[position_] == '.' || text_[position_] == 'e' ||
-            text_[position_] == 'E')) {
-      ++position_;
-    }
-    if (position_ == start) fail("expected a value");
-    JsonValue value;
-    value.type = JsonValue::Type::Number;
-    try {
-      value.number =
-          std::stod(std::string(text_.substr(start, position_ - start)));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return value;
-  }
-
-  std::string_view text_;
-  std::size_t position_ = 0;
-};
-
-// ---------------------------------------------------------------------
-// SDFG reconstruction.
-
-symbolic::Expr parse_expr(const JsonValue& value) {
+symbolic::Expr parse_expr(const Value& value) {
   return symbolic::parse(value.as_string());
 }
 
@@ -237,14 +39,14 @@ Wcr wcr_from(const std::string& name) {
   throw JsonError("unknown wcr '" + name + "'");
 }
 
-void read_containers(const JsonValue& document, Sdfg& sdfg) {
-  for (const JsonValue& entry : document.at("containers").as_array()) {
+void read_containers(const Value& document, Sdfg& sdfg) {
+  for (const Value& entry : document.at("containers").as_array()) {
     DataDescriptor descriptor;
     descriptor.name = entry.at("name").as_string();
-    for (const JsonValue& extent : entry.at("shape").as_array()) {
+    for (const Value& extent : entry.at("shape").as_array()) {
       descriptor.shape.push_back(parse_expr(extent));
     }
-    for (const JsonValue& stride : entry.at("strides").as_array()) {
+    for (const Value& stride : entry.at("strides").as_array()) {
       descriptor.strides.push_back(parse_expr(stride));
     }
     descriptor.element_size =
@@ -254,9 +56,9 @@ void read_containers(const JsonValue& document, Sdfg& sdfg) {
   }
 }
 
-void read_state(const JsonValue& entry, Sdfg& sdfg) {
+void read_state(const Value& entry, Sdfg& sdfg) {
   State& state = sdfg.add_state(entry.at("name").as_string());
-  for (const JsonValue& node_value : entry.at("nodes").as_array()) {
+  for (const Value& node_value : entry.at("nodes").as_array()) {
     Node node;
     node.id = static_cast<NodeId>(node_value.at("id").as_number());
     node.kind = node_kind_from(node_value.at("kind").as_string());
@@ -269,10 +71,10 @@ void read_state(const JsonValue& entry, Sdfg& sdfg) {
     }
     if (node.kind == NodeKind::MapEntry) {
       node.map.label = node.label;
-      for (const JsonValue& param : node_value.at("params").as_array()) {
+      for (const Value& param : node_value.at("params").as_array()) {
         node.map.params.push_back(param.as_string());
       }
-      for (const JsonValue& range : node_value.at("ranges").as_array()) {
+      for (const Value& range : node_value.at("ranges").as_array()) {
         Subset parsed = Subset::parse(range.as_string());
         if (parsed.rank() != 1) throw JsonError("bad map range");
         node.map.ranges.push_back(parsed.ranges[0]);
@@ -287,7 +89,7 @@ void read_state(const JsonValue& entry, Sdfg& sdfg) {
     }
     state.add_raw(std::move(node));
   }
-  for (const JsonValue& edge_value : entry.at("edges").as_array()) {
+  for (const Value& edge_value : entry.at("edges").as_array()) {
     Memlet memlet;
     if (edge_value.has("data")) {
       memlet.data = edge_value.at("data").as_string();
@@ -315,17 +117,19 @@ void read_state(const JsonValue& entry, Sdfg& sdfg) {
 }  // namespace
 
 Sdfg from_json(std::string_view text) {
-  JsonValue document = JsonParser(text).run();
   try {
+    Value document = json::parse(text);
     Sdfg sdfg(document.at("name").as_string());
-    for (const JsonValue& symbol : document.at("symbols").as_array()) {
+    for (const Value& symbol : document.at("symbols").as_array()) {
       sdfg.add_symbol(symbol.as_string());
     }
     read_containers(document, sdfg);
-    for (const JsonValue& state : document.at("states").as_array()) {
+    for (const Value& state : document.at("states").as_array()) {
       read_state(state, sdfg);
     }
     return sdfg;
+  } catch (const json::ParseError& error) {
+    throw JsonError(error.what());
   } catch (const symbolic::ParseError& error) {
     throw JsonError(std::string("bad expression: ") + error.what());
   } catch (const TaskletParseError& error) {

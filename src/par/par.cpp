@@ -29,6 +29,11 @@ std::atomic<int>& thread_knob() {
   return knob;
 }
 
+std::atomic<std::uint64_t>& busy_fallback_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
 // Persistent pool. Workers are spawned lazily on first parallel call and
 // park on a condition variable between jobs; one job at a time (the
 // analysis passes never nest parallel regions). The calling thread
@@ -44,9 +49,17 @@ class Pool {
   /// `on_caller`, when set, runs on the calling thread INSTEAD of
   /// drain() — the ordered_pipeline consumer loop. Workers handle every
   /// task; the call still waits for all of them before returning.
-  void run(std::size_t count, const std::function<void(std::size_t)>& task,
+  /// Returns false WITHOUT running anything when another thread's job
+  /// holds the pool: the single-job pool never queues, so a concurrent
+  /// caller degrades to its serial fallback instead of blocking for the
+  /// whole foreign job (interactive p99 over throughput).
+  bool run(std::size_t count, const std::function<void(std::size_t)>& task,
            const std::function<void()>* on_caller = nullptr) {
-    std::unique_lock<std::mutex> run_lock(run_mutex_);
+    std::unique_lock<std::mutex> run_lock(run_mutex_, std::try_to_lock);
+    if (!run_lock.owns_lock()) {
+      busy_fallback_count().fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     ensure_workers(num_threads() - 1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -80,6 +93,7 @@ class Pool {
       task_ = nullptr;
       if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
     }
+    return true;
   }
 
  private:
@@ -176,6 +190,10 @@ ThreadScope::~ThreadScope() { set_num_threads(previous_); }
 
 bool in_parallel_region() { return in_pool_task; }
 
+std::uint64_t busy_fallbacks() {
+  return busy_fallback_count().load(std::memory_order_relaxed);
+}
+
 void ordered_pipeline(std::size_t n, std::size_t window,
                       const std::function<void(std::size_t)>& produce,
                       const std::function<void(std::size_t)>& consume) {
@@ -252,7 +270,17 @@ void ordered_pipeline(std::size_t n, std::size_t window,
       }
     }
   };
-  detail::run_tasks_with_caller(n, producer, consumer);
+  if (!detail::run_tasks_with_caller(n, producer, consumer)) {
+    // Pool busy with another caller's job: nothing ran, the ring state
+    // is untouched — use the plain alternating serial loop (the ring
+    // slots cannot represent "everything produced up front" for n >
+    // window, so the degenerate fallback is not an option here).
+    for (std::size_t i = 0; i < n; ++i) {
+      produce(i);
+      consume(i);
+    }
+    return;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -265,10 +293,13 @@ void run_tasks(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
-  Pool::instance().run(count, task);
+  if (!Pool::instance().run(count, task)) {
+    // Pool busy: serial in-order fallback, bit-identical by contract.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+  }
 }
 
-void run_tasks_with_caller(std::size_t count,
+bool run_tasks_with_caller(std::size_t count,
                            const std::function<void(std::size_t)>& task,
                            const std::function<void()>& on_caller) {
   if (num_threads() <= 1 || in_pool_task) {
@@ -277,9 +308,9 @@ void run_tasks_with_caller(std::size_t count,
     // serial execution itself with the cheaper alternating loop.
     for (std::size_t i = 0; i < count; ++i) task(i);
     on_caller();
-    return;
+    return true;
   }
-  Pool::instance().run(count, task, &on_caller);
+  return Pool::instance().run(count, task, &on_caller);
 }
 
 }  // namespace detail

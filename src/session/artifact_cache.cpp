@@ -1,0 +1,142 @@
+#include "dmv/session/artifact_cache.hpp"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace dmv::session {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  hash *= 1099511628211ull;
+  return hash;
+}
+
+std::uint64_t hash_bytes(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) hash = fnv1a(hash, static_cast<unsigned char>(c));
+  return hash;
+}
+
+}  // namespace
+
+std::size_t ArtifactKeyHash::operator()(const ArtifactKey& key) const {
+  std::uint64_t hash = 1469598103934665603ull;
+  hash = fnv1a(hash, key.kind);
+  hash = fnv1a(hash,
+               static_cast<std::uint64_t>(static_cast<std::int64_t>(key.aux)));
+  hash = fnv1a(hash, key.program_hash);
+  hash = fnv1a(hash, key.config_hash);
+  for (const auto& [name, value] : key.binding) {
+    hash = fnv1a(hash, hash_bytes(name));
+    hash = fnv1a(hash, static_cast<std::uint64_t>(value));
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+struct SharedArtifactCache::Shard {
+  struct Entry {
+    ArtifactKey key;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::list<Entry> lru;  ///< Front = most recently used.
+  std::unordered_map<ArtifactKey, std::list<Entry>::iterator, ArtifactKeyHash>
+      index;
+  std::size_t bytes = 0;
+  std::size_t budget = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+};
+
+SharedArtifactCache::SharedArtifactCache() : SharedArtifactCache(Config{}) {}
+
+SharedArtifactCache::SharedArtifactCache(Config config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  const std::size_t per_shard = config_.budget_bytes / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->budget = per_shard;
+  }
+}
+
+SharedArtifactCache::~SharedArtifactCache() = default;
+
+SharedArtifactCache::Shard& SharedArtifactCache::shard_for(
+    const ArtifactKey& key) const {
+  return *shards_[ArtifactKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const void> SharedArtifactCache::lookup(
+    const ArtifactKey& key, std::size_t* bytes_out) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (bytes_out) *bytes_out = it->second->bytes;
+  return it->second->value;
+}
+
+bool SharedArtifactCache::contains(const ArtifactKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.contains(key);
+}
+
+void SharedArtifactCache::insert(const ArtifactKey& key,
+                                 std::shared_ptr<const void> value,
+                                 std::size_t bytes) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.index.contains(key)) return;  // First writer won the race.
+  shard.lru.push_front(Shard::Entry{key, std::move(value), bytes});
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+  // Same exemption as the session LRU: the freshly inserted entry stays
+  // even when it alone blows the shard budget.
+  while (shard.bytes > shard.budget && shard.lru.size() > 1) {
+    const Shard::Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+SharedCacheStats SharedArtifactCache::stats() const {
+  SharedCacheStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.bytes += shard->bytes;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+void SharedArtifactCache::clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace dmv::session

@@ -63,34 +63,18 @@ constexpr int kStepSymbolic = 1;
 constexpr int kStepChunkDelta = 2;
 constexpr int kStepCold = 3;
 
-/// The binding component is RESTRICTED to the artifact's reachable
-/// symbols before key construction — that restriction is the whole
-/// invalidation story (see session.hpp).
-struct Key {
-  Kind kind = Kind::kMetrics;
-  int aux = -1;  ///< State index for per-state artifacts.
-  std::uint64_t program_hash = 0;
-  std::uint64_t config_hash = 0;
-  std::vector<std::pair<std::string, std::int64_t>> binding;
+/// The session's cache key is the public ArtifactKey
+/// (artifact_cache.hpp) so the same key addresses both the local LRU
+/// and the process-global shared tier. The binding component is
+/// RESTRICTED to the artifact's reachable symbols before key
+/// construction — that restriction is the whole invalidation story
+/// (see session.hpp).
+using Key = ArtifactKey;
+using KeyHash = ArtifactKeyHash;
 
-  bool operator==(const Key&) const = default;
-};
-
-struct KeyHash {
-  std::size_t operator()(const Key& key) const {
-    std::uint64_t hash = 1469598103934665603ull;
-    hash = fnv1a(hash, static_cast<std::uint64_t>(key.kind));
-    hash = fnv1a(hash, static_cast<std::uint64_t>(
-                           static_cast<std::int64_t>(key.aux)));
-    hash = fnv1a(hash, key.program_hash);
-    hash = fnv1a(hash, key.config_hash);
-    for (const auto& [name, value] : key.binding) {
-      hash = fnv1a(hash, hash_bytes(name));
-      hash = fnv1a(hash, static_cast<std::uint64_t>(value));
-    }
-    return static_cast<std::size_t>(hash);
-  }
-};
+constexpr std::uint8_t raw(Kind kind) {
+  return static_cast<std::uint8_t>(kind);
+}
 
 std::vector<std::pair<std::string, std::int64_t>> restrict_binding(
     const SymbolMap& binding, const std::set<std::string>& reachable) {
@@ -174,28 +158,45 @@ struct Session::Impl {
     metric_symbols = analysis::simulation_symbols(program);
   }
 
-  // Looks up with LRU touch and full stats accounting. Returns nullptr
-  // on miss.
+  // Two-tier lookup with LRU touch and full stats accounting: local
+  // LRU first, then the optional process-global tier (a shared hit is
+  // promoted into the local LRU so repeats stay lock-free). Returns
+  // nullptr on miss in both tiers.
   std::shared_ptr<const void> lookup(const Key& key) {
     auto it = index.find(key);
-    if (it == index.end()) {
-      ++stats.misses;
-      return nullptr;
+    if (it != index.end()) {
+      ++stats.hits;
+      Entry& entry = *it->second;
+      if (entry.prefetched) {
+        ++stats.prefetch_hits;
+        entry.prefetched = false;
+      }
+      lru.splice(lru.begin(), lru, it->second);
+      return entry.value;
     }
-    ++stats.hits;
-    Entry& entry = *it->second;
-    if (entry.prefetched) {
-      ++stats.prefetch_hits;
-      entry.prefetched = false;
+    if (config.shared_cache) {
+      std::size_t bytes = 0;
+      if (std::shared_ptr<const void> value =
+              config.shared_cache->lookup(key, &bytes)) {
+        ++stats.hits;
+        ++stats.shared_hits;
+        insert_local(key, value, bytes, /*prefetched=*/false);
+        return value;
+      }
     }
-    lru.splice(lru.begin(), lru, it->second);
-    return entry.value;
+    ++stats.misses;
+    return nullptr;
   }
 
-  bool contains(const Key& key) const { return index.contains(key); }
+  bool contains(const Key& key) const {
+    return index.contains(key) ||
+           (config.shared_cache && config.shared_cache->contains(key));
+  }
 
-  void insert(Key key, std::shared_ptr<const void> value, std::size_t bytes,
-              bool prefetched) {
+  /// Local-tier insert only — used directly when promoting a shared hit
+  /// (publishing it back would be a no-op churn).
+  void insert_local(Key key, std::shared_ptr<const void> value,
+                    std::size_t bytes, bool prefetched) {
     auto it = index.find(key);
     if (it != index.end()) return;  // Lost race with an earlier insert.
     lru.push_front(Entry{std::move(key), std::move(value), bytes, prefetched});
@@ -211,6 +212,16 @@ struct Session::Impl {
       lru.pop_back();
       ++stats.evictions;
     }
+  }
+
+  /// Computed-artifact insert: local tier plus (when configured) the
+  /// process-global tier, so other sessions can skip the computation.
+  void insert(Key key, std::shared_ptr<const void> value, std::size_t bytes,
+              bool prefetched) {
+    if (config.shared_cache) {
+      config.shared_cache->insert(key, value, bytes);
+    }
+    insert_local(std::move(key), std::move(value), bytes, prefetched);
   }
 
   /// Fetch-or-compute helper: all artifact getters funnel through here.
@@ -230,7 +241,7 @@ struct Session::Impl {
 
   Key metrics_key(const SymbolMap& at) const {
     Key key;
-    key.kind = Kind::kMetrics;
+    key.kind = raw(Kind::kMetrics);
     key.program_hash = program_hash;
     key.config_hash = config_hash;
     key.binding = restrict_binding(at, metric_symbols);
@@ -239,7 +250,7 @@ struct Session::Impl {
 
   Key program_key(Kind kind, int aux = -1) const {
     Key key;
-    key.kind = kind;
+    key.kind = raw(kind);
     key.aux = aux;
     key.program_hash = program_hash;
     return key;
@@ -578,6 +589,10 @@ std::shared_ptr<const std::string> Session::graph_svg(int state_index) {
 
 const std::set<std::string>& Session::metric_symbols() const {
   return impl_->metric_symbols;
+}
+
+ArtifactKey Session::metrics_cache_key() const {
+  return impl_->metrics_key(impl_->binding);
 }
 
 SessionStats Session::stats() const {

@@ -1,0 +1,353 @@
+// Serving-layer tests: protocol behavior, cross-session cache sharing,
+// request coalescing, and the determinism contract under concurrency.
+//
+// All suites are named Serve* so the CI determinism and TSan gates
+// (-R '...|Serve') pick them up: the concurrency tests here are the
+// only place multiple client threads drive one process, which is
+// exactly the surface those gates exist for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dmv/par/par.hpp"
+#include "dmv/serve/server.hpp"
+#include "dmv/session/session.hpp"
+#include "dmv/util/json.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace {
+
+using dmv::json::Value;
+using dmv::serve::Server;
+using dmv::serve::ServerConfig;
+
+Value parse_line(const std::string& line) { return dmv::json::parse(line); }
+
+std::string open_request(const std::string& session,
+                         const std::string& workload) {
+  return "{\"id\":1,\"method\":\"open_program\",\"params\":{\"session\":\"" +
+         session + "\",\"workload\":\"" + workload +
+         "\",\"binding\":{\"I\":8,\"J\":8,\"K\":5}}}";
+}
+
+std::string step_request(const std::string& session, const std::string& symbol,
+                         std::int64_t value) {
+  return "{\"id\":2,\"method\":\"step\",\"params\":{\"session\":\"" + session +
+         "\",\"symbol\":\"" + symbol + "\",\"value\":" +
+         std::to_string(value) + "}}";
+}
+
+/// Drives the drag sequence through a lone single-threaded Session —
+/// the reference the server must match bit for bit.
+std::vector<std::string> reference_checksums(
+    const std::vector<std::int64_t>& values) {
+  dmv::session::SessionConfig config;
+  config.prefetch = false;
+  dmv::session::Session session(
+      dmv::workloads::hdiff(dmv::workloads::HdiffVariant::Baseline),
+      std::move(config));
+  session.set_binding({{"I", 8}, {"J", 8}, {"K", 5}});
+  std::vector<std::string> checksums;
+  for (const std::int64_t value : values) {
+    session.set_symbol("K", value);
+    checksums.push_back(
+        std::to_string(dmv::serve::result_checksum(*session.metrics())));
+  }
+  return checksums;
+}
+
+// ---------------------------------------------------------------------
+// Protocol basics and error shapes.
+
+TEST(ServeProtocolTest, OpenBindStepRoundtrip) {
+  Server server;
+  const Value opened = parse_line(server.handle(open_request("a", "hdiff")));
+  ASSERT_TRUE(opened.has("result")) << dmv::json::dump(opened);
+  EXPECT_EQ(opened.at("result").at("program").as_string(), "hdiff");
+  EXPECT_EQ(opened.at("result").at("symbols").as_array().size(), 3u);
+
+  const Value stepped = parse_line(server.handle(step_request("a", "K", 6)));
+  ASSERT_TRUE(stepped.has("result")) << dmv::json::dump(stepped);
+  const Value& result = stepped.at("result");
+  EXPECT_EQ(result.at("served_by").as_string(), "compute");
+  EXPECT_GT(result.at("executions").as_int(), 0);
+  EXPECT_FALSE(result.at("checksum").as_string().empty());
+
+  // Same step again: served from this session's local cache.
+  const Value repeat = parse_line(server.handle(step_request("a", "K", 6)));
+  EXPECT_EQ(repeat.at("result").at("served_by").as_string(), "cache");
+  EXPECT_EQ(repeat.at("result").at("checksum").as_string(),
+            result.at("checksum").as_string());
+}
+
+TEST(ServeProtocolTest, MalformedRequestsGetErrorResponses) {
+  Server server;
+  struct Case {
+    const char* line;
+    const char* code;
+  };
+  const Case cases[] = {
+      {"not json at all", "parse_error"},
+      {"{\"id\":1}", "bad_request"},  // No method.
+      {"{\"id\":2,\"method\":\"frobnicate\"}", "unknown_method"},
+      {"{\"id\":3,\"method\":\"step\",\"params\":{\"session\":\"ghost\","
+       "\"symbol\":\"K\",\"value\":5}}",
+       "unknown_session"},
+      {"{\"id\":4,\"method\":\"open_program\",\"params\":{\"session\":\"a\","
+       "\"workload\":\"no_such_workload\"}}",
+       "bad_program"},
+      {"{\"id\":5,\"method\":\"open_program\",\"params\":{\"session\":\"a\"}}",
+       "bad_request"},  // Neither workload nor sdfg.
+  };
+  for (const Case& c : cases) {
+    const Value response = parse_line(server.handle(c.line));
+    ASSERT_TRUE(response.has("error")) << c.line;
+    EXPECT_EQ(response.at("error").at("code").as_string(), c.code) << c.line;
+    EXPECT_FALSE(response.at("error").at("message").as_string().empty());
+  }
+  // Error handling must not have corrupted anything: a valid request
+  // still works.
+  const Value ok = parse_line(server.handle(open_request("a", "hdiff")));
+  EXPECT_TRUE(ok.has("result"));
+  EXPECT_EQ(server.stats().errors, 6);
+}
+
+TEST(ServeProtocolTest, StepWithBadParamsReportsBadRequest) {
+  Server server;
+  server.handle(open_request("a", "hdiff"));
+  const Value missing = parse_line(
+      server.handle("{\"id\":1,\"method\":\"step\",\"params\":"
+                    "{\"session\":\"a\"}}"));
+  EXPECT_EQ(missing.at("error").at("code").as_string(), "bad_request");
+  const Value bad_type = parse_line(
+      server.handle("{\"id\":2,\"method\":\"bind\",\"params\":"
+                    "{\"session\":\"a\",\"binding\":{\"K\":\"five\"}}}"));
+  EXPECT_EQ(bad_type.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(ServeProtocolTest, SubscribeRebuildsSessionPreservingBinding) {
+  Server server;
+  server.handle(open_request("a", "hdiff"));
+  server.handle(step_request("a", "K", 6));
+  const Value subscribed = parse_line(server.handle(
+      "{\"id\":1,\"method\":\"subscribe\",\"params\":{\"session\":\"a\","
+      "\"element_stats\":true,\"miss_threshold_lines\":64,\"prefetch\":"
+      "false}}"));
+  ASSERT_TRUE(subscribed.has("result")) << dmv::json::dump(subscribed);
+  EXPECT_TRUE(subscribed.at("result").at("element_stats").as_bool());
+  EXPECT_EQ(subscribed.at("result").at("miss_threshold_lines").as_int(), 64);
+
+  // The rebuilt session kept the binding, and the new subscription
+  // matches a lone Session configured the same way.
+  const Value stepped = parse_line(server.handle(step_request("a", "K", 7)));
+  ASSERT_TRUE(stepped.has("result")) << dmv::json::dump(stepped);
+
+  dmv::session::SessionConfig config;
+  config.prefetch = false;
+  config.pipeline.element_stats = true;
+  config.pipeline.miss_threshold_lines = 64;
+  dmv::session::Session reference(
+      dmv::workloads::hdiff(dmv::workloads::HdiffVariant::Baseline),
+      std::move(config));
+  reference.set_binding({{"I", 8}, {"J", 8}, {"K", 7}});
+  EXPECT_EQ(stepped.at("result").at("checksum").as_string(),
+            std::to_string(
+                dmv::serve::result_checksum(*reference.metrics())));
+}
+
+TEST(ServeProtocolTest, EditProgramSwitchesVariants) {
+  Server server;
+  server.handle(open_request("a", "hdiff"));
+  const Value baseline = parse_line(server.handle(step_request("a", "K", 6)));
+  const Value edited = parse_line(server.handle(
+      "{\"id\":1,\"method\":\"edit_program\",\"params\":{\"session\":\"a\","
+      "\"workload\":\"hdiff_reordered\"}}"));
+  ASSERT_TRUE(edited.has("result")) << dmv::json::dump(edited);
+  EXPECT_EQ(edited.at("result").at("program").as_string(), "hdiff_reordered");
+  const Value reordered = parse_line(server.handle(step_request("a", "K", 6)));
+  ASSERT_TRUE(reordered.has("result"));
+  // Different program version, same binding: a fresh computation, and
+  // the artifact is keyed by the new content hash.
+  EXPECT_EQ(reordered.at("result").at("served_by").as_string(), "compute");
+  EXPECT_EQ(baseline.at("result").at("executions").as_int(),
+            reordered.at("result").at("executions").as_int());
+}
+
+// ---------------------------------------------------------------------
+// Cross-session sharing.
+
+TEST(ServeSharedCacheTest, SecondSessionHitsSharedTier) {
+  ServerConfig config;
+  config.session_defaults.prefetch = false;
+  Server server(config);
+  server.handle(open_request("alice", "hdiff"));
+  server.handle(open_request("bob", "hdiff"));
+
+  const Value first = parse_line(server.handle(step_request("alice", "K", 6)));
+  EXPECT_EQ(first.at("result").at("served_by").as_string(), "compute");
+
+  const Value second = parse_line(server.handle(step_request("bob", "K", 6)));
+  EXPECT_EQ(second.at("result").at("served_by").as_string(), "shared_cache");
+  EXPECT_EQ(second.at("result").at("checksum").as_string(),
+            first.at("result").at("checksum").as_string());
+
+  // The hit is visible in both accounting layers.
+  const Value stats = parse_line(server.handle(
+      "{\"id\":9,\"method\":\"stats\",\"params\":{\"session\":\"bob\"}}"));
+  EXPECT_GT(stats.at("result").at("session").at("shared_hits").as_int(), 0);
+  EXPECT_GT(stats.at("result").at("shared_cache").at("hits").as_int(), 0);
+  EXPECT_GT(server.shared_cache_stats().hits, 0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: bit-identity, coalescing, graceful shutdown.
+
+/// N client threads, each with its own session, drag the same slider
+/// sequence with interleaved steps. Every response checksum must equal
+/// the serial single-session reference, the coalescing invariant must
+/// hold (exactly one "compute" per distinct binding, process-wide), and
+/// the shared tier must show cross-session hits.
+void run_concurrent_drag(int threads_knob) {
+  dmv::par::ThreadScope scope(threads_knob);
+  const std::vector<std::int64_t> values = {6, 7, 8, 9, 6, 8};
+  const std::vector<std::string> reference = reference_checksums(values);
+  const std::set<std::int64_t> distinct(values.begin(), values.end());
+
+  ServerConfig config;
+  config.session_defaults.prefetch = false;  // Exact compute accounting.
+  Server server(config);
+  constexpr int kClients = 8;
+  for (int c = 0; c < kClients; ++c) {
+    const Value opened = parse_line(
+        server.handle(open_request("client" + std::to_string(c), "hdiff")));
+    ASSERT_TRUE(opened.has("result"));
+  }
+
+  std::vector<std::vector<std::string>> checksums(kClients);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string session = "client" + std::to_string(c);
+      for (const std::int64_t value : values) {
+        const Value response =
+            parse_line(server.handle(step_request(session, "K", value)));
+        ASSERT_TRUE(response.has("result")) << dmv::json::dump(response);
+        checksums[c].push_back(
+            response.at("result").at("checksum").as_string());
+        if (response.at("result").at("served_by").as_string() == "compute") {
+          computes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Bit-identity: every client saw exactly the serial reference.
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(checksums[c], reference) << "client " << c;
+  }
+  // Coalescing invariant: one simulation per distinct binding — no
+  // matter the interleaving, every other request was served by a cache
+  // tier or waited on the leader's flight.
+  EXPECT_EQ(computes.load(), static_cast<int>(distinct.size()));
+  const dmv::serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.steps, static_cast<std::int64_t>(kClients * values.size()));
+  EXPECT_LT(stats.coalesced, stats.steps);
+  EXPECT_GT(server.shared_cache_stats().hits, 0);
+}
+
+TEST(ServeDeterminismTest, ConcurrentClientsBitIdenticalSerialPool) {
+  run_concurrent_drag(1);
+}
+
+TEST(ServeDeterminismTest, ConcurrentClientsBitIdenticalParallelPool) {
+  run_concurrent_drag(4);
+}
+
+TEST(ServeDeterminismTest, PoolBusyFallbackKeepsResultsIdentical) {
+  // Two threads race whole parallel jobs; whichever finds the pool busy
+  // degrades to serial inline and must produce the same sum.
+  dmv::par::ThreadScope scope(4);
+  const std::size_t n = 1 << 14;
+  auto sum_squares = [&] {
+    return dmv::par::parallel_reduce<std::int64_t>(
+        n, 128, 0,
+        [](std::size_t begin, std::size_t end) {
+          std::int64_t sum = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            sum += static_cast<std::int64_t>(i * i);
+          }
+          return sum;
+        },
+        [](std::int64_t& into, std::int64_t part) { into += part; });
+  };
+  const std::int64_t expected = sum_squares();
+  std::vector<std::int64_t> results(8, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      for (int repeat = 0; repeat < 16; ++repeat) results[t] = sum_squares();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::int64_t result : results) EXPECT_EQ(result, expected);
+}
+
+TEST(ServeShutdownTest, GracefulWithInFlightRequests) {
+  Server server;
+  server.handle(open_request("a", "hdiff"));
+  std::vector<std::string> responses(4);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      responses[t] = server.handle(step_request("a", "K", 6 + t));
+    });
+  }
+  server.shutdown();  // Must drain in-flight requests, then return.
+  for (std::thread& client : clients) client.join();
+  for (const std::string& line : responses) {
+    const Value response = parse_line(line);
+    // Every request either completed normally (admitted before the
+    // shutdown) or was cleanly rejected — never dropped or corrupted.
+    if (response.has("error")) {
+      EXPECT_EQ(response.at("error").at("code").as_string(), "shutting_down");
+    } else {
+      EXPECT_TRUE(response.has("result"));
+    }
+  }
+  EXPECT_TRUE(server.shutting_down());
+  const Value rejected = parse_line(server.handle(step_request("a", "K", 20)));
+  EXPECT_EQ(rejected.at("error").at("code").as_string(), "shutting_down");
+}
+
+// ---------------------------------------------------------------------
+// The shared JSON module's writer (the parser is exercised by every
+// protocol test and by the SDFG reader suite).
+
+TEST(ServeJsonTest, DumpIsCanonicalAndRoundTrips) {
+  Value object = Value::make_object();
+  object["zeta"] = Value::of(std::int64_t{1} << 52);
+  object["alpha"] = Value::of("line\nbreak \"quoted\"");
+  object["mid"] = Value::make_array();
+  object["mid"].push(Value::of(true));
+  object["mid"].push(Value::null());
+  object["mid"].push(Value::of(2.5));
+  const std::string text = dmv::json::dump(object);
+  // Keys sorted, integral doubles without fraction, escapes intact.
+  EXPECT_EQ(text,
+            "{\"alpha\":\"line\\nbreak \\\"quoted\\\"\","
+            "\"mid\":[true,null,2.5],\"zeta\":4503599627370496}");
+  const Value reparsed = dmv::json::parse(text);
+  EXPECT_EQ(dmv::json::dump(reparsed), text);
+  EXPECT_EQ(reparsed.at("zeta").as_int(), std::int64_t{1} << 52);
+}
+
+}  // namespace

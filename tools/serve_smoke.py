@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Scripted smoke client for dmv_serve (stdio transport).
+
+Drives the documented protocol end to end — open hdiff, drag the K
+slider, re-drag the same values, check stats, shut down — and exits
+nonzero on any protocol error, checksum instability, or unexpected
+server exit code. CI runs this against a freshly built binary
+(docs/serving.md describes the protocol being exercised).
+
+Usage: serve_smoke.py [path/to/dmv_serve]
+"""
+
+import json
+import subprocess
+import sys
+
+DRAG = [6, 7, 8, 9, 8, 7]
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        self.next_id = 0
+
+    def call(self, method, **params):
+        self.next_id += 1
+        request = {"id": self.next_id, "method": method, "params": params}
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        if not line:
+            fail(f"server closed stdout while handling {method}")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"unparseable response line {line!r}: {error}")
+        if response.get("id") != self.next_id:
+            fail(f"response id {response.get('id')} != request id {self.next_id}")
+        if "error" in response:
+            fail(f"{method} -> error {response['error']}")
+        if "result" not in response:
+            fail(f"{method} -> response without result: {response}")
+        return response["result"]
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else "build/src/dmv_serve"
+    client = Client(binary)
+
+    opened = client.call(
+        "open_program",
+        session="smoke",
+        workload="hdiff",
+        binding={"I": 8, "J": 8, "K": 5},
+    )
+    if opened.get("program") != "hdiff":
+        fail(f"open_program echoed program {opened.get('program')!r}")
+    if sorted(opened.get("symbols", [])) != ["I", "J", "K"]:
+        fail(f"unexpected symbols {opened.get('symbols')}")
+
+    first = []
+    for value in DRAG:
+        result = client.call("step", session="smoke", symbol="K", value=value)
+        for field in ("checksum", "executions", "served_by", "movement_bytes"):
+            if field not in result:
+                fail(f"step response missing {field}: {result}")
+        first.append(result["checksum"])
+
+    # Re-dragging the same values must return bit-identical checksums,
+    # all served from cache (the memoization contract over the wire).
+    for value, expected in zip(DRAG, first):
+        result = client.call("step", session="smoke", symbol="K", value=value)
+        if result["checksum"] != expected:
+            fail(
+                f"checksum changed on revisit of K={value}: "
+                f"{result['checksum']} != {expected}"
+            )
+        if result["served_by"] == "compute":
+            fail(f"revisit of K={value} recomputed instead of hitting cache")
+
+    stats = client.call("stats", session="smoke")
+    session = stats.get("session", {})
+    if session.get("hits", 0) <= 0:
+        fail(f"no cache hits after revisits: {session}")
+    if stats.get("server", {}).get("errors", 1) != 0:
+        fail(f"server counted errors during smoke: {stats.get('server')}")
+
+    stopping = client.call("shutdown")
+    if stopping.get("stopping") is not True:
+        fail(f"shutdown did not acknowledge: {stopping}")
+    client.proc.stdin.close()
+    code = client.proc.wait(timeout=30)
+    if code != 0:
+        fail(f"dmv_serve exited with code {code}")
+    print(
+        f"serve_smoke: OK ({len(DRAG)} cold + {len(DRAG)} warm steps, "
+        f"{session.get('hits')} hits, clean shutdown)"
+    )
+
+
+if __name__ == "__main__":
+    main()
