@@ -40,8 +40,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,8 @@
 #include "dmv/session/session.hpp"
 #include "dmv/sim/pipeline.hpp"
 #include "dmv/sim/sim.hpp"
+#include "dmv/store/artifact_store.hpp"
+#include "dmv/store/trace_store.hpp"
 #include "dmv/workloads/workloads.hpp"
 
 namespace {
@@ -490,6 +494,40 @@ bool validate_delta_recompute(const SweepCase& sweep,
   return true;
 }
 
+// Trace-store + artifact-codec identity gate: the compressed store must
+// reproduce every binding's trace bit for bit (order-sensitive
+// checksum), and the disk-tier PipelineResult codec must round-trip a
+// real metric bundle exactly.
+bool validate_trace_store(const SweepCase& sweep,
+                          const SimulationOptions& options) {
+  dmv::par::ThreadScope scope(1);
+  for (const SymbolMap& binding : sweep.bindings) {
+    const AccessTrace trace = dmv::sim::simulate(sweep.sdfg, binding, options);
+    dmv::store::TraceStoreReader reader =
+        dmv::store::TraceStoreReader::from_bytes(
+            dmv::store::pack_trace(trace));
+    if (trace_checksum(reader.read_trace()) != trace_checksum(trace)) {
+      std::cerr << "FATAL: trace store round-trip mismatch on " << sweep.name
+                << "\n";
+      return false;
+    }
+  }
+  dmv::sim::MetricPipeline pipeline(bench_config());
+  const dmv::sim::PipelineResult result =
+      pipeline.run(sweep.sdfg, sweep.bindings.front(), options);
+  const dmv::session::ArtifactCodec codec =
+      dmv::store::pipeline_result_codec();
+  std::shared_ptr<const void> decoded = codec.decode(codec.encode(&result));
+  if (!decoded ||
+      pipeline_checksum(*static_cast<const dmv::sim::PipelineResult*>(
+          decoded.get())) != pipeline_checksum(result)) {
+    std::cerr << "FATAL: pipeline-result codec mismatch on " << sweep.name
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
 int run_smoke() {
   SimulationOptions compiled;
   compiled.compiled = true;
@@ -499,12 +537,14 @@ int run_smoke() {
     if (!validate_batched_trace(sweep, compiled)) return 1;
     if (!validate_symbolic_ops(sweep, /*rounds=*/2)) return 1;
     if (!validate_delta_recompute(sweep, compiled)) return 1;
+    if (!validate_trace_store(sweep, compiled)) return 1;
     std::cout << "smoke " << sweep.name
               << ": unfused == fused == streaming == session, "
               << "serial trace == parallel trace (8 threads), "
               << "batched trace (W=4/8) == scalar, "
               << "symbolic_ops memoized == legacy, "
-              << "delta recompute == cold\n";
+              << "delta recompute == cold, "
+              << "trace store round-trip == source\n";
   }
   std::cout << "smoke OK\n";
   return 0;
@@ -653,6 +693,54 @@ int main(int argc, char** argv) {
     const double metrics_fused_speedup =
         metrics_unfused.best_ms / metrics_fused.best_ms;
 
+    // Trace store: compression ratio and pack/unpack throughput over
+    // the same materialized traces (the out-of-core backing format).
+    // Identity gate on the order-sensitive trace checksum per binding.
+    std::size_t store_events = 0;
+    std::size_t store_raw_bytes = 0;
+    for (const AccessTrace& trace : traces) {
+      store_events += trace.events.size();
+      store_raw_bytes += trace.events.capacity_bytes();
+    }
+    std::vector<std::string> packed(traces.size());
+    const Measurement store_pack = measure(
+        [&] {
+          std::int64_t bytes = 0;
+          for (std::size_t b = 0; b < traces.size(); ++b) {
+            packed[b] = dmv::store::pack_trace(traces[b]);
+            bytes += static_cast<std::int64_t>(packed[b].size());
+          }
+          return bytes;
+        },
+        repetitions);
+    std::size_t store_packed_bytes = 0;
+    for (const std::string& bytes : packed) store_packed_bytes += bytes.size();
+    const Measurement store_unpack = measure(
+        [&] {
+          std::int64_t total = 0;
+          for (const std::string& bytes : packed) {
+            dmv::store::TraceStoreReader reader =
+                dmv::store::TraceStoreReader::from_bytes(bytes);
+            dmv::sim::EventList events;
+            reader.read_events(events);
+            total += static_cast<std::int64_t>(events.size());
+          }
+          return total;
+        },
+        repetitions);
+    for (std::size_t b = 0; b < traces.size(); ++b) {
+      dmv::store::TraceStoreReader reader =
+          dmv::store::TraceStoreReader::from_bytes(packed[b]);
+      if (trace_checksum(reader.read_trace()) != trace_checksum(traces[b])) {
+        std::cerr << "FATAL: trace store round-trip mismatch on "
+                  << sweep.name << "\n";
+        return 1;
+      }
+    }
+    const double store_ratio =
+        static_cast<double>(store_raw_bytes) /
+        static_cast<double>(std::max<std::size_t>(store_packed_bytes, 1));
+
     // Session sweep: the same drag through the memoizing session layer.
     // Cold constructs a fresh session per repetition (cache empty, no
     // speculation); warm re-drags a session that has seen every binding;
@@ -718,6 +806,11 @@ int main(int argc, char** argv) {
     std::cout << "  metrics only: unfused " << metrics_unfused.best_ms
               << " ms, fused " << metrics_fused.best_ms << " ms ("
               << metrics_fused_speedup << "x)\n";
+    std::cout << "  trace store: " << store_events << " events, raw "
+              << store_raw_bytes << " B, packed " << store_packed_bytes
+              << " B (" << store_ratio << "x), pack "
+              << store_pack.best_ms << " ms, unpack "
+              << store_unpack.best_ms << " ms (round trip identical)\n";
     std::cout << "  session (" << sweep.values.size() << " positions of "
               << sweep.symbol << "): cold " << session_cold.best_ms
               << " ms, warm " << session_warm.best_ms << " ms ("
@@ -771,6 +864,15 @@ int main(int argc, char** argv) {
          << ",\n";
     json << "        \"metrics_fused_speedup\": " << metrics_fused_speedup
          << "\n";
+    json << "      },\n";
+    json << "      \"trace_store\": {\n";
+    json << "        \"events\": " << store_events << ",\n";
+    json << "        \"raw_bytes\": " << store_raw_bytes << ",\n";
+    json << "        \"packed_bytes\": " << store_packed_bytes << ",\n";
+    json << "        \"compression_ratio\": " << store_ratio << ",\n";
+    json << "        \"pack_ms\": " << store_pack.best_ms << ",\n";
+    json << "        \"unpack_ms\": " << store_unpack.best_ms << ",\n";
+    json << "        \"checksum_identical\": true\n";
     json << "      },\n";
     json << "      \"session\": {\n";
     json << "        \"bindings\": " << sweep.values.size() << ",\n";
@@ -935,6 +1037,108 @@ int main(int argc, char** argv) {
          << ", \"symbolic\": " << delta_stats.steps_symbolic
          << ", \"chunk_delta\": " << delta_stats.steps_chunk_delta
          << ", \"cold\": " << delta_stats.steps_cold << "}\n";
+    json << "  },\n";
+  }
+
+  // ---- persistent_cache ----------------------------------------------
+  //
+  // The warm-start tier: one slider request served three ways.
+  //   cold       fresh session, nothing cached anywhere — a full
+  //              simulate + metric pass;
+  //   ram_warm   re-request against a live session (RAM artifact hit);
+  //   disk_warm  fresh session AND fresh shared cache over a populated
+  //              cache directory — the restarted-process path: decode
+  //              the DMVA artifact from disk instead of simulating.
+  // Identity gate: all three checksums match, and every disk_warm
+  // repetition actually hit the disk tier.
+  {
+    dmv::par::set_num_threads(1);
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "dmv_bench_persistent_cache";
+    fs::remove_all(dir);
+    const dmv::ir::Sdfg sdfg =
+        dmv::workloads::hdiff(dmv::workloads::HdiffVariant::Baseline);
+    const SymbolMap binding{{"I", 64}, {"J", 64}, {"K", 16}};
+    SimulationOptions compiled;
+    compiled.compiled = true;
+    dmv::session::SessionConfig cfg;
+    cfg.pipeline = bench_config();
+    cfg.simulation = compiled;
+    cfg.prefetch = false;
+    const auto make_shared_cache = [&] {
+      dmv::session::SharedArtifactCache::Config shared;
+      shared.disk_dir = dir.string();
+      shared.codecs.emplace_back(dmv::session::metrics_artifact_kind(),
+                                 dmv::store::pipeline_result_codec());
+      return std::make_shared<dmv::session::SharedArtifactCache>(shared);
+    };
+
+    const Measurement cold = measure(
+        [&] {
+          dmv::session::Session session(sdfg, cfg);
+          session.set_binding(binding);
+          return pipeline_checksum(*session.metrics());
+        },
+        repetitions);
+
+    {
+      // Populate the disk tier once (the prior run being warm-started).
+      dmv::session::SessionConfig writer_cfg = cfg;
+      writer_cfg.shared_cache = make_shared_cache();
+      dmv::session::Session session(sdfg, writer_cfg);
+      session.set_binding(binding);
+      session.metrics();
+    }
+
+    dmv::session::SessionConfig ram_cfg = cfg;
+    ram_cfg.shared_cache = make_shared_cache();
+    dmv::session::Session ram_session(sdfg, ram_cfg);
+    ram_session.set_binding(binding);
+    ram_session.metrics();  // Promote disk -> RAM once, untimed.
+    const Measurement ram_warm = measure(
+        [&] { return pipeline_checksum(*ram_session.metrics()); },
+        repetitions);
+
+    std::int64_t disk_hits = 0;
+    const Measurement disk_warm = measure(
+        [&] {
+          dmv::session::SessionConfig warm_cfg = cfg;
+          warm_cfg.shared_cache = make_shared_cache();
+          dmv::session::Session session(sdfg, warm_cfg);
+          session.set_binding(binding);
+          const std::int64_t checksum =
+              pipeline_checksum(*session.metrics());
+          disk_hits += warm_cfg.shared_cache->stats().disk_hits;
+          return checksum;
+        },
+        repetitions);
+
+    if (cold.checksum != ram_warm.checksum ||
+        cold.checksum != disk_warm.checksum) {
+      std::cerr << "FATAL: persistent-cache checksum mismatch\n";
+      return 1;
+    }
+    if (disk_hits < repetitions) {
+      std::cerr << "FATAL: persistent-cache disk_warm expected "
+                << repetitions << " disk hits, got " << disk_hits << "\n";
+      return 1;
+    }
+    fs::remove_all(dir);
+
+    const double disk_vs_cold = cold.best_ms / disk_warm.best_ms;
+    std::cout << "persistent cache (hdiff I=J=64 K=16): cold "
+              << cold.best_ms << " ms, ram-warm " << ram_warm.best_ms
+              << " ms, disk-warm " << disk_warm.best_ms << " ms  ("
+              << disk_vs_cold << "x vs cold, checksums identical)\n";
+    json << "  \"persistent_cache\": {\n";
+    json << "    \"workload\": \"hdiff\",\n";
+    json << "    \"cold_ms\": " << cold.best_ms << ",\n";
+    json << "    \"ram_warm_ms\": " << ram_warm.best_ms << ",\n";
+    json << "    \"disk_warm_ms\": " << disk_warm.best_ms << ",\n";
+    json << "    \"disk_warm_speedup\": " << disk_vs_cold << ",\n";
+    json << "    \"disk_hits\": " << disk_hits << ",\n";
+    json << "    \"checksum_identical\": true\n";
     json << "  },\n";
   }
 

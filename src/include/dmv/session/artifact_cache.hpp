@@ -36,6 +36,10 @@
 #include <utility>
 #include <vector>
 
+namespace dmv::store {
+class DiskArtifactCache;
+}  // namespace dmv::store
+
 namespace dmv::session {
 
 /// The one cache key shared by the per-session LRU and the shared tier.
@@ -56,6 +60,17 @@ struct ArtifactKeyHash {
   std::size_t operator()(const ArtifactKey& key) const;
 };
 
+/// Serializer pair for one artifact kind, consumed by the optional disk
+/// tier. encode() must be exact — decode(encode(x)) reproduces a
+/// bit-identical artifact, extending the determinism contract to disk.
+/// decode() returns null on malformed bytes; the tier treats that as a
+/// miss. Plain function pointers: a codec is registered once in Config
+/// and must not capture state.
+struct ArtifactCodec {
+  std::string (*encode)(const void* artifact) = nullptr;
+  std::shared_ptr<const void> (*decode)(const std::string& bytes) = nullptr;
+};
+
 /// Counters over all shards, cumulative since construction. A snapshot
 /// is internally consistent per shard but not across shards (each shard
 /// is locked in turn) — fine for monitoring, not for invariants.
@@ -66,6 +81,12 @@ struct SharedCacheStats {
   std::int64_t evictions = 0;   ///< Entries dropped by a shard budget.
   std::size_t bytes = 0;        ///< Current payload bytes, all shards.
   std::size_t entries = 0;      ///< Current entry count, all shards.
+  // Disk tier (all zero when Config::disk_dir is empty).
+  std::int64_t disk_hits = 0;    ///< RAM misses satisfied from disk.
+  std::int64_t disk_misses = 0;  ///< Disk probes that found nothing.
+  std::int64_t disk_writes = 0;  ///< Artifacts persisted.
+  std::size_t disk_bytes = 0;    ///< Current bytes in the cache dir.
+  std::size_t disk_entries = 0;  ///< Current files in the cache dir.
 };
 
 /// Sharded byte-budgeted LRU of immutable artifacts, keyed by
@@ -79,6 +100,17 @@ class SharedArtifactCache {
     std::size_t budget_bytes = std::size_t{256} << 20;
     /// Independently locked segments; rounded up to at least 1.
     std::size_t shards = 16;
+    /// Persistent warm-start tier (store::DiskArtifactCache): empty
+    /// disables it. When set, a RAM miss whose kind has a codec probes
+    /// this directory (and promotes a hit into the RAM tier), and every
+    /// fresh insert of such a kind writes through — so a restarted
+    /// process re-serves prior artifacts without recomputing them.
+    std::string disk_dir;
+    /// Byte budget of the disk tier; oldest files evicted beyond it.
+    std::size_t disk_budget_bytes = std::size_t{1} << 30;
+    /// (kind, codec) registrations. Kinds without a codec stay
+    /// RAM-only regardless of disk_dir.
+    std::vector<std::pair<std::uint8_t, ArtifactCodec>> codecs;
   };
 
   SharedArtifactCache();  ///< Default Config.
@@ -105,14 +137,20 @@ class SharedArtifactCache {
               std::size_t bytes);
 
   SharedCacheStats stats() const;
+  /// Drops the RAM tier. The disk tier is deliberately untouched —
+  /// persistence across clear() (and process restart) is its purpose.
   void clear();
 
  private:
   struct Shard;
   Config config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<store::DiskArtifactCache> disk_;
 
   Shard& shard_for(const ArtifactKey& key) const;
+  const ArtifactCodec* codec_for(std::uint8_t kind) const;
+  bool insert_ram(const ArtifactKey& key, std::shared_ptr<const void> value,
+                  std::size_t bytes);
 };
 
 }  // namespace dmv::session

@@ -10,6 +10,7 @@
 
 #include "dmv/ir/json_reader.hpp"
 #include "dmv/par/par.hpp"
+#include "dmv/store/artifact_store.hpp"
 #include "dmv/util/json.hpp"
 #include "dmv/workloads/workloads.hpp"
 
@@ -115,9 +116,17 @@ struct Server::Impl {
   std::int64_t coalesced = 0;
 
   explicit Impl(ServerConfig server_config)
-      : config(std::move(server_config)),
-        shared(std::make_shared<session::SharedArtifactCache>(
-            config.shared_cache)) {}
+      : config(std::move(server_config)) {
+    if (!config.shared_cache.disk_dir.empty()) {
+      // Persistent tier: register the codec for the metrics bundle —
+      // the one artifact whose recomputation costs a simulation — so a
+      // restarted server re-serves prior sweeps from the cache dir.
+      config.shared_cache.codecs.emplace_back(
+          session::metrics_artifact_kind(), store::pipeline_result_codec());
+    }
+    shared = std::make_shared<session::SharedArtifactCache>(
+        config.shared_cache);
+  }
 
   std::shared_ptr<Client> client_for(const std::string& name) {
     std::lock_guard<std::mutex> lock(sessions_mutex);
@@ -403,6 +412,12 @@ struct Server::Impl {
       tier["evictions"] = Value::of(cache.evictions);
       tier["bytes"] = Value::of(static_cast<std::int64_t>(cache.bytes));
       tier["entries"] = Value::of(static_cast<std::int64_t>(cache.entries));
+      tier["disk_hits"] = Value::of(cache.disk_hits);
+      tier["disk_misses"] = Value::of(cache.disk_misses);
+      tier["disk_writes"] = Value::of(cache.disk_writes);
+      tier["disk_bytes"] = Value::of(static_cast<std::int64_t>(cache.disk_bytes));
+      tier["disk_entries"] =
+          Value::of(static_cast<std::int64_t>(cache.disk_entries));
       result["shared_cache"] = std::move(tier);
     }
     if (params.has("session")) {

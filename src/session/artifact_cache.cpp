@@ -4,6 +4,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "dmv/store/artifact_store.hpp"
+
 namespace dmv::session {
 
 namespace {
@@ -57,13 +59,20 @@ struct SharedArtifactCache::Shard {
 
 SharedArtifactCache::SharedArtifactCache() : SharedArtifactCache(Config{}) {}
 
-SharedArtifactCache::SharedArtifactCache(Config config) : config_(config) {
+SharedArtifactCache::SharedArtifactCache(Config config)
+    : config_(std::move(config)) {
   if (config_.shards == 0) config_.shards = 1;
   const std::size_t per_shard = config_.budget_bytes / config_.shards;
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
     shards_.back()->budget = per_shard;
+  }
+  if (!config_.disk_dir.empty()) {
+    store::DiskArtifactCache::Config disk_config;
+    disk_config.dir = config_.disk_dir;
+    disk_config.budget_bytes = config_.disk_budget_bytes;
+    disk_ = std::make_unique<store::DiskArtifactCache>(std::move(disk_config));
   }
 }
 
@@ -74,33 +83,58 @@ SharedArtifactCache::Shard& SharedArtifactCache::shard_for(
   return *shards_[ArtifactKeyHash{}(key) % shards_.size()];
 }
 
+const ArtifactCodec* SharedArtifactCache::codec_for(std::uint8_t kind) const {
+  for (const auto& [registered_kind, codec] : config_.codecs) {
+    if (registered_kind == kind) return &codec;
+  }
+  return nullptr;
+}
+
 std::shared_ptr<const void> SharedArtifactCache::lookup(
     const ArtifactKey& key, std::size_t* bytes_out) {
-  Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (bytes_out) *bytes_out = it->second->bytes;
+      return it->second->value;
+    }
     ++shard.misses;
-    return nullptr;
   }
-  ++shard.hits;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  if (bytes_out) *bytes_out = it->second->bytes;
-  return it->second->value;
+  // RAM miss: probe the persistent tier (outside the shard lock — disk
+  // I/O must not serialize unrelated keys). A decode failure is a miss;
+  // a hit is promoted into the RAM shard WITHOUT writing back to disk.
+  if (!disk_) return nullptr;
+  const ArtifactCodec* codec = codec_for(key.kind);
+  if (codec == nullptr || codec->decode == nullptr) return nullptr;
+  std::string payload;
+  if (!disk_->load(key, payload)) return nullptr;
+  std::shared_ptr<const void> value = codec->decode(payload);
+  if (value == nullptr) return nullptr;
+  insert_ram(key, value, payload.size());
+  if (bytes_out) *bytes_out = payload.size();
+  return value;
 }
 
 bool SharedArtifactCache::contains(const ArtifactKey& key) const {
-  Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.index.contains(key);
+  {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.index.contains(key)) return true;
+  }
+  return disk_ != nullptr && codec_for(key.kind) != nullptr &&
+         disk_->contains(key);
 }
 
-void SharedArtifactCache::insert(const ArtifactKey& key,
-                                 std::shared_ptr<const void> value,
-                                 std::size_t bytes) {
+bool SharedArtifactCache::insert_ram(const ArtifactKey& key,
+                                     std::shared_ptr<const void> value,
+                                     std::size_t bytes) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.index.contains(key)) return;  // First writer won the race.
+  if (shard.index.contains(key)) return false;  // First writer won the race.
   shard.lru.push_front(Shard::Entry{key, std::move(value), bytes});
   shard.index.emplace(shard.lru.front().key, shard.lru.begin());
   shard.bytes += bytes;
@@ -114,6 +148,19 @@ void SharedArtifactCache::insert(const ArtifactKey& key,
     shard.lru.pop_back();
     ++shard.evictions;
   }
+  return true;
+}
+
+void SharedArtifactCache::insert(const ArtifactKey& key,
+                                 std::shared_ptr<const void> value,
+                                 std::size_t bytes) {
+  const bool inserted = insert_ram(key, value, bytes);
+  // Write-through on fresh inserts only (a racing loser's artifact is
+  // bit-identical by the determinism contract, so one write suffices).
+  if (!inserted || !disk_) return;
+  const ArtifactCodec* codec = codec_for(key.kind);
+  if (codec == nullptr || codec->encode == nullptr) return;
+  disk_->store(key, codec->encode(value.get()));
 }
 
 SharedCacheStats SharedArtifactCache::stats() const {
@@ -126,6 +173,14 @@ SharedCacheStats SharedArtifactCache::stats() const {
     stats.evictions += shard->evictions;
     stats.bytes += shard->bytes;
     stats.entries += shard->lru.size();
+  }
+  if (disk_) {
+    const store::DiskArtifactCache::Stats disk = disk_->stats();
+    stats.disk_hits = disk.hits;
+    stats.disk_misses = disk.misses;
+    stats.disk_writes = disk.writes;
+    stats.disk_bytes = disk.bytes;
+    stats.disk_entries = disk.files;
   }
   return stats;
 }

@@ -614,4 +614,6 @@ void Session::clear_cache() {
   impl_->cache_bytes = 0;
 }
 
+std::uint8_t metrics_artifact_kind() { return raw(Kind::kMetrics); }
+
 }  // namespace dmv::session

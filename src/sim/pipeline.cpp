@@ -14,6 +14,7 @@
 
 #include "dmv/par/par.hpp"
 #include "dmv/sim/trace_plan.hpp"
+#include "dmv/store/trace_store.hpp"
 #include "metric_detail.hpp"
 
 namespace dmv::sim {
@@ -500,6 +501,10 @@ PipelineResult MetricPipeline::run(const AccessTrace& trace) {
   // trace), so any interleaved public run drops the checkpoint.
   arena_->ckpt_valid = false;
   arena_->live_valid = false;
+  // Fault a spilled trace back in on this thread, before any pass hands
+  // column spans to parallel workers (EventList fault-in is not
+  // thread-safe).
+  trace.events.ensure_resident();
   const std::size_t n = trace.events.size();
   const bool needs_lines = config_.needs_distances() || config_.cache;
 
@@ -558,8 +563,13 @@ PipelineResult MetricPipeline::run(const AccessTrace& trace) {
 
 PipelineResult MetricPipeline::run(const Sdfg& sdfg, const SymbolMap& symbols,
                                    const SimulationOptions& options) {
+  // A spilled previous trace is simply dropped here — simulate_into
+  // clears the buffer, and clear() releases the backing without the
+  // cost of decoding it.
   simulate_into(sdfg, symbols, options, arena_->trace, &arena_->trace_arena);
-  return run(arena_->trace);
+  PipelineResult result = run(arena_->trace);
+  maybe_spill();
+  return result;
 }
 
 PipelineResult MetricPipeline::run_streaming(const Sdfg& sdfg,
@@ -937,6 +947,10 @@ PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
       bool warm = false;
       PipelineResult result;
       try {
+        // The splice below reads the checkpoint columns from parallel
+        // workers; a spilled checkpoint must fault in on this thread
+        // first.
+        arena.trace.events.ensure_resident();
         warm = delta_step(config_, arena, sdfg, symbols, options, outcome,
                           result);
       } catch (...) {
@@ -947,6 +961,7 @@ PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
         outcome.reason = "delta step failed";
       }
       if (warm) {
+        maybe_spill();
         if (outcome_out) *outcome_out = outcome;
         return result;
       }
@@ -981,12 +996,27 @@ PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
     arena.ckpt_options = options_fp;
     arena.ckpt_binding = symbols;
   }
+  maybe_spill();
   if (outcome_out) *outcome_out = outcome;
   return result;
 }
 
 std::size_t MetricPipeline::event_storage_bytes() const {
   return arena_->trace.events.capacity_bytes();
+}
+
+void MetricPipeline::set_spill(std::size_t budget_bytes, std::string dir) {
+  spill_budget_bytes_ = budget_bytes;
+  spill_dir_ = std::move(dir);
+}
+
+void MetricPipeline::maybe_spill() {
+  if (spill_budget_bytes_ == 0) return;
+  EventList& events = arena_->trace.events;
+  if (events.spilled() || events.capacity_bytes() <= spill_budget_bytes_) {
+    return;
+  }
+  store::spill_event_list(events, spill_dir_);
 }
 
 }  // namespace dmv::sim

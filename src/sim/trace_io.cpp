@@ -7,11 +7,47 @@
 
 namespace dmv::sim {
 
+namespace {
+
+// Container names are one whitespace-delimited token in the header
+// line, so whitespace (and the escape character itself) must be
+// escaped: `\s` space, `\t` tab, `\n` newline, `\r` CR, `\\` backslash,
+// and `\e` for the empty name. Names without those characters are
+// written verbatim, keeping pre-escaping files byte-identical.
+std::string escape_name(const std::string& name) {
+  bool needs_escape = name.empty();
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\\') {
+      needs_escape = true;
+      break;
+    }
+  }
+  if (!needs_escape) return name;
+  if (name.empty()) return "\\e";
+  std::string out;
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    switch (c) {
+      case ' ': out += "\\s"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_name(const std::string& token, int line_number);
+
+}  // namespace
+
 void write_trace(const AccessTrace& trace, std::ostream& out) {
   out << "dmvtrace 1\n";
   for (std::size_t c = 0; c < trace.containers.size(); ++c) {
     const ConcreteLayout& layout = trace.layouts[c];
-    out << "container " << trace.containers[c] << ' '
+    out << "container " << escape_name(trace.containers[c]) << ' '
         << layout.element_size << ' ' << layout.base_address;
     for (std::int64_t extent : layout.shape) out << ' ' << extent;
     out << " ;";
@@ -38,6 +74,36 @@ namespace {
 [[noreturn]] void fail(int line, const std::string& message) {
   throw std::runtime_error("read_trace: line " + std::to_string(line) +
                            ": " + message);
+}
+
+std::string unescape_name(const std::string& token, int line_number) {
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\') {
+      out += token[i];
+      continue;
+    }
+    if (i + 1 == token.size()) {
+      fail(line_number, "dangling escape in container name");
+    }
+    switch (token[++i]) {
+      case 's': out += ' '; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case '\\': out += '\\'; break;
+      case 'e':
+        if (token != "\\e") {
+          fail(line_number, "'\\e' must be the whole container name");
+        }
+        break;
+      default:
+        fail(line_number, std::string("unknown escape '\\") + token[i] +
+                              "' in container name");
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -68,8 +134,10 @@ AccessTrace read_trace(std::istream& in) {
         fail(line_number, "expected 'container' or 'events'");
       }
       ConcreteLayout layout;
-      fields >> layout.name >> layout.element_size >> layout.base_address;
+      std::string name_token;
+      fields >> name_token >> layout.element_size >> layout.base_address;
       if (!fields) fail(line_number, "malformed container header");
+      layout.name = unescape_name(name_token, line_number);
       std::string token;
       bool strides = false;
       while (fields >> token) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dmv/workloads/workloads.hpp"
 
 namespace dmv::sim {
@@ -64,6 +66,85 @@ TEST(TraceIo, HandWrittenExternalTrace) {
   AccessCounts counts = count_accesses(trace);
   EXPECT_EQ(counts.reads[0][0], 2);
   EXPECT_EQ(counts.writes[0][5], 1);
+}
+
+TEST(TraceIo, HostileContainerNamesRoundTrip) {
+  // Names with whitespace or backslashes must survive the
+  // space-delimited header via escaping (`\s`, `\t`, `\n`, `\r`, `\\`,
+  // `\e` for the empty name).
+  AccessTrace original;
+  const std::vector<std::string> names = {
+      "plain",        "two words",   "tab\there",   "new\nline",
+      "carriage\rret", "back\\slash", "",            " lead and trail ",
+      "mix \\ \t all\n"};
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    ConcreteLayout layout;
+    layout.name = names[c];
+    layout.element_size = 8;
+    layout.base_address = static_cast<std::int64_t>(c) * 1024;
+    layout.shape = {4};
+    layout.strides = {1};
+    original.containers.push_back(layout.name);
+    original.layouts.push_back(std::move(layout));
+    AccessEvent event;
+    event.container = static_cast<std::int32_t>(c);
+    event.flat = static_cast<std::int64_t>(c % 4);
+    event.is_write = c % 2 == 0;
+    event.timestep = static_cast<std::int64_t>(c);
+    event.execution = 0;
+    original.events.push_back(event);
+  }
+  original.executions = 1;
+
+  const std::string text = trace_to_string(original);
+  // Header lines must stay single-line: escaping removed raw newlines.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            1 + names.size() + 1 + original.events.size());
+
+  AccessTrace restored = trace_from_string(text);
+  EXPECT_EQ(restored.containers, original.containers);
+  ASSERT_EQ(restored.layouts.size(), original.layouts.size());
+  for (std::size_t c = 0; c < original.layouts.size(); ++c) {
+    EXPECT_EQ(restored.layouts[c].name, original.layouts[c].name);
+  }
+  ASSERT_EQ(restored.events.size(), original.events.size());
+}
+
+TEST(TraceIo, SimpleNamesStayUnescaped) {
+  // Pre-escaping writers/readers only ever used bare tokens; names that
+  // need no escaping must be emitted verbatim for compatibility.
+  AccessTrace trace;
+  ConcreteLayout layout;
+  layout.name = "buffer";
+  layout.element_size = 4;
+  layout.base_address = 0;
+  layout.shape = {2};
+  layout.strides = {1};
+  trace.containers.push_back(layout.name);
+  trace.layouts.push_back(std::move(layout));
+  trace.executions = 0;
+  const std::string text = trace_to_string(trace);
+  EXPECT_NE(text.find("container buffer 4 0 2 ; 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(TraceIo, RejectsBadNameEscapes) {
+  // Unknown escape.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a\\qb 8 0 4 ; 1\n"
+                                 "events\n"),
+               std::runtime_error);
+  // Dangling escape at end of token.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a\\ 8 0 4 ; 1\n"
+                                 "events\n"),
+               std::runtime_error);
+  // `\e` only stands alone.
+  EXPECT_THROW(trace_from_string("dmvtrace 1\n"
+                                 "container a\\eb 8 0 4 ; 1\n"
+                                 "events\n"),
+               std::runtime_error);
 }
 
 TEST(TraceIo, RejectsMalformedInput) {

@@ -7,9 +7,17 @@ nonzero on any protocol error, checksum instability, or unexpected
 server exit code. CI runs this against a freshly built binary
 (docs/serving.md describes the protocol being exercised).
 
-Usage: serve_smoke.py [path/to/dmv_serve]
+The persistence flags turn it into the restart gate: run once with
+--cache-dir and --checksum-file to populate a warm-start directory and
+record the step checksums, then run again with --expect-disk-warm to
+assert the second server serves the same checksums from disk without
+re-simulating (docs/storage.md covers the cache-dir lifecycle).
+
+Usage: serve_smoke.py [path/to/dmv_serve] [--cache-dir DIR]
+                      [--checksum-file PATH] [--expect-disk-warm]
 """
 
+import argparse
 import json
 import subprocess
 import sys
@@ -23,9 +31,9 @@ def fail(message):
 
 
 class Client:
-    def __init__(self, binary):
+    def __init__(self, argv):
         self.proc = subprocess.Popen(
-            [binary],
+            argv,
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             text=True,
@@ -54,8 +62,28 @@ class Client:
 
 
 def main():
-    binary = sys.argv[1] if len(sys.argv) > 1 else "build/src/dmv_serve"
-    client = Client(binary)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", nargs="?", default="build/src/dmv_serve")
+    parser.add_argument(
+        "--cache-dir",
+        help="pass through to dmv_serve --cache-dir (persistent warm-start tier)",
+    )
+    parser.add_argument(
+        "--checksum-file",
+        help="record step checksums here, or compare against a prior recording",
+    )
+    parser.add_argument(
+        "--expect-disk-warm",
+        action="store_true",
+        help="require the cold drag to be served from the disk tier "
+        "(a restarted server re-serving a prior run's artifacts)",
+    )
+    args = parser.parse_args()
+
+    argv = [args.binary]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    client = Client(argv)
 
     opened = client.call(
         "open_program",
@@ -74,6 +102,11 @@ def main():
         for field in ("checksum", "executions", "served_by", "movement_bytes"):
             if field not in result:
                 fail(f"step response missing {field}: {result}")
+        if args.expect_disk_warm and result["served_by"] == "compute":
+            fail(
+                f"first visit of K={value} was computed, not served from "
+                f"the warm cache dir (served_by={result['served_by']!r})"
+            )
         first.append(result["checksum"])
 
     # Re-dragging the same values must return bit-identical checksums,
@@ -94,6 +127,13 @@ def main():
         fail(f"no cache hits after revisits: {session}")
     if stats.get("server", {}).get("errors", 1) != 0:
         fail(f"server counted errors during smoke: {stats.get('server')}")
+    disk_hits = stats.get("shared_cache", {}).get("disk_hits", 0)
+    if args.expect_disk_warm and disk_hits <= 0:
+        fail(
+            f"--expect-disk-warm but shared_cache.disk_hits == {disk_hits}: "
+            f"the server re-simulated instead of warm-starting from "
+            f"{args.cache_dir}"
+        )
 
     stopping = client.call("shutdown")
     if stopping.get("stopping") is not True:
@@ -102,9 +142,26 @@ def main():
     code = client.proc.wait(timeout=30)
     if code != 0:
         fail(f"dmv_serve exited with code {code}")
+
+    # Cross-run checksum comparison: the disk-warm run must serve bytes
+    # bit-identical to the run that populated the cache directory.
+    if args.checksum_file:
+        if args.expect_disk_warm:
+            with open(args.checksum_file) as handle:
+                recorded = json.load(handle)
+            if recorded != first:
+                fail(
+                    f"disk-warm checksums diverge from the recording in "
+                    f"{args.checksum_file}: {first} != {recorded}"
+                )
+        else:
+            with open(args.checksum_file, "w") as handle:
+                json.dump(first, handle)
+
+    mode = "disk-warm" if args.expect_disk_warm else "cold"
     print(
-        f"serve_smoke: OK ({len(DRAG)} cold + {len(DRAG)} warm steps, "
-        f"{session.get('hits')} hits, clean shutdown)"
+        f"serve_smoke: OK ({len(DRAG)} {mode} + {len(DRAG)} warm steps, "
+        f"{session.get('hits')} hits, {disk_hits} disk hits, clean shutdown)"
     )
 
 
