@@ -22,6 +22,11 @@
 //     vector) — all serial, all checksum-validated against each other;
 //   * stack-distance algorithm ablation: naive O(n^2) list scan vs the
 //     Fenwick-tree Olken pass on a size-capped trace;
+//   * metrics breakdown: the mergeable parallel metric engine vs the
+//     serial fused pass, per consumer (counts / distances / misses /
+//     element_stats / cache) and for the full set, full-result
+//     fingerprint-gated, with a thread-scaling series (or an explicit
+//     skip record on a 1-core runner);
 //   * session sweep: the same slider drag through dmv::session::Session
 //     — cold (fresh cache), warm (every binding already cached), and
 //     prefetched (fresh cache, speculative neighbor evaluation on) —
@@ -219,6 +224,134 @@ std::int64_t run_sweep(const SweepCase& sweep,
   std::int64_t total = 0;
   for (std::int64_t checksum : checksums) total += checksum;
   return total;
+}
+
+// ---- metrics_breakdown ----------------------------------------------
+//
+// The mergeable parallel metric engine vs the serial fused pass, over
+// pre-simulated traces (no simulation cost in either series). Gated on
+// an FNV-1a fingerprint of EVERY PipelineResult field — a stronger
+// check than the additive checksums above, because the engine's merge
+// order must reproduce the serial pass bit for bit, not just in
+// aggregate. Measured per consumer (counts / distances / misses /
+// element_stats / cache) and for the full consumer set; the full set
+// also gets a thread-scaling series (or an explicit skip record on a
+// 1-core runner). The 1-thread ratio is a real speedup even without a
+// pool: the engine's SIMD line derivation, flat-array LRU sets, and
+// fissioned consumer loops beat the serial pass's per-event dispatch.
+
+std::uint64_t fnv_fold(std::uint64_t hash, std::int64_t value) {
+  hash ^= static_cast<std::uint64_t>(value);
+  return hash * 1099511628211ull;
+}
+
+std::uint64_t result_fingerprint(const dmv::sim::PipelineResult& result) {
+  std::uint64_t hash = 1469598103934665603ull;
+  hash = fnv_fold(hash, result.events);
+  hash = fnv_fold(hash, result.executions);
+  hash = fnv_fold(hash, static_cast<std::int64_t>(result.containers.size()));
+  for (const auto& column : result.counts.reads) {
+    for (std::int64_t v : column) hash = fnv_fold(hash, v);
+  }
+  for (const auto& column : result.counts.writes) {
+    for (std::int64_t v : column) hash = fnv_fold(hash, v);
+  }
+  hash = fnv_fold(hash, result.distances.line_size);
+  for (std::int64_t d : result.distances.distances) hash = fnv_fold(hash, d);
+  hash = fnv_fold(hash, result.misses.threshold_lines);
+  for (const auto& column : result.misses.element_misses) {
+    for (std::int64_t v : column) hash = fnv_fold(hash, v);
+  }
+  for (const auto& stats : result.misses.per_container) {
+    hash = fnv_fold(hash, stats.cold);
+    hash = fnv_fold(hash, stats.capacity);
+    hash = fnv_fold(hash, stats.hits);
+  }
+  hash = fnv_fold(hash, result.misses.total.cold);
+  hash = fnv_fold(hash, result.misses.total.capacity);
+  hash = fnv_fold(hash, result.misses.total.hits);
+  for (const auto& stats : result.element_stats) {
+    for (std::int64_t v : stats.min) hash = fnv_fold(hash, v);
+    for (std::int64_t v : stats.median) hash = fnv_fold(hash, v);
+    for (std::int64_t v : stats.max) hash = fnv_fold(hash, v);
+    for (std::int64_t v : stats.cold_count) hash = fnv_fold(hash, v);
+  }
+  hash = fnv_fold(hash, result.cache.config.line_size);
+  hash = fnv_fold(hash, result.cache.config.total_size);
+  hash = fnv_fold(hash, result.cache.config.ways);
+  for (const auto& stats : result.cache.per_container) {
+    hash = fnv_fold(hash, stats.cold);
+    hash = fnv_fold(hash, stats.capacity);
+    hash = fnv_fold(hash, stats.hits);
+  }
+  hash = fnv_fold(hash, result.cache.total.cold);
+  hash = fnv_fold(hash, result.cache.total.capacity);
+  hash = fnv_fold(hash, result.cache.total.hits);
+  hash = fnv_fold(hash, result.movement.line_size);
+  for (std::int64_t v : result.movement.bytes_per_container) {
+    hash = fnv_fold(hash, v);
+  }
+  hash = fnv_fold(hash, result.movement.total_bytes);
+  return hash;
+}
+
+// The breakdown's headline config: the bench metric set PLUS the exact
+// cache simulation (the consumer the set-partitioned engine speeds up
+// most) and movement.
+dmv::sim::PipelineConfig breakdown_config() {
+  dmv::sim::PipelineConfig config = bench_config();
+  config.cache = dmv::sim::CacheConfig{};
+  config.movement = true;
+  return config;
+}
+
+// One consumer's drive over the pre-simulated traces. `merged` selects
+// the engine; min_events 0 so the engine always engages when asked.
+std::uint64_t run_metric_engine(const std::vector<AccessTrace>& traces,
+                                dmv::sim::PipelineConfig config,
+                                bool merged) {
+  config.parallel_metrics = merged;
+  config.parallel_metrics_min_events = 0;
+  dmv::sim::MetricPipeline pipeline(config);
+  std::uint64_t hash = 0;
+  for (const AccessTrace& trace : traces) {
+    hash ^= result_fingerprint(pipeline.run(trace));
+  }
+  return hash;
+}
+
+// Fingerprint gate shared by the full run and --smoke: the engine at 8
+// (oversubscribed) threads must reproduce the serial fused pass's full
+// result fingerprint for every consumer subset.
+bool validate_metric_merge(const SweepCase& sweep,
+                           const SimulationOptions& options) {
+  std::vector<AccessTrace> traces;
+  for (const SymbolMap& binding : sweep.bindings) {
+    traces.push_back(dmv::sim::simulate(sweep.sdfg, binding, options));
+  }
+  dmv::sim::PipelineConfig cache_only;
+  cache_only.counts = false;
+  cache_only.cache = dmv::sim::CacheConfig{};
+  const dmv::sim::PipelineConfig configs[] = {breakdown_config(),
+                                              cache_only};
+  for (const dmv::sim::PipelineConfig& config : configs) {
+    std::uint64_t serial = 0;
+    std::uint64_t merged = 0;
+    {
+      dmv::par::ThreadScope scope(1);
+      serial = run_metric_engine(traces, config, /*merged=*/false);
+    }
+    {
+      dmv::par::ThreadScope scope(8);
+      merged = run_metric_engine(traces, config, /*merged=*/true);
+    }
+    if (serial != merged) {
+      std::cerr << "FATAL: metric merge fingerprint mismatch on "
+                << sweep.name << "\n";
+      return false;
+    }
+  }
+  return true;
 }
 
 // ---- symbolic_ops ----------------------------------------------------
@@ -538,13 +671,15 @@ int run_smoke() {
     if (!validate_symbolic_ops(sweep, /*rounds=*/2)) return 1;
     if (!validate_delta_recompute(sweep, compiled)) return 1;
     if (!validate_trace_store(sweep, compiled)) return 1;
+    if (!validate_metric_merge(sweep, compiled)) return 1;
     std::cout << "smoke " << sweep.name
               << ": unfused == fused == streaming == session, "
               << "serial trace == parallel trace (8 threads), "
               << "batched trace (W=4/8) == scalar, "
               << "symbolic_ops memoized == legacy, "
               << "delta recompute == cold, "
-              << "trace store round-trip == source\n";
+              << "trace store round-trip == source, "
+              << "merged metrics (8 threads) == serial fused\n";
   }
   std::cout << "smoke OK\n";
   return 0;
@@ -693,6 +828,86 @@ int main(int argc, char** argv) {
     const double metrics_fused_speedup =
         metrics_unfused.best_ms / metrics_fused.best_ms;
 
+    // Mergeable metric engine breakdown: serial fused pass vs the
+    // partitioned engine, per consumer and for the full set, over the
+    // same pre-simulated traces. Full-result fingerprints gate every
+    // pair. Both headline series run at 1 thread, so the ratio isolates
+    // the engine's single-core wins (SIMD line derivation, flat LRU
+    // arrays, fissioned loops) from pool scaling, which gets its own
+    // series below.
+    struct ConsumerSeries {
+      const char* name;
+      dmv::sim::PipelineConfig config;
+      Measurement serial;
+      Measurement merged;
+    };
+    std::vector<ConsumerSeries> breakdown;
+    {
+      dmv::sim::PipelineConfig counts_only;
+      breakdown.push_back({"counts", counts_only, {}, {}});
+      dmv::sim::PipelineConfig distances_only;
+      distances_only.counts = false;
+      distances_only.keep_distances = true;
+      breakdown.push_back({"distances", distances_only, {}, {}});
+      dmv::sim::PipelineConfig misses_only;
+      misses_only.counts = false;
+      misses_only.miss_threshold_lines = 512;
+      breakdown.push_back({"misses", misses_only, {}, {}});
+      dmv::sim::PipelineConfig stats_only;
+      stats_only.counts = false;
+      stats_only.element_stats = true;
+      breakdown.push_back({"element_stats", stats_only, {}, {}});
+      dmv::sim::PipelineConfig cache_only;
+      cache_only.counts = false;
+      cache_only.cache = dmv::sim::CacheConfig{};
+      breakdown.push_back({"cache", cache_only, {}, {}});
+      breakdown.push_back({"all", breakdown_config(), {}, {}});
+    }
+    dmv::par::set_num_threads(1);
+    for (ConsumerSeries& series : breakdown) {
+      series.serial = measure(
+          [&] {
+            return static_cast<std::int64_t>(
+                run_metric_engine(traces, series.config, /*merged=*/false));
+          },
+          repetitions);
+      series.merged = measure(
+          [&] {
+            return static_cast<std::int64_t>(
+                run_metric_engine(traces, series.config, /*merged=*/true));
+          },
+          repetitions);
+      if (series.serial.checksum != series.merged.checksum) {
+        std::cerr << "FATAL: metrics_breakdown fingerprint mismatch on "
+                  << sweep.name << " consumer " << series.name << "\n";
+        return 1;
+      }
+    }
+    const ConsumerSeries& breakdown_all = breakdown.back();
+    const double breakdown_speedup =
+        breakdown_all.serial.best_ms / breakdown_all.merged.best_ms;
+    // Multi-core scaling of the full consumer set (engine partitions
+    // track the knob); recorded as skipped on a 1-core runner.
+    std::vector<std::pair<int, Measurement>> breakdown_threads;
+    if (hardware > 1) {
+      for (const int threads : {2, 8}) {
+        dmv::par::set_num_threads(threads);
+        const Measurement at_threads = measure(
+            [&] {
+              return static_cast<std::int64_t>(run_metric_engine(
+                  traces, breakdown_all.config, /*merged=*/true));
+            },
+            repetitions);
+        if (at_threads.checksum != breakdown_all.serial.checksum) {
+          std::cerr << "FATAL: metrics_breakdown thread mismatch on "
+                    << sweep.name << " at " << threads << " threads\n";
+          return 1;
+        }
+        breakdown_threads.emplace_back(threads, at_threads);
+      }
+      dmv::par::set_num_threads(1);
+    }
+
     // Trace store: compression ratio and pack/unpack throughput over
     // the same materialized traces (the out-of-core backing format).
     // Identity gate on the order-sensitive trace checksum per binding.
@@ -806,6 +1021,22 @@ int main(int argc, char** argv) {
     std::cout << "  metrics only: unfused " << metrics_unfused.best_ms
               << " ms, fused " << metrics_fused.best_ms << " ms ("
               << metrics_fused_speedup << "x)\n";
+    std::cout << "  metrics breakdown (1 thread, fingerprint-gated):";
+    for (const ConsumerSeries& series : breakdown) {
+      std::cout << " " << series.name << " " << series.serial.best_ms
+                << "->" << series.merged.best_ms << " ms";
+    }
+    std::cout << "  (all: " << breakdown_speedup << "x)\n";
+    if (breakdown_threads.empty()) {
+      std::cout << "  metrics breakdown scaling: skipped (1 hardware "
+                   "thread)\n";
+    } else {
+      std::cout << "  metrics breakdown scaling:";
+      for (const auto& [threads, at_threads] : breakdown_threads) {
+        std::cout << " " << threads << "t " << at_threads.best_ms << " ms";
+      }
+      std::cout << "\n";
+    }
     std::cout << "  trace store: " << store_events << " events, raw "
               << store_raw_bytes << " B, packed " << store_packed_bytes
               << " B (" << store_ratio << "x), pack "
@@ -864,6 +1095,37 @@ int main(int argc, char** argv) {
          << ",\n";
     json << "        \"metrics_fused_speedup\": " << metrics_fused_speedup
          << "\n";
+    json << "      },\n";
+    json << "      \"metrics_breakdown\": {\n";
+    json << "        \"consumers\": [\n";
+    for (std::size_t s = 0; s < breakdown.size(); ++s) {
+      const ConsumerSeries& series = breakdown[s];
+      json << "          {\"name\": \"" << series.name
+           << "\", \"serial_ms\": " << series.serial.best_ms
+           << ", \"merged_ms\": " << series.merged.best_ms
+           << ", \"speedup\": "
+           << series.serial.best_ms / series.merged.best_ms << "}"
+           << (s + 1 < breakdown.size() ? "," : "") << "\n";
+    }
+    json << "        ],\n";
+    json << "        \"serial_ms\": " << breakdown_all.serial.best_ms
+         << ",\n";
+    json << "        \"merged_ms\": " << breakdown_all.merged.best_ms
+         << ",\n";
+    json << "        \"speedup\": " << breakdown_speedup << ",\n";
+    json << "        \"fingerprint_identical\": true,\n";
+    if (breakdown_threads.empty()) {
+      json << "        \"thread_scaling\": \"skipped (1 hardware thread)\"\n";
+    } else {
+      json << "        \"thread_scaling\": [\n";
+      for (std::size_t t = 0; t < breakdown_threads.size(); ++t) {
+        json << "          {\"threads\": " << breakdown_threads[t].first
+             << ", \"merged_ms\": " << breakdown_threads[t].second.best_ms
+             << "}" << (t + 1 < breakdown_threads.size() ? "," : "")
+             << "\n";
+      }
+      json << "        ]\n";
+    }
     json << "      },\n";
     json << "      \"trace_store\": {\n";
     json << "        \"events\": " << store_events << ",\n";

@@ -152,6 +152,24 @@ void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
   });
 }
 
+/// Runs task(0) .. task(count - 1) on the pool — the heterogeneous-task
+/// counterpart of parallel_for (each index is one whole task, not a
+/// block of a range). Tasks may run in any order and concurrently, and
+/// the call returns after all completed; per-task writes must be
+/// disjoint. Serial in-order fallback when the knob is 1, count == 1,
+/// the pool is busy, or inside a pool task — callers whose tasks are
+/// pure functions of their index get bit-identical results at any
+/// thread count.
+template <typename Task>
+void parallel_tasks(std::size_t count, Task&& task) {
+  if (count == 0) return;
+  if (count == 1 || num_threads() <= 1) {
+    for (std::size_t t = 0; t < count; ++t) task(t);
+    return;
+  }
+  detail::run_tasks(count, [&](std::size_t t) { task(t); });
+}
+
 /// Deterministic map/reduce over the contiguous block partition of
 /// [0, n): `block(begin, end) -> T` runs per block (possibly in
 /// parallel), then `join(accumulator, block_result)` runs serially in

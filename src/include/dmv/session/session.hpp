@@ -142,6 +142,17 @@ struct SessionStats {
   std::int64_t steps_symbolic = 0;
   std::int64_t steps_chunk_delta = 0;
   std::int64_t steps_cold = 0;
+
+  // --- Pipeline phase breakdown --------------------------------------
+  // Accumulated from MetricPipeline::last_timings() over every
+  // non-speculative metric evaluation this session ran (cache hits and
+  // prefetch evaluations add nothing). Observability only — never part
+  // of an artifact or cache key.
+  double simulate_ms = 0.0;  ///< Trace generation / patch phase ms.
+  double metrics_ms = 0.0;   ///< Metric consumption + finalize ms.
+  /// Metric worker partitions of the MOST RECENT evaluation (1 = serial
+  /// fused pass; >1 = the mergeable parallel engine ran).
+  int metric_partitions = 1;
 };
 
 /// One interactive client: a program, a current binding, a metric

@@ -59,6 +59,19 @@ struct PipelineConfig {
   /// Physical movement estimate; requires miss_threshold_lines > 0
   /// (physical_movement).
   bool movement = false;
+  /// Drive materialized runs through the mergeable parallel metric
+  /// engine (partitioned cache sets, two-phase stack distances,
+  /// per-segment consumer partials). Results are bit-identical to the
+  /// serial fused pass, so — like SimulationOptions::parallel_trace —
+  /// this is a pure execution strategy: NOT part of fingerprint() and
+  /// never in cache keys. The serial pass remains the fallback (and the
+  /// identity reference) whenever the engine cannot run.
+  bool parallel_metrics = true;
+  /// Below this many events the serial fused pass runs even with
+  /// parallel_metrics set (engine setup outweighs the win). Tests and
+  /// benches set 0 to force the engine. Also excluded from
+  /// fingerprint().
+  std::int64_t parallel_metrics_min_events = 8192;
 
   bool needs_distances() const {
     return miss_threshold_lines > 0 || keep_distances || element_stats ||
@@ -106,10 +119,27 @@ struct DeltaOutcome {
   const char* reason = "";
 };
 
+/// Wall-clock breakdown of the most recent run/run_streaming/run_delta
+/// call — observability only (surfaced through session::SessionStats
+/// and dmv_serve `stats`), never part of a result or cache key.
+struct PhaseTimings {
+  /// Trace generation / patching ms (0 for run(trace); for the fused
+  /// generation+metrics path this covers the overlapped chunk stage,
+  /// including per-chunk line derivation; run_streaming interleaves
+  /// generation and consumption, so its whole cost lands here).
+  double simulate_ms = 0.0;
+  /// Metric consumption + finalize ms.
+  double metrics_ms = 0.0;
+  /// Largest metric worker-partition count used (1 = serial fused pass).
+  int partitions = 1;
+};
+
 /// Stable 64-bit fingerprint of a config, folding in every field that
 /// can change an output. Two configs with equal fingerprints produce
 /// identical results for the same trace; the session layer uses it as
-/// the metric-config component of its cache keys.
+/// the metric-config component of its cache keys. parallel_metrics and
+/// parallel_metrics_min_events are deliberately excluded — they are
+/// bit-identical execution strategies.
 std::uint64_t fingerprint(const PipelineConfig& config);
 
 /// Approximate heap footprint of a result's payload (vectors; the
@@ -196,13 +226,23 @@ class MetricPipeline {
   /// part of fingerprint() and never enters cache keys.
   void set_spill(std::size_t budget_bytes, std::string dir);
 
+  /// Phase breakdown of the most recent run/run_streaming/run_delta
+  /// call (see PhaseTimings).
+  const PhaseTimings& last_timings() const { return timings_; }
+
  private:
   PipelineConfig config_;
   struct Arena;
   std::unique_ptr<Arena> arena_;
   std::size_t spill_budget_bytes_ = 0;
   std::string spill_dir_;
+  PhaseTimings timings_;
 
+  bool try_run_mergeable(const AccessTrace& trace, PipelineResult& result,
+                         int& partitions);
+  bool try_run_fused_generation(const Sdfg& sdfg, const SymbolMap& symbols,
+                                const SimulationOptions& options,
+                                PipelineResult& result);
   void maybe_spill();
 };
 

@@ -402,9 +402,12 @@ class EventList {
   bool spilled() const { return static_cast<bool>(restore_); }
 
   /// Faults a spilled list back in (no-op when resident). Call this
-  /// before handing the list to parallel workers: fault-in itself is
-  /// not thread-safe, and set()/the span accessors assume a resident
-  /// list inside parallel regions.
+  /// EXACTLY ONCE, on the calling thread, before any fan-out that hands
+  /// column spans (or set()/assign_range slices) to parallel workers:
+  /// fault-in itself is not thread-safe, and every accessor assumes a
+  /// resident list inside parallel regions. The metric pipeline and the
+  /// delta patch phase both follow this contract before dispatching
+  /// their chunk/segment workers.
   void ensure_resident() const { fault_in(); }
 
  private:

@@ -378,6 +378,9 @@ struct Server::Impl {
     result["steps_symbolic"] = Value::of(stats.steps_symbolic);
     result["steps_chunk_delta"] = Value::of(stats.steps_chunk_delta);
     result["steps_cold"] = Value::of(stats.steps_cold);
+    result["simulate_ms"] = Value::of(stats.simulate_ms);
+    result["metrics_ms"] = Value::of(stats.metrics_ms);
+    result["metric_partitions"] = Value::of(stats.metric_partitions);
     return result;
   }
 

@@ -282,6 +282,10 @@ struct Session::Impl {
       note_step(outcome.path == sim::DeltaOutcome::Path::kCold
                     ? kStepCold
                     : kStepChunkDelta);
+      const sim::PhaseTimings& timings = pipeline.last_timings();
+      stats.simulate_ms += timings.simulate_ms;
+      stats.metrics_ms += timings.metrics_ms;
+      stats.metric_partitions = timings.partitions;
       insert(key, result, sim::approx_size_bytes(*result),
              /*prefetched=*/false);
     }

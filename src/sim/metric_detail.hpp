@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,36 @@ class Fenwick {
   std::vector<std::int8_t> marks_;   ///< Raw marks, for rebuilds.
   std::size_t capacity_ = 0;
 };
+
+// Set-associative geometry shared by the serial fused cache consumer
+// and the set-partitioned mergeable one (same derivation and the same
+// validation errors, so both paths reject a bad config identically).
+struct CacheGeometry {
+  std::int64_t ways = 0;
+  std::int64_t num_sets = 1;
+};
+
+inline CacheGeometry cache_geometry(const CacheConfig& config) {
+  if (config.line_size <= 0 || config.total_size <= 0) {
+    throw std::invalid_argument("simulate_cache: bad cache geometry");
+  }
+  const std::int64_t total_lines = config.total_size / config.line_size;
+  if (total_lines <= 0) {
+    throw std::invalid_argument("simulate_cache: cache smaller than a line");
+  }
+  CacheGeometry geometry;
+  geometry.ways = config.ways;
+  if (geometry.ways == 0) {
+    geometry.ways = total_lines;  // Fully associative.
+  } else {
+    geometry.num_sets = total_lines / geometry.ways;
+    if (geometry.num_sets <= 0) {
+      throw std::invalid_argument(
+          "simulate_cache: associativity exceeds cache size");
+    }
+  }
+  return geometry;
+}
 
 // Per-container address decoding, hoisted out of the per-event loops.
 // The common case (dense row-major, no start offset) maps flat -> byte

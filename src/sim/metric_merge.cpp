@@ -1,0 +1,670 @@
+#include "metric_merge.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dmv/par/par.hpp"
+
+namespace dmv::sim::merge {
+
+namespace {
+
+// Worker-partition caps. All of them bound setup/merge overhead, none
+// of them affect results (every phase is exact at any partition count):
+//   * distance segments pay ~n * (P + 1) / 2 total Fenwick build work,
+//   * cache partitions each scan the whole line column once,
+//   * consumer segments each hold per-element partial arrays.
+constexpr std::size_t kMaxDistanceSegments = 8;
+constexpr std::size_t kMaxCachePartitions = 8;
+constexpr std::size_t kMaxConsumerSegments = 8;
+constexpr std::size_t kMaxPrevSegments = 16;
+// Below this many events per segment, more segments only add overhead.
+constexpr std::size_t kMinSegmentEvents = 4096;
+// Per-consumer-segment partial arrays are capped at this many bytes in
+// total (fewer segments for element-heavy traces).
+constexpr std::size_t kPartialBudgetBytes = std::size_t{128} << 20;
+// Dense slice-local last-seen tables are capped at this many total
+// entries across all live slots (hash fallback above).
+constexpr std::int64_t kLocalDenseEntries = std::int64_t{1} << 25;
+// Flat MRU-first array LRU up to this associativity; list + hash above.
+constexpr std::int64_t kSmallWays = 64;
+
+std::size_t threads() {
+  return static_cast<std::size_t>(std::max(1, par::num_threads()));
+}
+
+}  // namespace
+
+void LineDeriver::reset(const std::vector<layout::ConcreteLayout>& layouts,
+                        int line_size) {
+  addressing_ = detail::addressing_for(layouts);
+  line_size_ = line_size;
+  base_.resize(layouts.size());
+  esize_.resize(layouts.size());
+  bool fast = line_size > 0 && (line_size & (line_size - 1)) == 0;
+  for (std::size_t c = 0; c < addressing_.size(); ++c) {
+    base_[c] = addressing_[c].base;
+    esize_[c] = addressing_[c].element_size;
+    fast = fast && addressing_[c].contiguous && addressing_[c].base >= 0;
+  }
+  shift_ = -1;
+  if (fast) {
+    int shift = 0;
+    while ((1 << shift) != line_size) ++shift;
+    shift_ = shift;
+  }
+}
+
+void LineDeriver::derive(const std::int32_t* containers,
+                         const std::int64_t* flats, std::size_t begin,
+                         std::size_t end, std::int64_t* out) const {
+  if (shift_ >= 0) {
+    const std::int64_t* base = base_.data();
+    const std::int64_t* esize = esize_.data();
+    const int shift = shift_;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t c = static_cast<std::size_t>(containers[i]);
+      out[i] = (base[c] + flats[i] * esize[c]) >> shift;
+    }
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    out[i] = addressing_[static_cast<std::size_t>(containers[i])].line_of(
+        flats[i], line_size_);
+  }
+}
+
+void PrevBuilder::begin(Scratch& scratch, std::size_t n, std::int64_t lo,
+                        std::int64_t span, std::size_t slots) {
+  lo_ = lo;
+  span_ = span;
+  dense_local_ =
+      span <= kLocalDenseEntries / static_cast<std::int64_t>(
+                                       std::max<std::size_t>(1, slots));
+  scratch.prev.resize(n);
+  scratch.global_last.assign(static_cast<std::size_t>(span), -1);
+  if (scratch.local_seen.size() < slots) scratch.local_seen.resize(slots);
+  if (scratch.boundaries.size() < slots) scratch.boundaries.resize(slots);
+}
+
+void PrevBuilder::local_slice(Scratch& scratch, const std::int64_t* lines,
+                              std::size_t begin, std::size_t end,
+                              std::size_t slot) const {
+  LocalSeen& seen = scratch.local_seen[slot];
+  std::vector<Boundary>& boundary = scratch.boundaries[slot];
+  boundary.clear();
+  if (dense_local_) {
+    seen.reset_dense(lo_, span_);
+  } else {
+    seen.reset_hash(end - begin);
+  }
+  std::int64_t* prev = scratch.prev.data();
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::int64_t line = lines[i];
+    const std::int64_t prior =
+        seen.exchange(line, static_cast<std::int64_t>(i));
+    if (prior >= 0) {
+      prev[i] = prior;
+    } else {
+      boundary.push_back({line, static_cast<std::int64_t>(i), 0});
+    }
+  }
+  for (Boundary& b : boundary) b.last = seen.get(b.line);
+}
+
+void PrevBuilder::stitch_slice(Scratch& scratch, std::size_t slot) const {
+  std::int64_t* prev = scratch.prev.data();
+  std::int64_t* global_last = scratch.global_last.data();
+  for (const Boundary& b : scratch.boundaries[slot]) {
+    const std::size_t at = static_cast<std::size_t>(b.line - lo_);
+    prev[static_cast<std::size_t>(b.first)] = global_last[at];
+    global_last[at] = b.last;
+  }
+}
+
+void compute_prev(Scratch& scratch, std::span<const std::int64_t> lines,
+                  std::int64_t lo, std::int64_t span) {
+  const std::size_t n = lines.size();
+  const std::size_t parts =
+      segment_count(n, std::min(threads(), kMaxPrevSegments),
+                    kMinSegmentEvents);
+  PrevBuilder builder;
+  builder.begin(scratch, n, lo, span, parts);
+  par::parallel_tasks(parts, [&](std::size_t k) {
+    builder.local_slice(scratch, lines.data(), segment_begin(n, parts, k),
+                        segment_begin(n, parts, k + 1), k);
+  });
+  for (std::size_t k = 0; k < parts; ++k) builder.stitch_slice(scratch, k);
+}
+
+bool needs_prev_pass(std::size_t n) {
+  return segment_count(n, std::min(threads(), kMaxDistanceSegments),
+                       kMinSegmentEvents) > 1;
+}
+
+void widen_bounds(std::span<const std::int64_t> lines, std::int64_t& lo,
+                  std::int64_t& hi) {
+  struct MinMax {
+    std::int64_t lo;
+    std::int64_t hi;
+  };
+  const MinMax folded = par::parallel_reduce(
+      lines.size(), std::size_t{1} << 16, MinMax{lo, hi},
+      [&](std::size_t begin, std::size_t end) {
+        MinMax local{std::numeric_limits<std::int64_t>::max(),
+                     std::numeric_limits<std::int64_t>::min()};
+        for (std::size_t i = begin; i < end; ++i) {
+          local.lo = std::min(local.lo, lines[i]);
+          local.hi = std::max(local.hi, lines[i]);
+        }
+        return local;
+      },
+      [](MinMax& acc, MinMax&& block) {
+        acc.lo = std::min(acc.lo, block.lo);
+        acc.hi = std::max(acc.hi, block.hi);
+      });
+  lo = folded.lo;
+  hi = folded.hi;
+}
+
+namespace {
+
+// Phase B over one segment [s, e): rebuild the serial Fenwick state at
+// event s from the next-occurrence array, then run the exact serial
+// Olken update loop. With one segment `next` is not needed (null).
+void count_segment(Scratch& scratch, std::size_t k, std::size_t s,
+                   std::size_t e, bool use_next) {
+  Fenwick32& fen = scratch.fenwicks[k];
+  fen.reset_marked(e, use_next ? scratch.next.data() : nullptr,
+                   use_next ? s : 0, static_cast<std::int64_t>(s));
+  const std::int64_t* prev = scratch.prev.data();
+  std::int64_t* distances = scratch.distances.data();
+  for (std::size_t i = s; i < e; ++i) {
+    const std::int64_t p = prev[i];
+    std::int64_t distance;
+    if (p < 0) {
+      distance = kInfiniteDistance;
+    } else {
+      const std::size_t position = static_cast<std::size_t>(p);
+      distance = fen.range(position + 1, i);
+      fen.add(position, -1);
+    }
+    fen.add(i, +1);
+    distances[i] = distance;
+  }
+}
+
+// Single-segment phase B with no phase A: the fused last-seen Olken
+// loop over the line column. The running last table holds exactly
+// prev[i] when event i is processed, so the arithmetic — and every
+// resulting distance — is identical to count_segment over one segment;
+// this variant just avoids materializing prev in a separate scan.
+void count_all_fused(Scratch& scratch, std::span<const std::int64_t> lines,
+                     std::int64_t lo, std::int64_t span) {
+  const std::size_t n = lines.size();
+  Fenwick32& fen = scratch.fenwicks[0];
+  fen.reset_marked(n, nullptr, 0, 0);
+  scratch.global_last.assign(static_cast<std::size_t>(span), -1);
+  std::int64_t* last = scratch.global_last.data();
+  std::int64_t* distances = scratch.distances.data();
+  // Every mark sits at a position < i (each line's most recent
+  // occurrence), so range(p + 1, i) == distinct_lines - prefix(p):
+  // one tree descent per event instead of two.
+  std::int64_t distinct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t& slot = last[static_cast<std::size_t>(lines[i] - lo)];
+    const std::int64_t p = slot;
+    std::int64_t distance;
+    if (p < 0) {
+      distance = kInfiniteDistance;
+      ++distinct;
+    } else {
+      const std::size_t position = static_cast<std::size_t>(p);
+      distance = distinct - fen.prefix(position);
+      fen.add(position, -1);
+    }
+    fen.add(i, +1);
+    slot = static_cast<std::int64_t>(i);
+    distances[i] = distance;
+  }
+}
+
+// One cache partition: scan the whole line column, simulate only the
+// sets in [set_begin, set_begin + set_count). A line maps to exactly
+// one set, so partitions touch disjoint LRU state and disjoint `seen`
+// bytes, and each per-set access subsequence equals the serial one.
+void cache_partition_pass(const detail::CacheGeometry& geometry,
+                          std::span<const std::int32_t> containers,
+                          std::span<const std::int64_t> cache_lines,
+                          std::int64_t cache_lo, std::size_t num_containers,
+                          std::int64_t set_begin, std::int64_t set_count,
+                          CachePartition& part,
+                          std::vector<std::uint8_t>& seen) {
+  part.per_container.assign(num_containers, {});
+  const std::int64_t ways = geometry.ways;
+  const std::int64_t num_sets = geometry.num_sets;
+  const bool small = ways <= kSmallWays;
+  if (small) {
+    part.small.assign(
+        static_cast<std::size_t>(set_count * ways), -1);
+    part.wide.clear();
+  } else {
+    part.wide.clear();
+    part.wide.resize(static_cast<std::size_t>(set_count));
+    part.small.clear();
+  }
+  const bool pow2 = (num_sets & (num_sets - 1)) == 0;
+  const std::int64_t mask = num_sets - 1;
+  const std::size_t n = cache_lines.size();
+  std::uint8_t* seen_data = seen.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t line = cache_lines[i];
+    const std::int64_t set = pow2 ? (line & mask) : (line % num_sets);
+    const std::uint64_t local =
+        static_cast<std::uint64_t>(set - set_begin);
+    if (local >= static_cast<std::uint64_t>(set_count)) continue;
+    MissStats& stats =
+        part.per_container[static_cast<std::size_t>(containers[i])];
+    if (small) {
+      std::int64_t* entry =
+          part.small.data() + static_cast<std::size_t>(local) *
+                                  static_cast<std::size_t>(ways);
+      std::int64_t found = -1;
+      for (std::int64_t w = 0; w < ways; ++w) {
+        const std::int64_t resident = entry[w];
+        if (resident == line) {
+          found = w;
+          break;
+        }
+        if (resident < 0) break;  // Empty tail — not resident.
+      }
+      if (found >= 0) {
+        ++stats.hits;
+        for (std::int64_t w = found; w > 0; --w) entry[w] = entry[w - 1];
+        entry[0] = line;
+      } else {
+        std::uint8_t& was_seen =
+            seen_data[static_cast<std::size_t>(line - cache_lo)];
+        if (!was_seen) {
+          was_seen = 1;
+          ++stats.cold;
+        } else {
+          ++stats.capacity;
+        }
+        for (std::int64_t w = ways - 1; w > 0; --w) entry[w] = entry[w - 1];
+        entry[0] = line;
+      }
+    } else {
+      WideSet& set_state = part.wide[static_cast<std::size_t>(local)];
+      auto it = set_state.where.find(line);
+      if (it != set_state.where.end()) {
+        ++stats.hits;
+        set_state.lru.splice(set_state.lru.begin(), set_state.lru,
+                             it->second);
+      } else {
+        std::uint8_t& was_seen =
+            seen_data[static_cast<std::size_t>(line - cache_lo)];
+        if (!was_seen) {
+          was_seen = 1;
+          ++stats.cold;
+        } else {
+          ++stats.capacity;
+        }
+        set_state.lru.push_front(line);
+        set_state.where[line] = set_state.lru.begin();
+        if (static_cast<std::int64_t>(set_state.lru.size()) > ways) {
+          set_state.where.erase(set_state.lru.back());
+          set_state.lru.pop_back();
+        }
+      }
+    }
+  }
+}
+
+// One consumer segment: tight fissioned loops per enabled consumer over
+// the SoA columns, filling this segment's partial tallies only.
+void consume_segment(const PipelineConfig& config, const AccessTrace& header,
+                     std::span<const std::int32_t> containers,
+                     std::span<const std::int64_t> flats,
+                     std::span<const std::uint8_t> writes,
+                     const std::int64_t* distances, std::size_t s,
+                     std::size_t e, ConsumerPartial& part) {
+  const std::size_t num_containers = header.layouts.size();
+  if (config.counts) {
+    part.reads.resize(num_containers);
+    part.writes.resize(num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      part.reads[c].assign(
+          static_cast<std::size_t>(header.layouts[c].total_elements()), 0);
+      part.writes[c].assign(
+          static_cast<std::size_t>(header.layouts[c].total_elements()), 0);
+    }
+    // Branch-free column select: rw[0] = per-container read arrays,
+    // rw[1] = write arrays.
+    std::vector<std::int64_t*> rw(2 * num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      rw[c] = part.reads[c].data();
+      rw[num_containers + c] = part.writes[c].data();
+    }
+    for (std::size_t i = s; i < e; ++i) {
+      const std::size_t c = static_cast<std::size_t>(containers[i]);
+      ++rw[(writes[i] ? num_containers : 0) + c]
+          [static_cast<std::size_t>(flats[i])];
+    }
+  }
+  if (config.miss_threshold_lines > 0) {
+    part.misses.assign(num_containers, {});
+    part.element_misses.resize(num_containers);
+    std::vector<std::int64_t*> element(num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      part.element_misses[c].assign(
+          static_cast<std::size_t>(header.layouts[c].total_elements()), 0);
+      element[c] = part.element_misses[c].data();
+    }
+    const std::int64_t threshold = config.miss_threshold_lines;
+    for (std::size_t i = s; i < e; ++i) {
+      const std::size_t c = static_cast<std::size_t>(containers[i]);
+      const std::int64_t distance = distances[i];
+      MissStats& stats = part.misses[c];
+      if (distance == kInfiniteDistance) {
+        ++stats.cold;
+        ++element[c][static_cast<std::size_t>(flats[i])];
+      } else if (distance >= threshold) {
+        ++stats.capacity;
+        ++element[c][static_cast<std::size_t>(flats[i])];
+      } else {
+        ++stats.hits;
+      }
+    }
+  }
+  if (config.element_stats) {
+    part.cold.resize(num_containers);
+    part.finite.resize(num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      part.cold[c].assign(
+          static_cast<std::size_t>(header.layouts[c].total_elements()), 0);
+      part.finite[c].clear();
+    }
+    for (std::size_t i = s; i < e; ++i) {
+      const std::size_t c = static_cast<std::size_t>(containers[i]);
+      const std::int64_t distance = distances[i];
+      if (distance == kInfiniteDistance) {
+        ++part.cold[c][static_cast<std::size_t>(flats[i])];
+      } else {
+        part.finite[c].emplace_back(flats[i], distance);
+      }
+    }
+  }
+}
+
+// out[e] = sum over partials w (ascending) of (partials[w].*member)[c][e]
+// — parallel over elements, deterministic (fixed addend order per slot).
+void merge_element_arrays(
+    std::vector<ConsumerPartial>& partials, std::size_t parts, std::size_t c,
+    std::vector<std::vector<std::int64_t>> ConsumerPartial::* member,
+    std::vector<std::int64_t>& out, std::size_t elements) {
+  if (parts == 1) {
+    // The lone segment's partial IS the merged array — take it.
+    out = std::move((partials[0].*member)[c]);
+    return;
+  }
+  out.assign(elements, 0);
+  std::int64_t* out_data = out.data();
+  par::parallel_for(elements, 1 << 14,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t w = 0; w < parts; ++w) {
+                        const std::int64_t* partial =
+                            (partials[w].*member)[c].data();
+                        for (std::size_t i = begin; i < end; ++i) {
+                          out_data[i] += partial[i];
+                        }
+                      }
+                    });
+}
+
+}  // namespace
+
+void finish_pass(const PipelineConfig& config, const AccessTrace& header,
+                 std::span<const std::int32_t> containers,
+                 std::span<const std::int64_t> flats,
+                 std::span<const std::uint8_t> writes,
+                 std::span<const std::int64_t> lines,
+                 std::int64_t distance_lo, std::int64_t distance_span,
+                 std::span<const std::int64_t> cache_lines,
+                 std::int64_t cache_lo, std::int64_t cache_span,
+                 std::int64_t executions, Scratch& scratch,
+                 PipelineResult& result, int& partitions) {
+  const std::size_t n = containers.size();
+  const std::size_t num_containers = header.layouts.size();
+  result = PipelineResult{};
+  result.containers = header.containers;
+  result.events = static_cast<std::int64_t>(n);
+  result.executions = executions;
+
+  // --- Distance phase B + set-partitioned cache (one task batch; both
+  // only read phase A's output / the line columns). ------------------
+  std::size_t distance_parts = 0;
+  if (config.needs_distances()) {
+    scratch.distances.resize(n);
+    distance_parts = segment_count(
+        n, std::min(threads(), kMaxDistanceSegments), kMinSegmentEvents);
+    if (distance_parts > 1) {
+      // next[] = inverse of prev[] (disjoint writes: at most one i has
+      // prev[i] == j). Only needed to rebuild segment-start marks.
+      scratch.next.resize(n);
+      std::int64_t* next = scratch.next.data();
+      const std::int64_t* prev = scratch.prev.data();
+      par::parallel_for(n, std::size_t{1} << 16,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            next[i] = std::numeric_limits<std::int64_t>::max();
+                          }
+                        });
+      par::parallel_for(n, std::size_t{1} << 16,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            const std::int64_t p = prev[i];
+                            if (p >= 0) {
+                              next[static_cast<std::size_t>(p)] =
+                                  static_cast<std::int64_t>(i);
+                            }
+                          }
+                        });
+    }
+    if (scratch.fenwicks.size() < distance_parts) {
+      scratch.fenwicks.resize(distance_parts);
+    }
+  }
+  detail::CacheGeometry geometry;
+  std::size_t cache_parts = 0;
+  if (config.cache) {
+    geometry = detail::cache_geometry(*config.cache);
+    cache_parts = std::min<std::size_t>(
+        std::min(threads(), kMaxCachePartitions),
+        static_cast<std::size_t>(geometry.num_sets));
+    cache_parts = std::max<std::size_t>(cache_parts, 1);
+    if (scratch.cache_parts.size() < cache_parts) {
+      scratch.cache_parts.resize(cache_parts);
+    }
+    scratch.seen.assign(static_cast<std::size_t>(cache_span), 0);
+  }
+  par::parallel_tasks(distance_parts + cache_parts, [&](std::size_t t) {
+    if (t < distance_parts) {
+      if (distance_parts == 1) {
+        // Phase A was skipped (needs_prev_pass was false): count with
+        // the fused last-seen loop instead of reading scratch.prev.
+        count_all_fused(scratch, lines, distance_lo, distance_span);
+      } else {
+        count_segment(scratch, t, segment_begin(n, distance_parts, t),
+                      segment_begin(n, distance_parts, t + 1),
+                      /*use_next=*/true);
+      }
+    } else {
+      const std::size_t p = t - distance_parts;
+      const std::size_t sets = static_cast<std::size_t>(geometry.num_sets);
+      const std::int64_t set_begin =
+          static_cast<std::int64_t>(segment_begin(sets, cache_parts, p));
+      const std::int64_t set_end =
+          static_cast<std::int64_t>(segment_begin(sets, cache_parts, p + 1));
+      cache_partition_pass(geometry, containers, cache_lines, cache_lo,
+                           num_containers, set_begin, set_end - set_begin,
+                           scratch.cache_parts[p], scratch.seen);
+    }
+  });
+
+  // --- Order-insensitive consumer segments. -------------------------
+  std::size_t consumer_parts = 0;
+  if (config.counts || config.miss_threshold_lines > 0 ||
+      config.element_stats) {
+    std::size_t partial_bytes = 0;
+    std::size_t arrays = 0;
+    if (config.counts) arrays += 2;
+    if (config.miss_threshold_lines > 0) arrays += 1;
+    if (config.element_stats) arrays += 1;
+    for (const layout::ConcreteLayout& layout : header.layouts) {
+      partial_bytes += static_cast<std::size_t>(layout.total_elements()) *
+                       arrays * sizeof(std::int64_t);
+    }
+    consumer_parts = segment_count(
+        n, std::min(threads(), kMaxConsumerSegments), kMinSegmentEvents);
+    if (partial_bytes > 0) {
+      consumer_parts = std::min<std::size_t>(
+          consumer_parts,
+          std::max<std::size_t>(1, kPartialBudgetBytes / partial_bytes));
+    }
+    if (scratch.partials.size() < consumer_parts) {
+      scratch.partials.resize(consumer_parts);
+    }
+    const std::int64_t* distances = scratch.distances.data();
+    par::parallel_tasks(consumer_parts, [&](std::size_t w) {
+      consume_segment(config, header, containers, flats, writes, distances,
+                      segment_begin(n, consumer_parts, w),
+                      segment_begin(n, consumer_parts, w + 1),
+                      scratch.partials[w]);
+    });
+  }
+
+  // --- Ordered merge into the result. -------------------------------
+  if (config.counts) {
+    result.counts.reads.resize(num_containers);
+    result.counts.writes.resize(num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      const std::size_t elements =
+          static_cast<std::size_t>(header.layouts[c].total_elements());
+      merge_element_arrays(scratch.partials, consumer_parts, c,
+                           &ConsumerPartial::reads, result.counts.reads[c],
+                           elements);
+      merge_element_arrays(scratch.partials, consumer_parts, c,
+                           &ConsumerPartial::writes, result.counts.writes[c],
+                           elements);
+    }
+  }
+  if (config.keep_distances) {
+    result.distances.line_size = config.line_size;
+    result.distances.distances.assign(scratch.distances.begin(),
+                                      scratch.distances.begin() +
+                                          static_cast<std::ptrdiff_t>(n));
+  }
+  if (config.miss_threshold_lines > 0) {
+    result.misses.threshold_lines = config.miss_threshold_lines;
+    result.misses.per_container.assign(num_containers, {});
+    for (std::size_t w = 0; w < consumer_parts; ++w) {
+      for (std::size_t c = 0; c < num_containers; ++c) {
+        const MissStats& partial = scratch.partials[w].misses[c];
+        MissStats& stats = result.misses.per_container[c];
+        stats.cold += partial.cold;
+        stats.capacity += partial.capacity;
+        stats.hits += partial.hits;
+      }
+    }
+    result.misses.element_misses.resize(num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      merge_element_arrays(scratch.partials, consumer_parts, c,
+                           &ConsumerPartial::element_misses,
+                           result.misses.element_misses[c],
+                           static_cast<std::size_t>(
+                               header.layouts[c].total_elements()));
+    }
+  }
+  if (config.element_stats) {
+    result.element_stats.assign(num_containers, {});
+    scratch.finite.resize(num_containers);
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      merge_element_arrays(scratch.partials, consumer_parts, c,
+                           &ConsumerPartial::cold,
+                           result.element_stats[c].cold_count,
+                           static_cast<std::size_t>(
+                               header.layouts[c].total_elements()));
+      // Concatenating in ascending segment order reproduces the serial
+      // event order of the (flat, distance) pairs exactly.
+      std::vector<std::pair<std::int64_t, std::int64_t>>& merged =
+          scratch.finite[c];
+      if (consumer_parts == 1) {
+        // The lone segment's pairs are already in serial event order.
+        merged.swap(scratch.partials[0].finite[c]);
+      } else {
+        merged.clear();
+        std::size_t total = 0;
+        for (std::size_t w = 0; w < consumer_parts; ++w) {
+          total += scratch.partials[w].finite[c].size();
+        }
+        merged.reserve(total);
+        for (std::size_t w = 0; w < consumer_parts; ++w) {
+          const auto& pairs = scratch.partials[w].finite[c];
+          merged.insert(merged.end(), pairs.begin(), pairs.end());
+        }
+      }
+    }
+  }
+  if (config.cache) {
+    result.cache.config = *config.cache;
+    result.cache.per_container.assign(num_containers, {});
+    for (std::size_t p = 0; p < cache_parts; ++p) {
+      for (std::size_t c = 0; c < num_containers; ++c) {
+        const MissStats& partial = scratch.cache_parts[p].per_container[c];
+        MissStats& stats = result.cache.per_container[c];
+        stats.cold += partial.cold;
+        stats.capacity += partial.capacity;
+        stats.hits += partial.hits;
+      }
+    }
+  }
+
+  // --- Finalize: same folds, in the same order, as the serial pass's
+  // FusedPass::finalize_into. ----------------------------------------
+  if (config.element_stats) {
+    for (std::size_t c = 0; c < num_containers; ++c) {
+      detail::finalize_element_stats(
+          header.layouts[c].total_elements(), scratch.finite[c],
+          scratch.offsets, scratch.sorted, result.element_stats[c]);
+    }
+  }
+  if (config.miss_threshold_lines > 0) {
+    for (const MissStats& stats : result.misses.per_container) {
+      result.misses.total.cold += stats.cold;
+      result.misses.total.capacity += stats.capacity;
+      result.misses.total.hits += stats.hits;
+    }
+  }
+  if (config.cache) {
+    for (const MissStats& stats : result.cache.per_container) {
+      result.cache.total.cold += stats.cold;
+      result.cache.total.capacity += stats.capacity;
+      result.cache.total.hits += stats.hits;
+    }
+  }
+  if (config.movement) {
+    result.movement.line_size = config.line_size;
+    result.movement.bytes_per_container.reserve(num_containers);
+    for (const MissStats& stats : result.misses.per_container) {
+      const std::int64_t bytes = stats.misses() * config.line_size;
+      result.movement.bytes_per_container.push_back(bytes);
+      result.movement.total_bytes += bytes;
+    }
+  }
+
+  partitions = static_cast<int>(std::max(
+      {std::size_t{1}, distance_parts, cache_parts, consumer_parts}));
+}
+
+}  // namespace dmv::sim::merge

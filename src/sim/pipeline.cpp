@@ -1,6 +1,8 @@
 #include "dmv/sim/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <list>
 #include <map>
 #include <set>
@@ -16,6 +18,7 @@
 #include "dmv/sim/trace_plan.hpp"
 #include "dmv/store/trace_store.hpp"
 #include "metric_detail.hpp"
+#include "metric_merge.hpp"
 
 namespace dmv::sim {
 
@@ -60,31 +63,14 @@ struct LruSet {
   std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> where;
 };
 
-struct CacheGeometry {
-  std::int64_t ways = 0;
-  std::int64_t num_sets = 1;
-};
+using detail::cache_geometry;
+using detail::CacheGeometry;
 
-CacheGeometry cache_geometry(const CacheConfig& config) {
-  if (config.line_size <= 0 || config.total_size <= 0) {
-    throw std::invalid_argument("simulate_cache: bad cache geometry");
-  }
-  const std::int64_t total_lines = config.total_size / config.line_size;
-  if (total_lines <= 0) {
-    throw std::invalid_argument("simulate_cache: cache smaller than a line");
-  }
-  CacheGeometry geometry;
-  geometry.ways = config.ways;
-  if (geometry.ways == 0) {
-    geometry.ways = total_lines;  // Fully associative.
-  } else {
-    geometry.num_sets = total_lines / geometry.ways;
-    if (geometry.num_sets <= 0) {
-      throw std::invalid_argument(
-          "simulate_cache: associativity exceeds cache size");
-    }
-  }
-  return geometry;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
 }
 
 // All buffers that survive across run() calls — the sweep-scoped
@@ -105,6 +91,7 @@ struct ArenaState {
   std::vector<LruSet> sets;
   std::vector<std::uint8_t> seen;     ///< Cache line ever resident.
   std::int64_t seen_lo = 0;
+  merge::Scratch merge_scratch;       ///< Mergeable parallel engine state.
 
   // --- run_delta() checkpoint -------------------------------------------
   // `trace` doubles as the checkpoint's front event buffer; the fields
@@ -495,17 +482,121 @@ MetricPipeline::MetricPipeline(MetricPipeline&&) noexcept = default;
 MetricPipeline& MetricPipeline::operator=(MetricPipeline&&) noexcept =
     default;
 
+// Mergeable-engine gate shared by run(trace) and the fused-generation
+// path: the engine must be requested, the trace big enough, and the
+// caller must not already be inside a pool task (where every parallel
+// construct serializes and the serial fused pass is strictly cheaper).
+namespace {
+
+bool mergeable_requested(const PipelineConfig& config, std::int64_t events) {
+  return config.parallel_metrics && events > 0 &&
+         events >= config.parallel_metrics_min_events &&
+         events <= std::numeric_limits<std::int32_t>::max() &&
+         !par::in_parallel_region();
+}
+
+}  // namespace
+
+// Materialized mergeable drive: derive line columns (vectorized),
+// compute phase-A prev occurrences, then hand off to merge::finish_pass.
+// Returns false — nothing observable done — when the engine cannot run
+// (line span too sparse for the dense stitch/seen tables); the caller
+// falls back to the serial fused pass, which handles those traces via
+// its hash path (or throws the canonical cache-span error).
+bool MetricPipeline::try_run_mergeable(const AccessTrace& trace,
+                                       PipelineResult& result,
+                                       int& partitions) {
+  const std::size_t n = trace.events.size();
+  merge::Scratch& scratch = arena_->merge_scratch;
+  const std::span<const std::int32_t> containers =
+      trace.events.container_column();
+  const std::span<const std::int64_t> flats = trace.events.flat_column();
+  const std::span<const std::uint8_t> writes = trace.events.write_column();
+
+  std::int64_t distance_lo = 0, distance_span = 0;
+  std::span<const std::int64_t> lines;
+  if (config_.needs_distances() ||
+      (config_.cache && config_.cache->line_size == config_.line_size)) {
+    detail::line_range_of(trace.layouts, config_.line_size, distance_lo,
+                          distance_span, nullptr);
+    scratch.lines.resize(n);
+    merge::LineDeriver deriver;
+    deriver.reset(trace.layouts, config_.line_size);
+    std::int64_t* out = scratch.lines.data();
+    par::parallel_for(n, std::size_t{1} << 14,
+                      [&](std::size_t begin, std::size_t end) {
+                        deriver.derive(containers.data(), flats.data(),
+                                       begin, end, out);
+                      });
+    lines = std::span<const std::int64_t>(scratch.lines.data(), n);
+    // Same widening as the serial path (hand-built traces with
+    // out-of-buffer addresses).
+    std::int64_t hi = distance_lo + distance_span - 1;
+    merge::widen_bounds(lines, distance_lo, hi);
+    distance_span = hi - distance_lo + 1;
+    if (distance_span > kMaxDenseSpan) return false;
+  }
+
+  std::int64_t cache_lo = 0, cache_span = 0;
+  std::span<const std::int64_t> cache_lines = lines;
+  if (config_.cache) {
+    if (config_.cache->line_size != config_.line_size) {
+      detail::line_range_of(trace.layouts, config_.cache->line_size,
+                            cache_lo, cache_span, nullptr);
+      scratch.cache_lines.resize(n);
+      merge::LineDeriver deriver;
+      deriver.reset(trace.layouts, config_.cache->line_size);
+      std::int64_t* out = scratch.cache_lines.data();
+      par::parallel_for(n, std::size_t{1} << 14,
+                        [&](std::size_t begin, std::size_t end) {
+                          deriver.derive(containers.data(), flats.data(),
+                                         begin, end, out);
+                        });
+      cache_lines = std::span<const std::int64_t>(scratch.cache_lines.data(),
+                                                  n);
+      std::int64_t hi = cache_lo + cache_span - 1;
+      merge::widen_bounds(cache_lines, cache_lo, hi);
+      cache_span = hi - cache_lo + 1;
+    } else {
+      cache_lo = distance_lo;
+      cache_span = distance_span;
+    }
+    // The serial pass throws the canonical sparse-cache error here; let
+    // it do so instead of duplicating the message.
+    if (cache_span < 0 || cache_span > kMaxDenseSpan) return false;
+  }
+
+  if (config_.needs_distances() && merge::needs_prev_pass(n)) {
+    merge::compute_prev(scratch, lines, distance_lo, distance_span);
+  }
+  merge::finish_pass(config_, trace, containers, flats, writes, lines,
+                     distance_lo, distance_span, cache_lines, cache_lo,
+                     cache_span, trace.executions, scratch, result,
+                     partitions);
+  return true;
+}
+
 PipelineResult MetricPipeline::run(const AccessTrace& trace) {
   // The fused pass below clobbers the arena scratch the delta engine's
   // live state depends on (and run(sdfg) overwrote the checkpoint
   // trace), so any interleaved public run drops the checkpoint.
   arena_->ckpt_valid = false;
   arena_->live_valid = false;
-  // Fault a spilled trace back in on this thread, before any pass hands
-  // column spans to parallel workers (EventList fault-in is not
-  // thread-safe).
+  // Fault a spilled trace back in on this thread, exactly once, before
+  // any pass hands column spans to parallel metric workers (EventList
+  // fault-in is not thread-safe).
   trace.events.ensure_resident();
+  const auto start = Clock::now();
   const std::size_t n = trace.events.size();
+
+  if (mergeable_requested(config_, static_cast<std::int64_t>(n))) {
+    PipelineResult result;
+    int partitions = 1;
+    if (try_run_mergeable(trace, result, partitions)) {
+      timings_ = {0.0, ms_since(start), partitions};
+      return result;
+    }
+  }
   const bool needs_lines = config_.needs_distances() || config_.cache;
 
   std::int64_t distance_lo = 0, distance_span = 0;
@@ -558,16 +649,162 @@ PipelineResult MetricPipeline::run(const AccessTrace& trace) {
                  needs_lines && !lines.empty() ? lines[i] : 0,
                  config_.cache ? cache_lines[i] : 0);
   }
-  return pass.finish(trace, static_cast<std::int64_t>(n), trace.executions);
+  PipelineResult result =
+      pass.finish(trace, static_cast<std::int64_t>(n), trace.executions);
+  timings_ = {0.0, ms_since(start), 1};
+  return result;
+}
+
+// Chunk-fused generation + metrics: the simulator, the line-id
+// derivation, and phase A of the stack distances run per trace-plan
+// chunk inside ordered_pipeline — metric work starts on a chunk's slice
+// as soon as the simulator finishes it, and the stitch (consume side)
+// runs on the caller in chunk order. Everything after phase A barriers
+// on the full trace anyway (phase B needs prev complete) and runs via
+// merge::finish_pass. Returns false when parallel generation or the
+// mergeable engine cannot run; the caller takes the unfused path.
+bool MetricPipeline::try_run_fused_generation(const Sdfg& sdfg,
+                                              const SymbolMap& symbols,
+                                              const SimulationOptions& options,
+                                              PipelineResult& result) {
+  if (!options.parallel_trace || par::num_threads() <= 1 ||
+      par::in_parallel_region()) {
+    return false;
+  }
+  ArenaState& arena = *arena_;
+  plan_trace_into(sdfg, symbols, options, 0, arena.trace_arena.plan);
+  const TracePlan& plan = arena.trace_arena.plan;
+  // Same worthwhileness gate as simulate_into's parallel path.
+  if (!plan.parallelizable || plan.chunks.size() <= 1 ||
+      plan.total_events < 8192) {
+    return false;
+  }
+  if (!mergeable_requested(config_, plan.total_events)) return false;
+
+  const std::size_t n = static_cast<std::size_t>(plan.total_events);
+  arena.trace.containers.clear();
+  arena.trace.layouts.clear();
+  arena.trace.executions = 0;
+  place_containers(sdfg, symbols, options, arena.trace);
+
+  // Layout-derived bounds, no widening: simulator-produced events are
+  // always inside their placed layouts, so these equal the serial
+  // path's widened bounds bit for bit.
+  const bool needs_lines =
+      config_.needs_distances() ||
+      (config_.cache && config_.cache->line_size == config_.line_size);
+  std::int64_t distance_lo = 0, distance_span = 0;
+  if (needs_lines) {
+    detail::line_range_of(arena.trace.layouts, config_.line_size,
+                          distance_lo, distance_span, nullptr);
+    if (distance_span > kMaxDenseSpan) return false;
+  }
+  std::int64_t cache_lo = 0, cache_span = 0;
+  const bool separate_cache_lines =
+      config_.cache && config_.cache->line_size != config_.line_size;
+  if (config_.cache) {
+    if (separate_cache_lines) {
+      detail::line_range_of(arena.trace.layouts, config_.cache->line_size,
+                            cache_lo, cache_span, nullptr);
+    } else {
+      cache_lo = distance_lo;
+      cache_span = distance_span;
+    }
+    if (cache_span < 0 || cache_span > kMaxDenseSpan) return false;
+  }
+
+  const auto start = Clock::now();
+  // A spilled previous trace is dropped, not decoded, before resizing.
+  arena.trace.events.clear();
+  arena.trace.events.resize(n);
+  merge::Scratch& scratch = arena.merge_scratch;
+  merge::LineDeriver deriver;
+  merge::LineDeriver cache_deriver;
+  if (needs_lines) {
+    scratch.lines.resize(n);
+    deriver.reset(arena.trace.layouts, config_.line_size);
+  }
+  if (separate_cache_lines) {
+    scratch.cache_lines.resize(n);
+    cache_deriver.reset(arena.trace.layouts, config_.cache->line_size);
+  }
+  const std::size_t window = static_cast<std::size_t>(par::num_threads()) + 1;
+  merge::PrevBuilder prev_builder;
+  if (config_.needs_distances()) {
+    prev_builder.begin(scratch, n, distance_lo, distance_span, window);
+  }
+  const std::span<const std::int32_t> containers =
+      arena.trace.events.container_column();
+  const std::span<const std::int64_t> flats = arena.trace.events.flat_column();
+  const bool needs_prev = config_.needs_distances();
+  par::ordered_pipeline(
+      plan.chunks.size(), window,
+      [&](std::size_t c) {
+        const TraceChunk& chunk = plan.chunks[c];
+        simulate_chunk(sdfg, symbols, options, arena.trace, chunk,
+                       arena.trace.events, /*absolute=*/true);
+        const std::size_t begin =
+            static_cast<std::size_t>(chunk.event_offset);
+        const std::size_t end =
+            begin + static_cast<std::size_t>(chunk.event_count);
+        if (needs_lines) {
+          deriver.derive(containers.data(), flats.data(), begin, end,
+                         scratch.lines.data());
+        }
+        if (separate_cache_lines) {
+          cache_deriver.derive(containers.data(), flats.data(), begin, end,
+                               scratch.cache_lines.data());
+        }
+        if (needs_prev) {
+          prev_builder.local_slice(scratch, scratch.lines.data(), begin, end,
+                                   c % window);
+        }
+      },
+      [&](std::size_t c) {
+        if (needs_prev) prev_builder.stitch_slice(scratch, c % window);
+      });
+  arena.trace.executions = plan.total_executions;
+  const double simulate_ms = ms_since(start);
+
+  const auto metrics_start = Clock::now();
+  std::span<const std::int64_t> lines;
+  if (needs_lines) {
+    lines = std::span<const std::int64_t>(scratch.lines.data(), n);
+  }
+  std::span<const std::int64_t> cache_lines = lines;
+  if (separate_cache_lines) {
+    cache_lines = std::span<const std::int64_t>(scratch.cache_lines.data(), n);
+  }
+  int partitions = 1;
+  merge::finish_pass(config_, arena.trace,
+                     arena.trace.events.container_column(),
+                     arena.trace.events.flat_column(),
+                     arena.trace.events.write_column(), lines, distance_lo,
+                     distance_span, cache_lines, cache_lo, cache_span,
+                     arena.trace.executions, scratch, result, partitions);
+  timings_ = {simulate_ms, ms_since(metrics_start), partitions};
+  return true;
 }
 
 PipelineResult MetricPipeline::run(const Sdfg& sdfg, const SymbolMap& symbols,
                                    const SimulationOptions& options) {
+  arena_->ckpt_valid = false;
+  arena_->live_valid = false;
+  {
+    PipelineResult result;
+    if (try_run_fused_generation(sdfg, symbols, options, result)) {
+      maybe_spill();
+      return result;
+    }
+  }
   // A spilled previous trace is simply dropped here — simulate_into
   // clears the buffer, and clear() releases the backing without the
   // cost of decoding it.
+  const auto start = Clock::now();
   simulate_into(sdfg, symbols, options, arena_->trace, &arena_->trace_arena);
+  const double simulate_ms = ms_since(start);
   PipelineResult result = run(arena_->trace);
+  timings_.simulate_ms = simulate_ms;
   maybe_spill();
   return result;
 }
@@ -577,12 +814,17 @@ PipelineResult MetricPipeline::run_streaming(const Sdfg& sdfg,
                                              const SimulationOptions& options) {
   arena_->ckpt_valid = false;
   arena_->live_valid = false;
+  const auto start = Clock::now();
   FusedPass pass(config_, *arena_);
   StreamingSink sink(config_, pass);
   AccessTrace header =
       simulate_stream(sdfg, symbols, sink, options, &arena_->trace_arena);
-  return pass.finish(header, static_cast<std::int64_t>(sink.events()),
-                     sink.executions());
+  PipelineResult result = pass.finish(
+      header, static_cast<std::int64_t>(sink.events()), sink.executions());
+  // Streaming interleaves generation and consumption; the breakdown
+  // collapses into simulate_ms (see PhaseTimings).
+  timings_ = {ms_since(start), 0.0, 1};
+  return result;
 }
 
 std::vector<PipelineResult> MetricPipeline::run_sweep(
@@ -703,7 +945,8 @@ struct ChunkMatch {
 bool delta_step(const PipelineConfig& config, ArenaState& arena,
                 const Sdfg& sdfg, const SymbolMap& symbols,
                 const SimulationOptions& options, DeltaOutcome& outcome,
-                PipelineResult& result) {
+                PipelineResult& result, PhaseTimings& timings) {
+  const auto start = Clock::now();
   const std::set<std::string> changed =
       symbolic::changed_symbols(arena.ckpt_binding, symbols);
   if (changed.empty()) {
@@ -715,6 +958,7 @@ bool delta_step(const PipelineConfig& config, ArenaState& arena,
     FusedPass pass(config, arena);
     result = arena.live;
     pass.finalize_into(arena.trace, result);
+    timings = {0.0, ms_since(start), 1};
     return true;
   }
 
@@ -849,31 +1093,41 @@ bool delta_step(const PipelineConfig& config, ArenaState& arena,
       break;
     }
   }
+  // Both patch shapes write disjoint absolute slices (and the splice
+  // reads the already-resident checkpoint columns), so the per-chunk
+  // work fans out over the pool; chunk outputs are position-determined,
+  // keeping the patched trace bit-identical at any thread count.
   if (in_place) {
     arena.trace.events.resize(n_new);  // Preserves the clean prefix.
-    for (std::size_t idx = 0; idx < plan_new.chunks.size(); ++idx) {
-      if (matches[idx].clean) continue;
-      simulate_chunk(sdfg, symbols, options, arena.scratch_header,
-                     plan_new.chunks[idx], arena.trace.events,
-                     /*absolute=*/true);
-    }
+    par::parallel_for(
+        plan_new.chunks.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            if (matches[idx].clean) continue;
+            simulate_chunk(sdfg, symbols, options, arena.scratch_header,
+                           plan_new.chunks[idx], arena.trace.events,
+                           /*absolute=*/true);
+          }
+        });
   } else {
     arena.back_events.resize(n_new);
-    for (std::size_t idx = 0; idx < plan_new.chunks.size(); ++idx) {
-      const TraceChunk& nc = plan_new.chunks[idx];
-      if (matches[idx].clean) {
-        arena.back_events.assign_range(
-            arena.trace.events,
-            static_cast<std::size_t>(matches[idx].old_event_offset),
-            static_cast<std::size_t>(nc.event_offset),
-            static_cast<std::size_t>(nc.event_count),
-            nc.event_offset - matches[idx].old_event_offset,
-            nc.execution_offset - matches[idx].old_execution_offset);
-      } else {
-        simulate_chunk(sdfg, symbols, options, arena.scratch_header, nc,
-                       arena.back_events, /*absolute=*/true);
-      }
-    }
+    par::parallel_for(
+        plan_new.chunks.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            const TraceChunk& nc = plan_new.chunks[idx];
+            if (matches[idx].clean) {
+              arena.back_events.assign_range(
+                  arena.trace.events,
+                  static_cast<std::size_t>(matches[idx].old_event_offset),
+                  static_cast<std::size_t>(nc.event_offset),
+                  static_cast<std::size_t>(nc.event_count),
+                  nc.event_offset - matches[idx].old_event_offset,
+                  nc.execution_offset - matches[idx].old_execution_offset);
+            } else {
+              simulate_chunk(sdfg, symbols, options, arena.scratch_header, nc,
+                             arena.back_events, /*absolute=*/true);
+            }
+          }
+        });
     // The patched back buffer becomes the checkpoint trace (the old
     // front buffer is kept as a future patch target).
     std::swap(arena.trace.events, arena.back_events);
@@ -889,6 +1143,8 @@ bool delta_step(const PipelineConfig& config, ArenaState& arena,
   const std::size_t new_chunk_count = plan_new.chunks.size();
   std::swap(arena.ckpt_plan, arena.scratch_plan);
   arena.ckpt_binding = symbols;
+  const double patch_ms = ms_since(start);
+  const auto metric_start = Clock::now();
 
   // Metric phase. Append-only steps — every old chunk reused at its old
   // offsets, trace only grew, layouts untouched — RESUME the live fused
@@ -923,6 +1179,7 @@ bool delta_step(const PipelineConfig& config, ArenaState& arena,
   outcome.chunks_total = static_cast<std::int64_t>(new_chunk_count);
   outcome.chunks_clean = clean_chunks;
   outcome.chunks_dirty = outcome.chunks_total - clean_chunks;
+  timings = {patch_ms, ms_since(metric_start), 1};
   return true;
 }
 
@@ -952,7 +1209,7 @@ PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
         // first.
         arena.trace.events.ensure_resident();
         warm = delta_step(config_, arena, sdfg, symbols, options, outcome,
-                          result);
+                          result, timings_);
       } catch (...) {
         // A failed splice leaves the checkpoint inconsistent; drop it and
         // let the cold path below surface the canonical error behavior.
@@ -973,7 +1230,10 @@ PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
   outcome.path = DeltaOutcome::Path::kCold;
   arena.ckpt_valid = false;
   arena.live_valid = false;
+  const auto cold_start = Clock::now();
   simulate_into(sdfg, symbols, options, arena.trace, &arena.trace_arena);
+  const double cold_simulate_ms = ms_since(cold_start);
+  const auto cold_metric_start = Clock::now();
   const std::size_t n = arena.trace.events.size();
   std::int64_t distance_lo = 0, distance_span = 0;
   std::int64_t cache_lo = 0, cache_span = 0;
@@ -986,6 +1246,7 @@ PipelineResult MetricPipeline::run_delta(const Sdfg& sdfg,
   PipelineResult result =
       delta_snapshot(pass, arena, arena.trace, static_cast<std::int64_t>(n),
                      arena.trace.executions);
+  timings_ = {cold_simulate_ms, ms_since(cold_metric_start), 1};
 
   plan_trace_into(sdfg, symbols, options, kDeltaMaxChunks, arena.ckpt_plan);
   if (arena.ckpt_plan.parallelizable &&

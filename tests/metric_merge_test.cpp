@@ -1,0 +1,347 @@
+// Mergeable parallel metric engine tests.
+//
+// The engine (sim/metric_merge) partitions the fused metric pass —
+// consumer segments, set-partitioned exact LRU, two-phase stack
+// distances — and merges per-partition state in fixed order. Its
+// contract is BIT-IDENTITY with the serial fused pass (which is itself
+// bit-identical to the standalone passes, see pipeline_test), for every
+// PipelineResult field, at any (thread, lane, partition) combination,
+// across materialized, fused-generation, streaming, delta, and spilled
+// drives. All suites are named MetricMerge so the CI determinism /
+// sanitizer / TSan gates pick them up.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dmv/par/par.hpp"
+#include "dmv/sim/pipeline.hpp"
+#include "dmv/sim/sim.hpp"
+#include "dmv/store/trace_store.hpp"
+#include "dmv/workloads/workloads.hpp"
+
+namespace dmv::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("dmv_merge_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Every consumer on, min_events 0 so the engine runs on any trace.
+PipelineConfig merge_config() {
+  PipelineConfig config;
+  config.line_size = 64;
+  config.counts = true;
+  config.miss_threshold_lines = 64;
+  config.keep_distances = true;
+  config.element_stats = true;
+  config.cache = CacheConfig{};
+  config.movement = true;
+  config.parallel_metrics = true;
+  config.parallel_metrics_min_events = 0;
+  return config;
+}
+
+/// Same consumers, engine off — the serial identity reference.
+PipelineConfig serial_config() {
+  PipelineConfig config = merge_config();
+  config.parallel_metrics = false;
+  return config;
+}
+
+void expect_stats_equal(const MissStats& a, const MissStats& b,
+                        const char* what) {
+  EXPECT_EQ(a.cold, b.cold) << what;
+  EXPECT_EQ(a.capacity, b.capacity) << what;
+  EXPECT_EQ(a.hits, b.hits) << what;
+}
+
+/// EVERY PipelineResult field, exact.
+void expect_results_equal(const PipelineResult& actual,
+                          const PipelineResult& expected,
+                          const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(actual.events, expected.events);
+  EXPECT_EQ(actual.executions, expected.executions);
+  EXPECT_EQ(actual.containers, expected.containers);
+  EXPECT_EQ(actual.counts.reads, expected.counts.reads);
+  EXPECT_EQ(actual.counts.writes, expected.counts.writes);
+  EXPECT_EQ(actual.distances.line_size, expected.distances.line_size);
+  EXPECT_EQ(actual.distances.distances, expected.distances.distances);
+  EXPECT_EQ(actual.misses.threshold_lines, expected.misses.threshold_lines);
+  EXPECT_EQ(actual.misses.element_misses, expected.misses.element_misses);
+  ASSERT_EQ(actual.misses.per_container.size(),
+            expected.misses.per_container.size());
+  for (std::size_t c = 0; c < expected.misses.per_container.size(); ++c) {
+    expect_stats_equal(actual.misses.per_container[c],
+                       expected.misses.per_container[c], "misses");
+  }
+  expect_stats_equal(actual.misses.total, expected.misses.total, "misses");
+  ASSERT_EQ(actual.element_stats.size(), expected.element_stats.size());
+  for (std::size_t c = 0; c < expected.element_stats.size(); ++c) {
+    EXPECT_EQ(actual.element_stats[c].min, expected.element_stats[c].min);
+    EXPECT_EQ(actual.element_stats[c].median,
+              expected.element_stats[c].median);
+    EXPECT_EQ(actual.element_stats[c].max, expected.element_stats[c].max);
+    EXPECT_EQ(actual.element_stats[c].cold_count,
+              expected.element_stats[c].cold_count);
+  }
+  EXPECT_EQ(actual.cache.config.line_size, expected.cache.config.line_size);
+  EXPECT_EQ(actual.cache.config.total_size, expected.cache.config.total_size);
+  EXPECT_EQ(actual.cache.config.ways, expected.cache.config.ways);
+  ASSERT_EQ(actual.cache.per_container.size(),
+            expected.cache.per_container.size());
+  for (std::size_t c = 0; c < expected.cache.per_container.size(); ++c) {
+    expect_stats_equal(actual.cache.per_container[c],
+                       expected.cache.per_container[c], "cache");
+  }
+  expect_stats_equal(actual.cache.total, expected.cache.total, "cache");
+  EXPECT_EQ(actual.movement.line_size, expected.movement.line_size);
+  EXPECT_EQ(actual.movement.bytes_per_container,
+            expected.movement.bytes_per_container);
+  EXPECT_EQ(actual.movement.total_bytes, expected.movement.total_bytes);
+}
+
+/// Serial reference at 1 thread vs the engine at {2, 4, 8} threads and
+/// lane widths {1, 8}, across the materialized, generating, streaming,
+/// and delta drives.
+void check_bit_identity(const ir::Sdfg& sdfg,
+                        const std::vector<symbolic::SymbolMap>& bindings,
+                        const std::string& name) {
+  for (std::size_t b = 0; b < bindings.size(); ++b) {
+    const symbolic::SymbolMap& binding = bindings[b];
+    for (const int lanes : {1, 8}) {
+      SimulationOptions options;
+      options.lane_width = lanes;
+      PipelineResult expected;
+      AccessTrace trace;
+      {
+        par::ThreadScope serial(1);
+        trace = simulate(sdfg, binding, options);
+        MetricPipeline reference(serial_config());
+        expected = reference.run(trace);
+      }
+      for (const int threads : {2, 4, 8}) {
+        par::ThreadScope scope(threads);
+        const std::string context = name + " binding " + std::to_string(b) +
+                                    " lanes " + std::to_string(lanes) +
+                                    " threads " + std::to_string(threads);
+        MetricPipeline merged(merge_config());
+        expect_results_equal(merged.run(trace), expected,
+                             context + " run(trace)");
+        expect_results_equal(merged.run(sdfg, binding, options), expected,
+                             context + " run(sdfg)");
+        expect_results_equal(merged.run_streaming(sdfg, binding, options),
+                             expected, context + " streaming");
+        expect_results_equal(
+            merged.run_delta(sdfg, /*program_version=*/7, binding, options),
+            expected, context + " delta");
+      }
+    }
+  }
+}
+
+TEST(MetricMerge, SerialVsWorkersBitIdentityHdiff) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  check_bit_identity(
+      sdfg,
+      {symbolic::SymbolMap{{"I", 8}, {"J", 8}, {"K", 4}},
+       symbolic::SymbolMap{{"I", 12}, {"J", 10}, {"K", 6}},
+       symbolic::SymbolMap{{"I", 16}, {"J", 16}, {"K", 3}}},
+      "hdiff");
+}
+
+TEST(MetricMerge, SerialVsWorkersBitIdentityBert) {
+  const ir::Sdfg sdfg = workloads::bert_encoder(workloads::BertStage::Fused1);
+  symbolic::SymbolMap small = workloads::bert_small();
+  symbolic::SymbolMap wider = small;
+  wider["SM"] = small.at("SM") + 6;
+  symbolic::SymbolMap deeper = small;
+  deeper["H"] = small.at("H") + 2;
+  check_bit_identity(sdfg, {small, wider, deeper}, "bert");
+}
+
+TEST(MetricMerge, SerialVsWorkersBitIdentityMatmul) {
+  const ir::Sdfg sdfg = workloads::matmul();
+  symbolic::SymbolMap fig5 = workloads::matmul_fig5();
+  symbolic::SymbolMap narrow = fig5;
+  narrow["N"] = 6;
+  symbolic::SymbolMap tall = fig5;
+  tall["M"] = fig5.at("M") + 9;
+  check_bit_identity(sdfg, {fig5, narrow, tall}, "matmul");
+}
+
+// Set-partition boundary shapes: one set (fully associative), direct
+// mapped, more sets than touched lines, and a cache line size different
+// from the distance line size.
+TEST(MetricMerge, SetPartitionBoundaries) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding{{"I", 12}, {"J", 12}, {"K", 4}};
+  struct Shape {
+    const char* name;
+    CacheConfig cache;
+    int line_size;
+  };
+  const Shape shapes[] = {
+      {"fully-associative", CacheConfig{64, 4096, 0}, 64},
+      {"direct-mapped", CacheConfig{64, 4096, 1}, 64},
+      {"sets-exceed-lines", CacheConfig{64, 1 << 16, 1}, 64},
+      {"associativity-1-small", CacheConfig{64, 128, 1}, 64},
+      {"cache-line-differs", CacheConfig{32, 8192, 4}, 64},
+  };
+  for (const Shape& shape : shapes) {
+    PipelineConfig config = merge_config();
+    config.line_size = shape.line_size;
+    config.cache = shape.cache;
+    PipelineResult expected;
+    AccessTrace trace;
+    {
+      par::ThreadScope serial(1);
+      trace = simulate(sdfg, binding);
+      PipelineConfig reference = config;
+      reference.parallel_metrics = false;
+      MetricPipeline pipeline(reference);
+      expected = pipeline.run(trace);
+    }
+    for (const int threads : {2, 8}) {
+      par::ThreadScope scope(threads);
+      MetricPipeline merged(config);
+      expect_results_equal(merged.run(trace), expected,
+                           std::string(shape.name) + " threads " +
+                               std::to_string(threads));
+    }
+  }
+}
+
+// Satellite regression: a spilled checkpoint must be faulted back in
+// EXACTLY ONCE on the caller before column spans fan out to parallel
+// metric workers — both for run(trace) on an externally spilled trace
+// and for the delta splice against a spilled checkpoint.
+TEST(MetricMerge, SpilledTraceParallelMetrics) {
+  const fs::path dir = scratch_dir("spilled_parallel");
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  symbolic::SymbolMap binding = workloads::hdiff_local();
+
+  PipelineResult expected;
+  {
+    par::ThreadScope serial(1);
+    const AccessTrace trace = simulate(sdfg, binding);
+    MetricPipeline reference(serial_config());
+    expected = reference.run(trace);
+  }
+
+  par::ThreadScope scope(8);
+  // Externally spilled trace straight into the parallel engine.
+  AccessTrace spilled = simulate(sdfg, binding);
+  store::spill_event_list(spilled.events, (dir / "ext").string());
+  ASSERT_TRUE(spilled.events.spilled());
+  MetricPipeline merged(merge_config());
+  expect_results_equal(merged.run(spilled), expected, "externally spilled");
+
+  // Delta engine over a pipeline that spills its checkpoint after every
+  // run: each warm step faults the checkpoint in before the parallel
+  // patch phase.
+  MetricPipeline plain(serial_config());
+  MetricPipeline spilling(merge_config());
+  spilling.set_spill(1, (dir / "ckpt").string());
+  for (const std::int64_t k : {5, 6, 7, 6}) {
+    binding["K"] = k;
+    PipelineResult reference;
+    {
+      par::ThreadScope serial(1);
+      reference = plain.run_delta(sdfg, 3, binding);
+    }
+    expect_results_equal(spilling.run_delta(sdfg, 3, binding), reference,
+                         "spilled delta K=" + std::to_string(k));
+  }
+  fs::remove_all(dir);
+}
+
+// Hand-built traces: random layouts and event streams, including the
+// degenerate sizes the segment planner must not mishandle.
+TEST(MetricMerge, HandBuiltTraceFuzz) {
+  std::mt19937 rng(20260809u);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{7}, std::size_t{63},
+                              std::size_t{1000}, std::size_t{5000}}) {
+    AccessTrace trace;
+    const int containers = 1 + static_cast<int>(rng() % 3);
+    std::int64_t base = 0;
+    for (int c = 0; c < containers; ++c) {
+      layout::ConcreteLayout layout;
+      layout.name = "c" + std::to_string(c);
+      const std::int64_t elements = 16 + static_cast<std::int64_t>(rng() % 240);
+      layout.shape = {elements};
+      layout.strides = {1};
+      layout.element_size = (rng() % 2) ? 8 : 4;
+      layout.base_address = base;
+      base += layout.allocated_bytes() + 64;
+      trace.containers.push_back(layout.name);
+      trace.layouts.push_back(layout);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      AccessEvent event;
+      event.container = static_cast<int>(rng() % containers);
+      event.flat = static_cast<std::int64_t>(
+          rng() % trace.layouts[event.container].shape[0]);
+      event.is_write = (rng() % 4) == 0;
+      event.timestep = static_cast<std::int64_t>(i);
+      event.execution = static_cast<std::int64_t>(i);
+      trace.events.push_back(event);
+    }
+    trace.executions = static_cast<std::int64_t>(n);
+
+    PipelineResult expected;
+    {
+      par::ThreadScope serial(1);
+      MetricPipeline reference(serial_config());
+      expected = reference.run(trace);
+    }
+    for (const int threads : {4, 8}) {
+      par::ThreadScope scope(threads);
+      MetricPipeline merged(merge_config());
+      expect_results_equal(merged.run(trace), expected,
+                           "n=" + std::to_string(n) + " threads " +
+                               std::to_string(threads));
+    }
+  }
+}
+
+// Phase timing observability: partitions report the engine's use, and
+// the breakdown is populated for every drive mode.
+TEST(MetricMerge, PhaseTimingsReportPartitions) {
+  const ir::Sdfg sdfg = workloads::hdiff(workloads::HdiffVariant::Baseline);
+  const symbolic::SymbolMap binding{{"I", 16}, {"J", 16}, {"K", 4}};
+
+  {
+    par::ThreadScope serial(1);
+    MetricPipeline pipeline(serial_config());
+    pipeline.run(sdfg, binding);
+    EXPECT_EQ(pipeline.last_timings().partitions, 1);
+    EXPECT_GE(pipeline.last_timings().metrics_ms, 0.0);
+  }
+  {
+    par::ThreadScope scope(8);
+    MetricPipeline pipeline(merge_config());
+    const AccessTrace trace = simulate(sdfg, binding);
+    pipeline.run(trace);
+    EXPECT_GT(pipeline.last_timings().partitions, 1);
+    pipeline.run_streaming(sdfg, binding);
+    // Streaming interleaves generation and consumption: the whole cost
+    // collapses into simulate_ms and the pass stays serial.
+    EXPECT_EQ(pipeline.last_timings().partitions, 1);
+    EXPECT_EQ(pipeline.last_timings().metrics_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dmv::sim

@@ -203,6 +203,16 @@ TEST(ServeSharedCacheTest, SecondSessionHitsSharedTier) {
   EXPECT_GT(stats.at("result").at("session").at("shared_hits").as_int(), 0);
   EXPECT_GT(stats.at("result").at("shared_cache").at("hits").as_int(), 0);
   EXPECT_GT(server.shared_cache_stats().hits, 0);
+
+  // The per-phase pipeline breakdown is serialized alongside the cache
+  // counters. alice computed, so her stats carry the evaluation.
+  const Value alice = parse_line(server.handle(
+      "{\"id\":10,\"method\":\"stats\",\"params\":{\"session\":\"alice\"}}"));
+  const Value& session = alice.at("result").at("session");
+  EXPECT_GE(session.at("simulate_ms").as_number() +
+                session.at("metrics_ms").as_number(),
+            0.0);
+  EXPECT_GE(session.at("metric_partitions").as_int(), 1);
 }
 
 // ---------------------------------------------------------------------

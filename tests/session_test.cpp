@@ -105,6 +105,13 @@ TEST(SessionTest, HitMissAccounting) {
   EXPECT_NE(third->events, 0);
   EXPECT_GT(session.stats().cache_entries, 0u);
   EXPECT_GT(session.stats().cache_bytes, 0u);
+
+  // Phase breakdown: the two misses ran the pipeline, so wall time
+  // accumulated and a partition count was recorded; the cache hits in
+  // between added nothing (simulate_ms + metrics_ms covers exactly the
+  // evaluated steps).
+  EXPECT_GE(session.stats().simulate_ms + session.stats().metrics_ms, 0.0);
+  EXPECT_GE(session.stats().metric_partitions, 1);
 }
 
 TEST(SessionTest, ResultsMatchUncachedEvaluation) {
